@@ -1,0 +1,83 @@
+"""Baseline comparison: G-MAP proxies vs analytical L1 models.
+
+The paper's section 3 positions G-MAP against the reuse-distance analytical
+models of Tang et al. (ICDCS 2011, single TB) and Nugteren et al. (HPCA
+2014, round-robin multi-warp with MSHR extensions): "Although such models
+are fast, their scope is limited to L1 cache performance modeling.  In
+contrast, G-MAP's performance cloning framework can allow extensive
+exploration of different levels of the GPU memory hierarchy."
+
+This bench quantifies both claims on the L1 sweep: per-model accuracy on L1
+miss rates, and the scope wall — the analytical models raise on any L2
+question while the proxy answers it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytical import NugterenL1Model, TangL1Model
+from repro.memsim.simulator import SimtSimulator
+from repro.validation import sweeps
+from benchmarks.conftest import (
+    APPS,
+    FULL,
+    NUM_CORES,
+    print_experiment_header,
+)
+
+
+def test_baseline_comparison(pipelines, benchmark):
+    print_experiment_header(
+        "Baselines", "G-MAP proxy vs Tang'11 / Nugteren'14 L1 models",
+        paper_error="n/a (section 3 comparison)", paper_corr="n/a",
+    )
+    configs = sweeps.l1_sweep(reduced=not FULL)
+    print(f"    {'app':<16} {'proxy':>8} {'tang':>8} {'nugteren':>8}"
+          f"   (mean |err| in L1 miss rate, pp)")
+    sums = {"proxy": 0.0, "tang": 0.0, "nugteren": 0.0}
+    for app in APPS:
+        pipeline = pipelines.get(app)
+        tang = TangL1Model(pipeline.kernel)
+        nugteren = NugterenL1Model(pipeline.kernel, num_cores=NUM_CORES)
+        errs = {"proxy": 0.0, "tang": 0.0, "nugteren": 0.0}
+        for config in configs:
+            truth = SimtSimulator(config).run(
+                pipeline.original_assignments
+            ).l1_miss_rate
+            proxy = SimtSimulator(config).run(
+                pipeline.proxy_assignments
+            ).l1_miss_rate
+            errs["proxy"] += abs(proxy - truth)
+            errs["tang"] += abs(tang.predict_l1_miss_rate(config.l1) - truth)
+            errs["nugteren"] += abs(
+                nugteren.predict_l1_miss_rate(config.l1) - truth
+            )
+        for key in errs:
+            errs[key] /= len(configs)
+            sums[key] += errs[key]
+        print(f"    {app:<16} {errs['proxy'] * 100:>7.2f}p "
+              f"{errs['tang'] * 100:>7.2f}p {errs['nugteren'] * 100:>7.2f}p")
+    means = {k: v / len(APPS) for k, v in sums.items()}
+    print(f"    {'MEAN':<16} {means['proxy'] * 100:>7.2f}p "
+          f"{means['tang'] * 100:>7.2f}p {means['nugteren'] * 100:>7.2f}p")
+
+    # Scope: the analytical models cannot answer L2 questions at all.
+    pipeline = pipelines.get(APPS[0])
+    tang = TangL1Model(pipeline.kernel)
+    with pytest.raises(NotImplementedError):
+        tang.predict_l2_miss_rate(configs[0].l2)
+    l2_answer = SimtSimulator(configs[0]).run(
+        pipeline.proxy_assignments
+    ).l2_miss_rate
+    print(f"    scope: analytical models raise on L2; proxy answers "
+          f"(e.g. {APPS[0]} L2 miss rate {l2_answer:.3f})")
+
+    # The proxy must be competitive with the analytical models on their own
+    # home turf (L1 miss rates).
+    assert means["proxy"] <= min(means["tang"], means["nugteren"]) + 0.02
+
+    benchmark.pedantic(
+        lambda: TangL1Model(pipeline.kernel).predict_l1_miss_rate(configs[0].l1),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Figure 6a: L1 cache configurations.
+
+30 L1 configurations per benchmark (size 8-128KB, associativity 1-16, line
+size 32-128B; L2 fixed at 1MB 8-way).  The paper reports an average proxy
+error of 5.1% in L1 miss rate and an average Pearson correlation of 0.91,
+with kmeans/heartwall cloning at >97% accuracy and hotspot worst.
+"""
+
+from __future__ import annotations
+
+from repro.memsim.config import PAPER_BASELINE
+from repro.validation import sweeps
+from repro.validation.harness import simulate_pair
+
+from benchmarks.conftest import FULL, run_figure
+
+
+def test_fig6a_l1_sweep(pipelines, benchmark):
+    comparisons = run_figure(
+        pipelines,
+        sweeps.l1_sweep(reduced=not FULL),
+        metric="l1_miss_rate",
+        figure="Figure 6a",
+        description="L1 cache sweep (size 8-128KB, assoc 1-16, line 32-128B)",
+        paper_error="5.1%",
+        paper_corr="0.91",
+    )
+
+    # Paper narrative: high-reuse apps clone best; hotspot is the worst case.
+    by_name = {c.benchmark: c for c in comparisons}
+    if "kmeans" in by_name:
+        assert by_name["kmeans"].mean_abs_error < 0.05
+    if "hotspot" in by_name:
+        worst = max(comparisons, key=lambda c: c.mean_abs_error)
+        assert by_name["hotspot"].mean_abs_error >= 0.5 * worst.mean_abs_error
+
+    pipeline = pipelines.get("kmeans")
+    benchmark.pedantic(
+        lambda: simulate_pair(pipeline, PAPER_BASELINE),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,32 @@
+"""Figure 6b: L2 cache configurations.
+
+30 L2 configurations per benchmark (128KB-4MB, associativity 1-16, line size
+64-128B; L1 fixed at 16KB 4-way).  The paper reports 7.1% average L2
+miss-rate error and 0.91 average correlation.
+"""
+
+from __future__ import annotations
+
+from repro.validation import sweeps
+from repro.validation.harness import simulate_pair
+
+from benchmarks.conftest import FULL, run_figure
+
+
+def test_fig6b_l2_sweep(pipelines, benchmark):
+    configs = sweeps.l2_sweep(reduced=not FULL)
+    run_figure(
+        pipelines,
+        configs,
+        metric="l2_miss_rate",
+        figure="Figure 6b",
+        description="L2 cache sweep (128KB-4MB, assoc 1-16, line 64-128B)",
+        paper_error="7.1%",
+        paper_corr="0.91",
+    )
+
+    pipeline = pipelines.get("srad")
+    benchmark.pedantic(
+        lambda: simulate_pair(pipeline, configs[0]),
+        rounds=3, iterations=1,
+    )

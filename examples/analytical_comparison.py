@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""G-MAP proxies vs the analytical cache models of the paper's section 3.
+
+Plays out the related-work comparison: predict L1 miss rates with the
+reuse-distance models of Tang et al. (ICDCS'11, single threadblock) and
+Nugteren et al. (HPCA'14, round-robin multi-warp with MSHR extension), then
+with a G-MAP proxy — and then ask all three an L2 question, which only the
+proxy can answer ("their scope is limited to L1 cache performance
+modeling... In contrast, G-MAP's performance cloning framework can allow
+extensive exploration of different levels of the GPU memory hierarchy").
+
+Run:  python examples/analytical_comparison.py
+"""
+
+from repro import PAPER_BASELINE, CacheConfig, simulate
+from repro.analytical import NugterenL1Model, TangL1Model
+from repro.validation.harness import build_pipeline
+from repro.workloads import suite
+
+APPS = ("kmeans", "nw", "lib", "srad")
+L1_POINTS = (
+    CacheConfig(size=8 * 1024, assoc=4, line_size=128),
+    CacheConfig(size=16 * 1024, assoc=4, line_size=128),
+    CacheConfig(size=64 * 1024, assoc=8, line_size=128),
+)
+
+
+def main() -> None:
+    print(f"{'app':<10} {'L1 config':<14} {'truth':>7} {'proxy':>7} "
+          f"{'tang':>7} {'nugteren':>9}")
+    for app in APPS:
+        pipeline = build_pipeline(
+            suite.make(app, "small"), num_cores=PAPER_BASELINE.num_cores,
+            seed=13,
+        )
+        tang = TangL1Model(pipeline.kernel)
+        nugteren = NugterenL1Model(pipeline.kernel,
+                                   num_cores=PAPER_BASELINE.num_cores)
+        for l1 in L1_POINTS:
+            config = PAPER_BASELINE.with_(l1=l1)
+            truth = simulate(pipeline.original_assignments, config).l1_miss_rate
+            proxy = simulate(pipeline.proxy_assignments, config).l1_miss_rate
+            print(f"{app:<10} {l1.describe():<14} {truth:>7.3f} {proxy:>7.3f} "
+                  f"{tang.predict_l1_miss_rate(l1):>7.3f} "
+                  f"{nugteren.predict_l1_miss_rate(l1):>9.3f}")
+
+    # The scope wall.
+    pipeline = build_pipeline(suite.make("kmeans", "small"),
+                              num_cores=PAPER_BASELINE.num_cores, seed=13)
+    tang = TangL1Model(pipeline.kernel)
+    print("\nasking everyone about the L2...")
+    l2_answer = simulate(pipeline.proxy_assignments, PAPER_BASELINE).l2_miss_rate
+    print(f"  proxy: kmeans L2 miss rate = {l2_answer:.3f}")
+    try:
+        tang.predict_l2_miss_rate(PAPER_BASELINE.l2)
+    except NotImplementedError as exc:
+        print(f"  tang : {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Writing your own workload with the CUDA-like kernel DSL.
+
+The paper's use case starts with an end user whose application cannot be
+shared.  This example plays that user: a proprietary "risk simulation"
+kernel is written in the DSL (CUDA-style indices, device arrays,
+__syncthreads), profiled, obfuscated, and handed to the "vendor" side,
+which clones it and explores two cache designs.
+
+Run:  python examples/custom_kernel_dsl.py
+"""
+
+from repro import (
+    PAPER_BASELINE,
+    CacheConfig,
+    GmapProfiler,
+    ProxyGenerator,
+    execute_kernel,
+    simulate,
+)
+from repro.gpu.dsl import KernelBuilder
+
+
+def build_proprietary_kernel():
+    """A two-phase kernel: streaming market data + a hot shared-memory
+    scratchpad, with a barrier between phases each step."""
+    k = KernelBuilder("risk_sim", grid=4, block=256)
+    total = 4 * 256
+    steps = 24
+    market = k.array("market", elems=total * (steps + 1))
+    factors = k.array("factors", elems=512, space="constant")
+    scratch = k.array("scratch", elems=256, space="shared")
+    # Each thread re-reads a private 24-element position row every step:
+    # ~24KB of hot data per SM — thrashes a 16KB L1, fits in a 64KB one.
+    portfolio = k.array("portfolio", elems=total * 24)
+    out = k.array("out", elems=total)
+
+    @k.program
+    def risk_sim(ctx):
+        for step in range(ctx.params["steps"]):
+            # Phase 1: stream this step's market slice (coalesced loads).
+            ctx.load(market[ctx.global_tid + step * ctx.total_threads])
+            ctx.load(factors[(ctx.global_tid + step) % 512])
+            ctx.load(portfolio[ctx.global_tid * 24 + step % 24])
+            ctx.store(scratch[ctx.thread_idx])
+            ctx.syncthreads()
+            # Phase 2: neighbourhood reduction over the shared scratchpad.
+            ctx.load(scratch[ctx.thread_idx])
+            ctx.load(scratch[(ctx.thread_idx + step + 1) % ctx.block_dim])
+            ctx.syncthreads()
+        ctx.store(out[ctx.global_tid])
+
+    return k.build(steps=steps)
+
+
+def main() -> None:
+    kernel = build_proprietary_kernel()
+    print(f"kernel: {kernel!r}")
+    print(f"call sites -> synthetic PCs: "
+          f"{ {s.split('/')[-1]: hex(pc) for s, pc in kernel.site_table().items()} }")
+
+    profile = GmapProfiler().profile(kernel).obfuscated()
+    proxy = ProxyGenerator(profile, seed=77)
+
+    designs = {
+        "16KB 4-way L1": PAPER_BASELINE,
+        "64KB 8-way L1": PAPER_BASELINE.with_(
+            l1=CacheConfig(size=64 * 1024, assoc=8, line_size=128)
+        ),
+    }
+    print(f"\n{'design':<16} {'orig L1 miss':>13} {'clone L1 miss':>14} "
+          f"{'orig shm':>9} {'clone shm':>10} {'barriers':>9}")
+    for label, config in designs.items():
+        original = simulate(execute_kernel(kernel, config.num_cores), config)
+        clone = simulate(proxy.generate(config.num_cores), config)
+        print(f"{label:<16} {original.l1.miss_rate:>13.4f} "
+              f"{clone.l1.miss_rate:>14.4f} {original.shared_accesses:>9} "
+              f"{clone.shared_accesses:>10} "
+              f"{original.barriers_crossed:>4}/{clone.barriers_crossed}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Early design-space exploration with proxies instead of applications.
+
+The architect's workflow the paper targets: sweep L1 cache designs using
+only the (miniaturized) proxies, rank the candidates, then confirm that the
+proxy-chosen design matches what a sweep over the original applications
+would have picked — at a fraction of the simulation cost.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+
+from repro import PAPER_BASELINE, CacheConfig, simulate
+from repro.validation.harness import build_pipeline
+from repro.validation.metrics import pearson_correlation
+from repro.workloads import suite
+
+KB = 1024
+
+# Candidate L1 designs: same 64KB budget spent differently, plus smaller
+# and larger options — the kind of trade-off Figure 6a's sweep informs.
+CANDIDATES = [
+    ("16KB 4-way", CacheConfig(size=16 * KB, assoc=4, line_size=128)),
+    ("32KB 2-way", CacheConfig(size=32 * KB, assoc=2, line_size=128)),
+    ("32KB 8-way", CacheConfig(size=32 * KB, assoc=8, line_size=128)),
+    ("64KB 4-way", CacheConfig(size=64 * KB, assoc=4, line_size=128)),
+    ("64KB 8-way 64B", CacheConfig(size=64 * KB, assoc=8, line_size=64)),
+]
+
+APPS = ("kmeans", "lib", "streamcluster", "nw")
+
+
+def main() -> None:
+    pipelines = {
+        app: build_pipeline(
+            suite.make(app, "small"), num_cores=PAPER_BASELINE.num_cores,
+            seed=11, scale_factor=4.0,  # 4x miniaturized proxies
+        )
+        for app in APPS
+    }
+
+    print(f"{'design':<16}" + "".join(f"{app:>15}" for app in APPS)
+          + f"{'avg(proxy)':>12} {'avg(orig)':>12}")
+    proxy_avgs, orig_avgs = [], []
+    proxy_time = orig_time = 0.0
+    for label, l1 in CANDIDATES:
+        config = PAPER_BASELINE.with_(l1=l1)
+        proxy_rates, orig_rates = [], []
+        for app in APPS:
+            t0 = time.perf_counter()
+            proxy_rates.append(
+                simulate(pipelines[app].proxy_assignments, config).l1_miss_rate
+            )
+            proxy_time += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            orig_rates.append(
+                simulate(pipelines[app].original_assignments, config).l1_miss_rate
+            )
+            orig_time += time.perf_counter() - t0
+        proxy_avg = sum(proxy_rates) / len(proxy_rates)
+        orig_avg = sum(orig_rates) / len(orig_rates)
+        proxy_avgs.append(proxy_avg)
+        orig_avgs.append(orig_avg)
+        print(f"{label:<16}"
+              + "".join(f"{rate:>15.4f}" for rate in proxy_rates)
+              + f"{proxy_avg:>12.4f} {orig_avg:>12.4f}")
+
+    best_proxy = min(range(len(CANDIDATES)), key=lambda i: proxy_avgs[i])
+    best_orig = min(range(len(CANDIDATES)), key=lambda i: orig_avgs[i])
+    corr = pearson_correlation(proxy_avgs, orig_avgs)
+    print(f"\nproxy picks : {CANDIDATES[best_proxy][0]}")
+    print(f"original picks: {CANDIDATES[best_orig][0]}")
+    print(f"design-ranking correlation: {corr:.3f}")
+    print(f"simulation time: proxies {proxy_time:.1f}s vs originals "
+          f"{orig_time:.1f}s ({orig_time / max(proxy_time, 1e-9):.1f}x saved)")
+
+
+if __name__ == "__main__":
+    main()

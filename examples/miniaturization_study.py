@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Miniaturization and scale-up study (the paper's Figure 8, plus scale-up).
+
+Shows both directions of G-MAP's size dial:
+
+* scaling *down* (2x-16x): simulation speeds up nearly linearly while
+  cloning accuracy degrades gracefully until statistics run dry;
+* scaling *up*: modelling a futuristic workload with 4x the threadblocks
+  from the same statistical profile (section 1: "G-MAP may also scale up
+  the original benchmarks").
+
+Run:  python examples/miniaturization_study.py
+"""
+
+import time
+
+from repro import (
+    PAPER_BASELINE,
+    GmapProfiler,
+    ProxyGenerator,
+    execute_kernel,
+    miniaturize_profile,
+    scale_up_threads,
+    simulate,
+)
+from repro.workloads import suite
+
+
+def main() -> None:
+    kernel = suite.make("kmeans", scale="small")
+    profile = GmapProfiler().profile(kernel)
+
+    t0 = time.perf_counter()
+    original = simulate(
+        execute_kernel(kernel, PAPER_BASELINE.num_cores), PAPER_BASELINE
+    )
+    base_time = time.perf_counter() - t0
+    print(f"original: l1 miss {original.l1.miss_rate:.4f}, "
+          f"{original.requests_issued} requests, {base_time:.2f}s\n")
+
+    print(f"{'factor':>7} {'requests':>9} {'l1 miss':>8} {'accuracy':>9} "
+          f"{'speedup':>8}")
+    for factor in (1, 2, 4, 8, 16):
+        scaled = miniaturize_profile(profile, factor)
+        proxy = ProxyGenerator(scaled, seed=3).generate(PAPER_BASELINE.num_cores)
+        t0 = time.perf_counter()
+        clone = simulate(proxy, PAPER_BASELINE)
+        elapsed = max(time.perf_counter() - t0, 1e-9)
+        accuracy = 1 - abs(original.l1.miss_rate - clone.l1.miss_rate)
+        print(f"{factor:>6}x {clone.requests_issued:>9} "
+              f"{clone.l1.miss_rate:>8.4f} {accuracy:>8.1%} "
+              f"{base_time / elapsed:>7.2f}x")
+
+    # Scale *up*: 4x the threadblocks from the same profile.
+    big = scale_up_threads(profile, block_multiplier=4)
+    proxy = ProxyGenerator(big, seed=3).generate(PAPER_BASELINE.num_cores)
+    clone = simulate(proxy, PAPER_BASELINE)
+    print(f"\nscale-up 4x blocks: grid {profile.grid_dim} -> {big.grid_dim}, "
+          f"{clone.requests_issued} requests "
+          f"(original had {original.requests_issued}), "
+          f"l1 miss {clone.l1.miss_rate:.4f}")
+
+
+if __name__ == "__main__":
+    main()

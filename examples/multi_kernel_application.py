@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Cloning a multi-kernel application with inter-kernel data reuse.
+
+Real GPGPU applications launch kernel sequences over shared device arrays
+(paper section 2.2).  srad's real structure is a two-kernel loop: kernel 1
+computes diffusion coefficients from the image, kernel 2 reads them back
+and updates the image.  Because both touch the same arrays, the consumer
+kernel hits in the shared L2 on the producer's output — behaviour a
+per-kernel clone replayed on a cold cache would miss entirely.
+
+This example profiles the application per kernel, clones it (including an
+obfuscated variant whose shared arrays are *consistently* remapped), and
+shows the per-kernel L2 miss rates surviving the round trip.
+
+Run:  python examples/multi_kernel_application.py
+"""
+
+from repro.core.app_pipeline import (
+    execute_application,
+    generate_application_proxy,
+    profile_application,
+    simulate_application,
+)
+from repro.memsim.config import PAPER_BASELINE
+from repro.workloads.applications import make_srad_application
+
+
+def show(tag, result, kernels):
+    parts = []
+    for name, kernel_result in zip(kernels, result.per_kernel):
+        parts.append(f"{name}: L2 miss {kernel_result.l2.miss_rate:.3f}")
+    print(f"{tag:<22} " + " | ".join(parts)
+          + f" | combined L1 {result.combined.l1.miss_rate:.3f}")
+
+
+def main() -> None:
+    app = make_srad_application("small")
+    kernels = [k.name for k in app]
+    print(f"application: {app!r}\n")
+
+    profile = profile_application(app)
+    original = simulate_application(
+        execute_application(app, PAPER_BASELINE.num_cores), PAPER_BASELINE
+    )
+    clone = simulate_application(
+        generate_application_proxy(profile, PAPER_BASELINE.num_cores, seed=42),
+        PAPER_BASELINE,
+    )
+    hidden = profile.obfuscated()
+    hidden_clone = simulate_application(
+        generate_application_proxy(hidden, PAPER_BASELINE.num_cores, seed=42),
+        PAPER_BASELINE,
+    )
+
+    show("original", original, kernels)
+    show("clone", clone, kernels)
+    show("obfuscated clone", hidden_clone, kernels)
+
+    k1, k2 = original.per_kernel
+    print(f"\ninter-kernel reuse: {kernels[1]} misses the L2 "
+          f"{k1.l2.miss_rate / max(k2.l2.miss_rate, 1e-9):.0f}x less than "
+          f"{kernels[0]} because it reads what {kernels[0]} just wrote —")
+    print("and both clones preserve that relationship.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``python setup.py develop`` works on environments whose setuptools
+predates PEP 660 editable-install support (e.g. offline boxes without the
+``wheel`` package).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,85 @@
+"""G-MAP: Statistical Pattern Based Modeling of GPU Memory Access Streams.
+
+A full reproduction of Panda et al., DAC 2017.  The package provides:
+
+* :mod:`repro.core` — the G-MAP contribution: statistical profiling of GPU
+  memory access streams (π profiles, inter/intra-thread stride and reuse
+  histograms) and proxy generation (Algorithms 1 and 2), with
+  miniaturization;
+* :mod:`repro.gpu` — the Fermi execution-model substrate (thread hierarchy,
+  coalescing front end, warp scheduling);
+* :mod:`repro.memsim` — a SIMT-aware multi-core multi-level cache,
+  prefetcher and GDDR DRAM simulator;
+* :mod:`repro.workloads` — 18 synthetic GPGPU benchmark models standing in
+  for the paper's Rodinia / CUDA SDK / ISPASS-2009 suite;
+* :mod:`repro.validation` — the original-vs-proxy comparison harness and
+  the configuration sweeps of Figures 6-8.
+
+Quickstart::
+
+    from repro import GmapProfiler, ProxyGenerator, simulate, execute_kernel
+    from repro.workloads import suite
+    from repro.memsim.config import PAPER_BASELINE
+
+    kernel = suite.make("kmeans", scale="small")
+    profile = GmapProfiler().profile(kernel)           # shareable artifact
+    proxy = ProxyGenerator(profile, seed=42)
+
+    original = simulate(execute_kernel(kernel, PAPER_BASELINE.num_cores),
+                        PAPER_BASELINE)
+    clone = simulate(proxy.generate(PAPER_BASELINE.num_cores), PAPER_BASELINE)
+    print(original.l1_miss_rate, clone.l1_miss_rate)
+"""
+
+from repro.core.app_pipeline import (
+    ApplicationProfile,
+    execute_application,
+    generate_application_proxy,
+    profile_application,
+    simulate_application,
+)
+from repro.core.generator import ProxyGenerator
+from repro.core.miniaturize import miniaturize_profile, scale_up_threads
+from repro.core.profile import GmapProfile, obfuscate_profiles
+from repro.core.profiler import GmapProfiler
+from repro.gpu.application import Application
+from repro.gpu.executor import execute_kernel
+from repro.memsim.config import (
+    PAPER_BASELINE,
+    CacheConfig,
+    DramConfig,
+    DramTimings,
+    PrefetcherConfig,
+    SimConfig,
+)
+from repro.memsim.simulator import SimtSimulator, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # Single-kernel pipeline
+    "GmapProfile",
+    "GmapProfiler",
+    "ProxyGenerator",
+    "miniaturize_profile",
+    "scale_up_threads",
+    "obfuscate_profiles",
+    "execute_kernel",
+    "simulate",
+    "SimtSimulator",
+    # Multi-kernel applications
+    "Application",
+    "ApplicationProfile",
+    "profile_application",
+    "generate_application_proxy",
+    "execute_application",
+    "simulate_application",
+    # Configuration
+    "SimConfig",
+    "CacheConfig",
+    "DramConfig",
+    "DramTimings",
+    "PrefetcherConfig",
+    "PAPER_BASELINE",
+    "__version__",
+]

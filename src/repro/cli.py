@@ -1,0 +1,355 @@
+"""Command-line interface: ``gmap <command>``.
+
+Commands mirror the G-MAP workflow:
+
+* ``gmap list`` — available benchmark models;
+* ``gmap profile`` — profile a benchmark (or external trace file) into a
+  shareable JSON profile;
+* ``gmap generate`` — synthesise a proxy trace file from a profile;
+* ``gmap simulate`` — run a benchmark or trace through the memory simulator;
+* ``gmap validate`` — original-vs-proxy sweep for one experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.generator import ProxyGenerator
+from repro.core.miniaturize import miniaturize_profile
+from repro.core.profiler import GmapProfiler, unit_streams_from_warp_traces
+from repro.gpu.executor import execute_kernel
+from repro.io.profile_io import load_profile, save_profile
+from repro.io.trace_io import load_warp_traces, save_warp_traces
+from repro.memsim.config import PAPER_BASELINE
+from repro.memsim.simulator import SimtSimulator
+from repro.validation.experiments import EXPERIMENTS
+from repro.validation.harness import run_experiment
+from repro.workloads import suite
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", default="small",
+                        help="workload scale preset (tiny/small/default/large)")
+    parser.add_argument("--cores", type=int, default=PAPER_BASELINE.num_cores,
+                        help="number of SMs to simulate")
+    parser.add_argument("--seed", type=int, default=1234,
+                        help="proxy generation seed")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gmap",
+        description="G-MAP: statistical GPU memory access proxies (DAC 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available benchmark models")
+
+    p = sub.add_parser("inspect", help="summarise a profile file (Table-1 style)")
+    p.add_argument("profile", help="profile JSON path")
+    p.add_argument("--top", type=int, default=3,
+                   help="dominant instructions to show per profile")
+
+    p = sub.add_parser("diff", help="statistical distance between two profiles")
+    p.add_argument("profile_a", help="first profile JSON path")
+    p.add_argument("profile_b", help="second profile JSON path")
+
+    p = sub.add_parser("profile", help="profile a benchmark into a JSON profile")
+    p.add_argument("benchmark", help="benchmark name, or a .trace file path")
+    p.add_argument("-o", "--output", required=True, help="profile output path")
+    p.add_argument("--no-coalescing", action="store_true",
+                   help="profile at scalar-thread granularity")
+    p.add_argument("--obfuscate", action="store_true",
+                   help="replace base addresses with synthetic ones")
+    _add_common(p)
+
+    p = sub.add_parser("generate", help="generate a proxy trace from a profile")
+    p.add_argument("profile", help="profile JSON path")
+    p.add_argument("-o", "--output", required=True, help="trace output path")
+    p.add_argument("--factor", type=float, default=1.0,
+                   help="miniaturization factor (e.g. 8 for an 8x smaller clone)")
+    p.add_argument("--stride-model", choices=("iid", "markov"), default="iid",
+                   help="stride sampling: iid (paper) or first-order markov")
+    _add_common(p)
+
+    p = sub.add_parser("simulate", help="simulate a benchmark or trace file")
+    p.add_argument("target", help="benchmark name or .trace file path")
+    p.add_argument("--l1", default=None, metavar="SIZE,ASSOC,LINE",
+                   help="L1 geometry, e.g. 32768,8,128")
+    p.add_argument("--l2", default=None, metavar="SIZE,ASSOC,LINE",
+                   help="L2 geometry, e.g. 2097152,16,128")
+    p.add_argument("--scheduler", default=None,
+                   choices=("lrr", "gto", "schedpself", "twolevel"),
+                   help="warp scheduling policy (default: lrr)")
+    p.add_argument("--dram-preset", default=None,
+                   help="memory preset: gddr3-paper, gddr5, hbm2-like")
+    _add_common(p)
+
+    p = sub.add_parser("validate", help="original-vs-proxy accuracy for one figure")
+    p.add_argument("experiment", choices=sorted(EXPERIMENTS),
+                   help="which paper experiment's sweep to run")
+    p.add_argument("--benchmarks", nargs="*", default=None,
+                   help="benchmark subset (default: full 18-app suite)")
+    p.add_argument("--full", action="store_true",
+                   help="run the full paper-sized sweep instead of the reduced one")
+    p.add_argument("--csv", default=None,
+                   help="also write per-configuration results to this CSV file")
+    p.add_argument("--chart", action="store_true",
+                   help="render an ASCII error chart of the results")
+    p.add_argument("--html", default=None,
+                   help="write a self-contained HTML report to this path")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel worker processes (1 = serial)")
+    _add_common(p)
+
+    return parser
+
+
+def _print_result(label: str, result) -> None:
+    print(f"== {label}")
+    print(f"  requests      : {result.requests_issued}")
+    print(f"  cycles        : {result.cycles:.0f}")
+    print(f"  L1 miss rate  : {result.l1.miss_rate:.4f} "
+          f"({result.l1.misses}/{result.l1.accesses})")
+    print(f"  L2 miss rate  : {result.l2.miss_rate:.4f} "
+          f"({result.l2.misses}/{result.l2.accesses})")
+    d = result.dram
+    print(f"  DRAM          : RBL={d.row_buffer_locality:.3f} "
+          f"queue={d.avg_queue_length:.2f} rdlat={d.avg_read_latency:.1f} "
+          f"wrlat={d.avg_write_latency:.1f}")
+
+
+def _cmd_list(_args) -> int:
+    for name in suite.available():
+        kernel = suite.make(name, scale="tiny")
+        marker = "*" if name in suite.PAPER_SUITE else " "
+        print(f"{marker} {name:<18} [{kernel.suite}] grid={kernel.launch.grid_dim} "
+              f"block={kernel.launch.block_dim}")
+    print("(* = member of the paper's 18-benchmark evaluation suite)")
+    from repro.workloads.applications import available_applications, make_application
+    for name in available_applications():
+        app = make_application(name, "tiny")
+        kernels = ", ".join(k.name for k in app)
+        print(f"A {name:<18} [application] kernels: {kernels}")
+    print("(A = multi-kernel application; profile with "
+          "'gmap profile <name> ...')")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.core.distributions import reuse_class
+    from repro.gpu.memspace import space_of
+
+    profile = load_profile(args.profile)
+    print(f"profile {profile.name!r}: unit={profile.unit}, "
+          f"grid={profile.grid_dim}, block={profile.block_dim}, "
+          f"{profile.total_transactions} transactions, "
+          f"scale_factor={profile.scale_factor}, "
+          f"warp occupancy={profile.avg_warp_occupancy:.2f}")
+    print(f"pi profiles: {profile.num_profiles}")
+    for i, pi in enumerate(profile.pi_profiles):
+        cls = reuse_class(pi.reuse_fraction)
+        print(f"  pi[{i}]: p={pi.probability:.3f}, len={len(pi.sequence)}, "
+              f"reuse={pi.reuse_fraction:.2f} ({cls})")
+    total = sum(s.dynamic_count for s in profile.instructions.values()) or 1
+    print(f"{'PC':>10} {'space':>9} {'%freq':>7} {'inter':>10} {'%':>6} "
+          f"{'intra':>10} {'txns':>5} {'st':>3}")
+    top = sorted(profile.instructions.values(),
+                 key=lambda s: -s.dynamic_count)[: args.top]
+    for stats in top:
+        inter, inter_freq = stats.inter_stride.dominant()
+        intra, _ = stats.intra_stride.dominant()
+        txns = stats.txns_per_access.mode() or 1
+        print(f"{stats.pc:>#10x} {space_of(stats.base_address).value:>9} "
+              f"{stats.dynamic_count / total:>6.1%} "
+              f"{inter if inter is not None else '-':>10} "
+              f"{inter_freq:>5.0%} "
+              f"{intra if intra is not None else '-':>10} {txns:>5} "
+              f"{'W' if stats.is_store else 'R':>3}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from repro.core.profile import profile_distance
+
+    a = load_profile(args.profile_a)
+    b = load_profile(args.profile_b)
+    distances = profile_distance(a, b)
+    print(f"diff {a.name!r} vs {b.name!r} "
+          f"(Hellinger distances, 0 = identical shape):")
+    for key in ("inter_stride", "intra_stride", "txns_per_access", "reuse"):
+        print(f"  {key:<16} {distances[key]:.4f}")
+    print(f"  shared PCs: {int(distances['shared_pcs'])}, "
+          f"only in A: {int(distances['only_in_a'])}, "
+          f"only in B: {int(distances['only_in_b'])}, "
+          f"pi-count delta: {int(distances['pi_count_delta'])}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.workloads.applications import APPLICATIONS, make_application
+
+    profiler = GmapProfiler(coalescing=not args.no_coalescing)
+    if args.benchmark in APPLICATIONS:
+        from repro.core.app_pipeline import profile_application
+        from repro.io.profile_io import save_application_profile
+
+        app = make_application(args.benchmark, args.scale)
+        app_profile = profile_application(app, profiler)
+        if args.obfuscate:
+            app_profile = app_profile.obfuscated()
+        save_application_profile(app_profile, args.output)
+        print(f"profiled application {app_profile.name}: "
+              f"{len(app_profile)} kernels, "
+              f"{app_profile.total_transactions} transactions -> {args.output}")
+        return 0
+    if args.benchmark.endswith((".ttrace", ".ttrace.gz")):
+        from repro.io.thread_trace_io import warp_traces_from_thread_file
+
+        traces, launch = warp_traces_from_thread_file(args.benchmark)
+        units = unit_streams_from_warp_traces(traces)
+        profile = profiler.profile_unit_streams(
+            units, "warp", name=args.benchmark,
+            grid_dim=(launch.grid_dim.x, launch.grid_dim.y, launch.grid_dim.z),
+            block_dim=(launch.block_dim.x, launch.block_dim.y,
+                       launch.block_dim.z),
+        )
+    elif args.benchmark.endswith(".trace"):
+        traces = load_warp_traces(args.benchmark)
+        units = unit_streams_from_warp_traces(traces)
+        profile = profiler.profile_unit_streams(units, "warp", name=args.benchmark)
+    else:
+        kernel = suite.make(args.benchmark, scale=args.scale)
+        profile = profiler.profile(kernel)
+    if args.obfuscate:
+        profile = profile.obfuscated()
+    save_profile(profile, args.output)
+    print(f"profiled {profile.name}: {profile.num_profiles} pi profiles, "
+          f"{profile.num_instructions} static instructions, "
+          f"{profile.total_transactions} transactions -> {args.output}")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    profile = load_profile(args.profile)
+    if args.factor != 1.0:
+        profile = miniaturize_profile(profile, args.factor)
+    generator = ProxyGenerator(profile, seed=args.seed,
+                               stride_model=args.stride_model)
+    traces = generator.generate_warp_traces()
+    save_warp_traces(traces, args.output)
+    total = sum(len(t.transactions) for t in traces)
+    print(f"generated {len(traces)} warps, {total} transactions -> {args.output}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    if args.target.endswith(".trace"):
+        traces = load_warp_traces(args.target)
+        from repro.gpu.executor import CoreAssignment
+        from repro.gpu.hierarchy import assign_blocks_to_cores, resident_waves
+        by_block: dict = {}
+        for t in traces:
+            by_block.setdefault(t.block, []).append(t)
+        assignments = []
+        placement = assign_blocks_to_cores(len(by_block), args.cores)
+        for core_id, blocks in enumerate(placement):
+            waves = [
+                [t for b in wave for t in by_block.get(b, [])]
+                for wave in resident_waves(blocks, 8)
+            ]
+            assignments.append(CoreAssignment(core_id=core_id, waves=waves))
+        label = args.target
+    else:
+        kernel = suite.make(args.target, scale=args.scale)
+        assignments = execute_kernel(kernel, args.cores)
+        label = args.target
+    config = PAPER_BASELINE.with_(num_cores=args.cores)
+    config = _apply_sim_overrides(config, args)
+    result = SimtSimulator(config).run(assignments)
+    _print_result(label, result)
+    return 0
+
+
+def _parse_cache_spec(spec: str, template):
+    from dataclasses import replace
+
+    try:
+        size, assoc, line = (int(part) for part in spec.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"bad cache spec {spec!r}: expected SIZE,ASSOC,LINE (bytes)"
+        )
+    return replace(template, size=size, assoc=assoc, line_size=line)
+
+
+def _apply_sim_overrides(config, args):
+    if getattr(args, "l1", None):
+        config = config.with_(l1=_parse_cache_spec(args.l1, config.l1))
+    if getattr(args, "l2", None):
+        config = config.with_(l2=_parse_cache_spec(args.l2, config.l2))
+    if getattr(args, "scheduler", None):
+        config = config.with_(scheduler=args.scheduler)
+    if getattr(args, "dram_preset", None):
+        from repro.memsim.presets import dram_preset
+
+        config = config.with_(dram=dram_preset(args.dram_preset))
+    return config
+
+
+def _cmd_validate(args) -> int:
+    spec = EXPERIMENTS[args.experiment]
+    configs = spec.configs(reduced=not args.full)
+    metric = spec.metric
+    names = args.benchmarks or list(suite.PAPER_SUITE)
+    kernels = [suite.make(name, scale=args.scale) for name in names]
+    report = run_experiment(
+        kernels, configs, metric, seed=args.seed, num_cores=args.cores,
+        workers=args.workers,
+    )
+    print(f"{spec.figure} ({spec.description}): metric={metric}, "
+          f"{len(configs)} configs x {len(kernels)} benchmarks")
+    print(f"paper reports: error {spec.paper_error}, "
+          f"correlation {spec.paper_correlation}")
+    print(report.format_table())
+    if args.csv:
+        from repro.validation.report import write_comparison_csv
+        write_comparison_csv(report.comparisons, args.csv)
+        print(f"wrote {args.csv}")
+    if args.chart:
+        from repro.validation.report import render_error_chart
+        print(render_error_chart(report.comparisons,
+                                 title=f"{args.experiment} {metric} error"))
+    if args.html:
+        from repro.validation.html_report import experiment_html_report
+        experiment_html_report(
+            f"{spec.figure}: {spec.description}",
+            report.comparisons,
+            paper_note=(f"The paper reports avg error {spec.paper_error} and "
+                        f"avg correlation {spec.paper_correlation} on this "
+                        f"experiment."),
+            path=args.html,
+        )
+        print(f"wrote {args.html}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "inspect": _cmd_inspect,
+        "diff": _cmd_diff,
+        "profile": _cmd_profile,
+        "generate": _cmd_generate,
+        "simulate": _cmd_simulate,
+        "validate": _cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+"""Discrete empirical distributions used throughout G-MAP.
+
+G-MAP's statistical profile is built from histograms: per-static-instruction
+inter-thread and intra-thread stride histograms (``P_E``, ``P_A`` — paper
+section 4.6) and per-π-profile reuse-distance histograms (``P_R``).  This
+module provides one shared, serialisable histogram type with deterministic
+sampling, plus helpers for the "dominant value" summaries reported in the
+paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+class Histogram:
+    """An empirical distribution over integer values.
+
+    Counts are accumulated with :meth:`add`; sampling uses the cumulative
+    distribution with binary search, driven by a caller-supplied
+    :class:`random.Random` for reproducibility.
+
+    The histogram is the unit of miniaturization in G-MAP: scaling a proxy
+    down divides stride magnitudes / trims counts (see
+    :mod:`repro.core.miniaturize`), so the type supports value-mapped and
+    count-scaled copies.
+    """
+
+    __slots__ = ("_counts", "_total", "_cdf_values", "_cdf_weights", "_dirty")
+
+    def __init__(self, counts: Optional[Mapping[int, int]] = None) -> None:
+        self._counts: Dict[int, int] = {}
+        self._total = 0
+        self._cdf_values: List[int] = []
+        self._cdf_weights: List[int] = []
+        self._dirty = True
+        if counts:
+            for value, count in counts.items():
+                self.add(int(value), int(count))
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, value: int, count: int = 1) -> None:
+        """Accumulate ``count`` observations of ``value``."""
+        if count < 0:
+            raise ValueError(f"negative count {count} for value {value}")
+        if count == 0:
+            return
+        self._counts[value] = self._counts.get(value, 0) + count
+        self._total += count
+        self._dirty = True
+
+    def update(self, values: Iterable[int]) -> None:
+        """Accumulate one observation per element of ``values``."""
+        for value in values:
+            self.add(value)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Total number of observations."""
+        return self._total
+
+    @property
+    def empty(self) -> bool:
+        return self._total == 0
+
+    def count(self, value: int) -> int:
+        return self._counts.get(value, 0)
+
+    def probability(self, value: int) -> float:
+        if self._total == 0:
+            return 0.0
+        return self._counts.get(value, 0) / self._total
+
+    def support(self) -> List[int]:
+        """Sorted list of values with non-zero probability."""
+        return sorted(self._counts)
+
+    def __contains__(self, value: int) -> bool:
+        return value in self._counts
+
+    def items(self) -> List[Tuple[int, int]]:
+        return sorted(self._counts.items())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:
+        head = ", ".join(f"{v}:{c}" for v, c in itertools.islice(self.items(), 6))
+        more = "..." if len(self._counts) > 6 else ""
+        return f"Histogram({{{head}{more}}}, total={self._total})"
+
+    def mode(self) -> Optional[int]:
+        """The most frequent value (ties broken toward the smaller value)."""
+        if not self._counts:
+            return None
+        return min(self._counts, key=lambda v: (-self._counts[v], v))
+
+    def dominant(self) -> Tuple[Optional[int], float]:
+        """``(mode, mode_frequency)`` — the Table 1 "dominant stride" summary."""
+        m = self.mode()
+        if m is None:
+            return None, 0.0
+        return m, self.probability(m)
+
+    def mean(self) -> float:
+        if self._total == 0:
+            return 0.0
+        return sum(v * c for v, c in self._counts.items()) / self._total
+
+    def entropy(self) -> float:
+        """Shannon entropy in bits; 0 for degenerate distributions."""
+        if self._total == 0:
+            return 0.0
+        total = self._total
+        return -sum(
+            (c / total) * math.log2(c / total) for c in self._counts.values()
+        )
+
+    def percentile(self, q: float) -> int:
+        """Smallest value v with CDF(v) >= q, for q in (0, 1]."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"percentile q must be in (0, 1], got {q}")
+        if self._total == 0:
+            raise ValueError("percentile of an empty histogram")
+        self._rebuild_cdf()
+        target = q * self._total
+        idx = bisect.bisect_left(self._cdf_weights, target)
+        idx = min(idx, len(self._cdf_values) - 1)
+        return self._cdf_values[idx]
+
+    # -- sampling ----------------------------------------------------------
+
+    def _rebuild_cdf(self) -> None:
+        if not self._dirty:
+            return
+        self._cdf_values = sorted(self._counts)
+        running = 0
+        weights = []
+        for value in self._cdf_values:
+            running += self._counts[value]
+            weights.append(running)
+        self._cdf_weights = weights
+        self._dirty = False
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one value with probability proportional to its count."""
+        if self._total == 0:
+            raise ValueError("cannot sample from an empty histogram")
+        self._rebuild_cdf()
+        pick = rng.random() * self._total
+        idx = bisect.bisect_right(self._cdf_weights, pick)
+        idx = min(idx, len(self._cdf_values) - 1)
+        return self._cdf_values[idx]
+
+    def sample_many(self, rng: random.Random, n: int) -> List[int]:
+        return [self.sample(rng) for _ in range(n)]
+
+    # -- transforms --------------------------------------------------------
+
+    def scaled_counts(self, factor: float, min_count: int = 1) -> "Histogram":
+        """Copy with every count multiplied by ``factor`` (floored).
+
+        Values whose scaled count falls below ``min_count`` are dropped unless
+        the result would be empty, in which case the mode is retained — a
+        degenerate-but-sampleable histogram beats an empty one during
+        miniaturization.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        scaled = Histogram()
+        for value, count in self._counts.items():
+            new_count = int(count * factor)
+            if new_count >= min_count:
+                scaled.add(value, new_count)
+        if scaled.empty and not self.empty:
+            scaled.add(self.mode(), 1)
+        return scaled
+
+    def mapped_values(self, fn) -> "Histogram":
+        """Copy with every value replaced by ``fn(value)`` (counts merged)."""
+        mapped = Histogram()
+        for value, count in self._counts.items():
+            mapped.add(int(fn(value)), count)
+        return mapped
+
+    def truncated(self, keep_top: int) -> "Histogram":
+        """Copy retaining only the ``keep_top`` most frequent values."""
+        if keep_top <= 0:
+            raise ValueError("keep_top must be positive")
+        top = sorted(self._counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return Histogram(dict(top[:keep_top]))
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-friendly ``{str(value): count}`` mapping."""
+        return {str(v): c for v, c in self.items()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, int]) -> "Histogram":
+        return cls({int(v): int(c) for v, c in data.items()})
+
+
+def chi2_distance(a: Histogram, b: Histogram) -> float:
+    """Symmetric chi-squared distance between two normalised histograms.
+
+    0 means identical shape; used in tests to assert that regenerated proxy
+    streams reproduce profiled stride distributions.
+    """
+    if a.empty or b.empty:
+        return 0.0 if a.empty and b.empty else 1.0
+    values = set(a.support()) | set(b.support())
+    total = 0.0
+    for v in values:
+        pa, pb = a.probability(v), b.probability(v)
+        if pa + pb > 0:
+            total += (pa - pb) ** 2 / (pa + pb)
+    return total / 2.0
+
+
+def hellinger_distance(a: Histogram, b: Histogram) -> float:
+    """Hellinger distance in [0, 1] between two normalised histograms."""
+    if a.empty or b.empty:
+        return 0.0 if a.empty and b.empty else 1.0
+    values = set(a.support()) | set(b.support())
+    acc = sum(
+        (math.sqrt(a.probability(v)) - math.sqrt(b.probability(v))) ** 2
+        for v in values
+    )
+    return math.sqrt(acc / 2.0)
+
+
+def reuse_class(reuse_fraction: float) -> str:
+    """Classify temporal reuse as the paper's Table 1 does.
+
+    ``reuse_fraction`` is the fraction of accesses that are reuses (non-cold).
+    low < 30%, medium 30-70%, high > 70%.
+    """
+    if not 0.0 <= reuse_fraction <= 1.0:
+        raise ValueError(f"reuse fraction must be in [0,1], got {reuse_fraction}")
+    if reuse_fraction < 0.30:
+        return "low"
+    if reuse_fraction <= 0.70:
+        return "med"
+    return "high"
+
+
+def strides_of(addresses: Sequence[int]) -> List[int]:
+    """Consecutive differences of an address sequence."""
+    return [b - a for a, b in zip(addresses, addresses[1:])]

@@ -1,0 +1,379 @@
+"""The G-MAP proxy generation phase — Algorithms 1 and 2 of the paper.
+
+Given a :class:`~repro.core.profile.GmapProfile`, the generator synthesises a
+memory-access clone of the original application:
+
+* **Algorithm 1** (:func:`generate_unit_trace`): per sequencing unit, walk
+  the unit's assigned π profile; the first dynamic execution of a static
+  instruction takes the previous unit's first touch plus a sampled
+  inter-unit stride (the global base-address table ``B`` advances with each
+  unit), later executions first try to satisfy a sampled reuse distance and
+  otherwise advance by a sampled intra-unit stride.
+* **Algorithm 2** (:class:`ProxyGenerator`): sample a π profile per unit
+  from Q, run Algorithm 1, group units into warps/threadblocks (the grid and
+  TB dimensions of the original are preserved), coalesce, and expose per-core
+  warp queues for the scheduling policy to interleave.
+
+When the profile was captured at warp granularity (the default — coalescing
+precedes the locality analysis), a unit *is* a warp and each synthesised
+instruction instance expands into a sampled number of consecutive-segment
+transactions, replaying the coalescing degree.  When captured at thread
+granularity, units are scalar threads and Algorithm 2's explicit
+grouping/coalescing pass (paper lines 8-10) is applied.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.coalescing import CoalescingModel
+from repro.core.profile import GmapProfile, InstructionStats, PiProfileStats
+from repro.gpu.executor import (
+    CoreAssignment,
+    WarpTrace,
+    assign_warps_to_cores,
+    lockstep_warp_trace,
+)
+from repro.gpu.hierarchy import LaunchConfig
+from repro.gpu.instructions import SYNC_PC, AccessTuple
+from repro.gpu.memspace import region_bounds, space_of
+
+
+@dataclass
+class GeneratedUnit:
+    """Output of Algorithm 1 for one sequencing unit."""
+
+    unit_id: int
+    pi_index: int
+    pcs: List[int]
+    addresses: List[int]
+    txns: List[int]
+    stores: List[int]
+
+
+def _sample_pi(profile: GmapProfile, rng: random.Random) -> int:
+    """Line 5 of Algorithm 2: draw a π profile index with respect to Q."""
+    pick = rng.random()
+    acc = 0.0
+    for idx, pi in enumerate(profile.pi_profiles):
+        acc += pi.probability
+        if pick < acc:
+            return idx
+    return len(profile.pi_profiles) - 1
+
+
+def generate_unit_trace(
+    unit_id: int,
+    pi_index: int,
+    pi: PiProfileStats,
+    instructions: Dict[int, InstructionStats],
+    global_base: Dict[int, int],
+    rng: random.Random,
+    max_len: Optional[int] = None,
+    stride_model: str = "iid",
+) -> GeneratedUnit:
+    """Algorithm 1: synthesise one unit's ordered access sequence.
+
+    ``global_base`` is the mutable ``B`` table shared across units — each
+    unit's first touch of instruction ``k`` advances ``B[k]`` by a sampled
+    inter-unit stride, reproducing the inter-thread locality random walk.
+    ``max_len`` truncates the π sequence (miniaturization of J).
+
+    ``stride_model`` selects how the stride path samples: ``"iid"`` draws
+    each stride independently from :math:`P_A^{(k)}` (the paper's model);
+    ``"markov"`` conditions on the previous stride of the same instruction,
+    preserving run-length structure such as ``+s,+s,+s,wrap`` cycles.
+    """
+    if stride_model not in ("iid", "markov"):
+        raise ValueError(f"stride_model must be iid|markov, got {stride_model!r}")
+    use_markov = stride_model == "markov"
+    # Each instruction's sampled-stride walk is confined to its memory
+    # space: a rare large stride drawn at the wrong moment must not carry a
+    # shared/texture/constant instruction out of its window (which would
+    # silently reroute it to the global path).
+    bounds = {
+        pc: region_bounds(space_of(stats.base_address))
+        for pc, stats in instructions.items()
+    }
+    sequence = pi.sequence if max_len is None else pi.sequence[:max_len]
+    unit = GeneratedUnit(unit_id, pi_index, [], [], [], [])
+    addresses = unit.addresses
+    generated_pcs = unit.pcs
+    local_base: Dict[int, int] = {}  # B' — per-unit running pointer
+    last_stride: Dict[int, int] = {}  # per-PC Markov state
+    reuse_hist = pi.reuse
+    has_reuse = not reuse_hist.empty
+    for pc in sequence:
+        if pc == SYNC_PC:
+            # Barrier marker: occupies an instance slot (keeping lookback
+            # indices aligned with profiling) and is replayed so TB-level
+            # synchronization shapes the proxy's scheduling too.
+            unit.pcs.append(SYNC_PC)
+            addresses.append(0)
+            unit.txns.append(1)
+            unit.stores.append(0)
+            continue
+        stats = instructions.get(pc)
+        if stats is None:
+            # π clustering can leave a representative containing a PC with no
+            # captured statistics only if the profile was hand-edited; skip.
+            continue
+        if pc not in local_base:
+            # First dynamic execution (Alg. 1 lines 6-9).  The very first
+            # unit to touch instruction k anchors at b(k) itself; each later
+            # unit advances by a sampled inter-unit stride.  (Offsetting the
+            # anchor too would shift every unit off the original alignment —
+            # harmless at warp granularity where strides are segment
+            # multiples, but it breaks lane alignment at thread granularity
+            # and doubles the coalesced transaction count.)
+            previous = global_base.get(pc)
+            if previous is None:
+                address = stats.base_address
+            else:
+                if stats.inter_stride.empty:
+                    offset = 0
+                else:
+                    offset = stats.inter_stride.sample(rng)
+                address = previous + offset
+            lo, hi = bounds[pc]
+            if not lo <= address < hi:
+                address = lo + (address - lo) % (hi - lo)
+            global_base[pc] = address
+            local_base[pc] = address
+        else:
+            # Later executions (Alg. 1 lines 10-18).  The candidate must be a
+            # plausible address *for instruction k*: the paper's
+            # supp(P_A^(k)) membership test.  Because P_A is PC-localized we
+            # measure the candidate's stride against *this* instruction's
+            # previous address b'(k) rather than the stream's last address —
+            # a cross-array diff would otherwise veto every legitimate
+            # cyclic reuse, while a zero-distance lookback onto another
+            # instruction's unit-shared address would always pass and
+            # collapse the walk.  Accepted reuses advance b'(k) so cyclic
+            # patterns (array wrap-around) continue from the reused point.
+            address = None
+            if has_reuse:
+                reuse = reuse_hist.sample(rng)
+                j = len(addresses)
+                lookback = j - 1 - reuse
+                if lookback >= 0:
+                    candidate = addresses[lookback]
+                    reuse_stride = candidate - local_base[pc]
+                    if reuse_stride in stats.intra_stride:
+                        address = candidate
+                        local_base[pc] = address
+                        last_stride[pc] = reuse_stride
+            if address is None:
+                if stats.intra_stride.empty:
+                    stride = 0
+                else:
+                    transitions = None
+                    if use_markov:
+                        prev = last_stride.get(pc)
+                        if prev is not None:
+                            transitions = stats.intra_markov.get(prev)
+                    if transitions is not None and not transitions.empty:
+                        stride = transitions.sample(rng)
+                    else:
+                        stride = stats.intra_stride.sample(rng)
+                address = local_base[pc] + stride
+                lo, hi = bounds[pc]
+                if not lo <= address < hi:
+                    address = lo + (address - lo) % (hi - lo)
+                local_base[pc] = address
+                last_stride[pc] = stride
+        if stats.txns_per_access.empty:
+            n_txns = 1
+        else:
+            n_txns = stats.txns_per_access.sample(rng)
+        unit.pcs.append(pc)
+        addresses.append(address)
+        unit.txns.append(n_txns)
+        unit.stores.append(1 if stats.is_store else 0)
+    return unit
+
+
+class ProxyGenerator:
+    """Algorithm 2: a complete, schedulable proxy from a statistical profile.
+
+    The generator is deterministic given ``seed``.  ``scale_factor``
+    miniaturizes the clone by truncating each unit's π sequence (scaling the
+    total number of proxy accesses J); values < 1 scale the clone *up*
+    (the π sequence is tiled), modelling futuristic larger workloads.
+    ``stride_model`` selects IID (paper) or first-order Markov stride
+    sampling — see :func:`generate_unit_trace`.
+    """
+
+    def __init__(
+        self, profile: GmapProfile, seed: int = 1234, stride_model: str = "iid"
+    ) -> None:
+        if not profile.pi_profiles:
+            raise ValueError("profile has no π profiles to generate from")
+        if stride_model not in ("iid", "markov"):
+            raise ValueError(
+                f"stride_model must be iid|markov, got {stride_model!r}"
+            )
+        self.profile = profile
+        self.seed = seed
+        self.stride_model = stride_model
+        # Dominant sibling-transaction spacing per PC (profiled lane spread).
+        self._txn_steps = {
+            pc: stats.txn_stride.mode()
+            for pc, stats in profile.instructions.items()
+            if not stats.txn_stride.empty
+        }
+
+    # -- unit-level synthesis ------------------------------------------------
+
+    def launch_config(self) -> LaunchConfig:
+        """The proxy keeps the original grid and TB dimensions (section 4)."""
+        return LaunchConfig(
+            grid_dim=self.profile.grid_dim, block_dim=self.profile.block_dim
+        )
+
+    def _unit_count(self, launch: LaunchConfig) -> int:
+        if self.profile.unit == "warp":
+            return launch.total_warps
+        return launch.total_threads
+
+    def _max_len(self, scale_factor: float) -> Optional[int]:
+        if scale_factor == 1.0:
+            return None
+        longest = max(len(p.sequence) for p in self.profile.pi_profiles)
+        return max(1, int(longest / scale_factor))
+
+    def generate_units(self, scale_factor: float = 1.0) -> List[GeneratedUnit]:
+        """Run Algorithm 1 for every sequencing unit (Alg. 2 lines 3-7)."""
+        if scale_factor <= 0:
+            raise ValueError(f"scale_factor must be positive, got {scale_factor}")
+        rng = random.Random(self.seed)
+        profile = self.profile
+        launch = self.launch_config()
+        max_len = self._max_len(scale_factor)
+        global_base: Dict[int, int] = {}  # filled by each PC's first toucher
+        units = []
+        for unit_id in range(self._unit_count(launch)):
+            pi_index = _sample_pi(profile, rng)
+            units.append(
+                generate_unit_trace(
+                    unit_id,
+                    pi_index,
+                    profile.pi_profiles[pi_index],
+                    profile.instructions,
+                    global_base,
+                    rng,
+                    max_len=max_len,
+                    stride_model=self.stride_model,
+                )
+            )
+        return units
+
+    # -- warp assembly (Alg. 2 lines 8-11) ------------------------------------
+
+    def generate_warp_traces(self, scale_factor: float = 1.0) -> List[WarpTrace]:
+        """Coalesced per-warp transaction streams of the proxy."""
+        units = self.generate_units(scale_factor)
+        if self.profile.unit == "warp":
+            return [self._warp_from_unit(u) for u in units]
+        return self._coalesce_thread_units(units)
+
+    def _warp_from_unit(self, unit: GeneratedUnit) -> WarpTrace:
+        """Expand a warp-granularity unit into its transaction stream.
+
+        Sibling transactions replay the profiled lane spread: dense
+        unit-stride windows expand into consecutive segments, scattered
+        lanes (e.g. a 1KB-per-thread layout) into correspondingly spaced
+        ones (the per-PC ``txn_stride`` statistic).
+        """
+        launch = self.launch_config()
+        segment = self.profile.segment_size
+        trace = WarpTrace(
+            warp_id=unit.unit_id, block=launch.block_of_warp(unit.unit_id)
+        )
+        transactions = trace.transactions
+        steps = self._txn_steps
+        for pc, address, n_txns, is_store in zip(
+            unit.pcs, unit.addresses, unit.txns, unit.stores
+        ):
+            if pc == SYNC_PC:
+                transactions.append((SYNC_PC, 0, 0, 0))
+                trace.instructions.append((SYNC_PC, 1))
+                continue
+            step = steps.get(pc, segment) if n_txns > 1 else segment
+            for k in range(n_txns):
+                transactions.append((pc, address + k * step, segment, is_store))
+            trace.instructions.append((pc, n_txns))
+        return trace
+
+    def _coalesce_thread_units(self, units: List[GeneratedUnit]) -> List[WarpTrace]:
+        """Alg. 2 lines 8-10: group threads into warps and coalesce."""
+        launch = self.launch_config()
+        coalescer = CoalescingModel(self.profile.segment_size)
+        size = 4  # per-lane access width before coalescing
+        streams: List[List[AccessTuple]] = [
+            [
+                (pc, address, size, store)
+                for pc, address, store in zip(u.pcs, u.addresses, u.stores)
+            ]
+            for u in units
+        ]
+        warp_traces = []
+        for warp in launch.iter_warps():
+            lanes = [streams[tid] for tid in launch.threads_in_warp(warp)]
+            warp_traces.append(
+                lockstep_warp_trace(
+                    lanes, coalescer, warp_id=warp, block=launch.block_of_warp(warp)
+                )
+            )
+        return warp_traces
+
+    # -- core assembly (Alg. 2 lines 11-17) ------------------------------------
+
+    def generate(
+        self,
+        num_cores: int,
+        scale_factor: float = 1.0,
+        max_blocks_per_core: int = 8,
+    ) -> List[CoreAssignment]:
+        """Full Algorithm 2: per-core warp queues ready for scheduling."""
+        warp_traces = self.generate_warp_traces(scale_factor)
+        return assign_warps_to_cores(
+            self.launch_config(), warp_traces, num_cores, max_blocks_per_core
+        )
+
+    def interleave_round_robin(
+        self, num_cores: int, scale_factor: float = 1.0, limit: Optional[int] = None
+    ) -> List[List[AccessTuple]]:
+        """Alg. 2 lines 12-17 with unit-latency LRR: plain per-core traces.
+
+        This is the paper's simplest warp-queue drain (one request per warp
+        per round-robin turn); the latency-aware interleaving lives in
+        :class:`repro.memsim.simulator.SimtSimulator`.  ``limit`` caps the
+        total number of emitted requests — the ``J`` bound of Algorithm 2.
+        """
+        assignments = self.generate(num_cores, scale_factor)
+        per_core: List[List[AccessTuple]] = [[] for _ in range(num_cores)]
+        emitted = 0
+        budget = limit if limit is not None else float("inf")
+        for assignment in assignments:
+            core_trace = per_core[assignment.core_id]
+            for wave in assignment.waves:
+                cursors = [0] * len(wave)
+                remaining = sum(len(w.transactions) for w in wave)
+                while remaining and emitted < budget:
+                    for idx, warp in enumerate(wave):
+                        cursor = cursors[idx]
+                        if cursor < len(warp.transactions):
+                            core_trace.append(warp.transactions[cursor])
+                            cursors[idx] = cursor + 1
+                            remaining -= 1
+                            emitted += 1
+                            if emitted >= budget:
+                                break
+                if emitted >= budget:
+                    break
+            if emitted >= budget:
+                break
+        return per_core

@@ -1,0 +1,86 @@
+"""Proxy miniaturization and scale-up (paper sections 1, 4.6 and Figure 8).
+
+G-MAP clones can be *smaller* than the original — fewer proxy accesses means
+proportionally faster memory simulation, at some accuracy cost once the
+statistics run out of samples (the Figure 8 trade-off, with a knee around
+8x) — or *larger*, modelling futuristic workloads with bigger footprints or
+more threads.
+
+Miniaturization scales, in order (section 4.6): the number of proxy accesses
+``J`` (each π sequence is truncated), then the intra-thread statistics, then
+the inter-thread statistics (histogram mass is thinned, dropping rare
+strides first — the statistical-convergence loss Figure 8 measures).
+"""
+
+from __future__ import annotations
+
+from repro.core.profile import GmapProfile, PiProfileStats
+
+
+def miniaturize_profile(
+    profile: GmapProfile,
+    factor: float,
+    thin_statistics: bool = True,
+) -> GmapProfile:
+    """Return a profile whose proxies are ``factor``x smaller.
+
+    ``factor`` > 1 shrinks (Figure 8's 2x..16x reduction points); values in
+    (0, 1) tile the π sequences to scale the clone *up*.  With
+    ``thin_statistics`` the stride/reuse histograms also lose mass in
+    proportion, modelling the reduced sample count a smaller profiling run
+    would have produced.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    scaled = profile.copy()
+    scaled.scale_factor = profile.scale_factor * factor
+
+    new_profiles = []
+    for pi in scaled.pi_profiles:
+        length = len(pi.sequence)
+        new_length = max(1, int(length / factor))
+        if factor >= 1.0:
+            sequence = pi.sequence[:new_length]
+        else:
+            repeats = -(-new_length // max(1, length))
+            sequence = (pi.sequence * repeats)[:new_length]
+        reuse = pi.reuse
+        if thin_statistics and factor > 1.0 and not reuse.empty:
+            reuse = reuse.scaled_counts(1.0 / factor)
+            # Lookbacks beyond the truncated sequence can never be satisfied.
+            reuse = reuse.mapped_values(lambda d: min(d, max(0, new_length - 1)))
+        new_profiles.append(
+            PiProfileStats(
+                sequence=sequence,
+                probability=pi.probability,
+                reuse=reuse,
+                reuse_fraction=pi.reuse_fraction,
+            )
+        )
+    scaled.pi_profiles = new_profiles
+
+    if thin_statistics and factor > 1.0:
+        for stats in scaled.instructions.values():
+            if not stats.intra_stride.empty:
+                stats.intra_stride = stats.intra_stride.scaled_counts(1.0 / factor)
+            if not stats.inter_stride.empty:
+                stats.inter_stride = stats.inter_stride.scaled_counts(1.0 / factor)
+
+    scaled.total_transactions = max(1, int(profile.total_transactions / factor))
+    return scaled
+
+
+def scale_up_threads(profile: GmapProfile, block_multiplier: int) -> GmapProfile:
+    """Extension: model a futuristic workload with more threadblocks.
+
+    The grid's x extent is multiplied; all statistics are reused as-is, so
+    the extra blocks exercise the same locality patterns over a larger
+    footprint (inter-unit strides keep advancing the base-address walk).
+    """
+    if block_multiplier < 1:
+        raise ValueError(f"block multiplier must be >= 1, got {block_multiplier}")
+    scaled = profile.copy()
+    gx, gy, gz = scaled.grid_dim
+    scaled.grid_dim = (gx * block_multiplier, gy, gz)
+    scaled.total_transactions = profile.total_transactions * block_multiplier
+    return scaled

@@ -1,0 +1,108 @@
+"""Dynamic memory execution (π) profiles and their clustering.
+
+A π profile is the ordered sequence of static memory instruction PCs one
+sequencing unit (thread, or warp after coalescing) executes (paper section
+4.1).  In the absence of control-flow divergence every unit shares one π
+profile; with divergence the per-unit profiles still collapse into a small
+set of dominant clusters (section 4.4, Figure 3b).
+
+Similarity of two profiles is "the total number of identical entries in
+sequence" — positionwise matches — which we normalise by the longer length so
+the empirical threshold ``Th = 0.9`` is a fraction.  Two profiles join the
+same cluster when their similarity exceeds ``Th``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+#: The paper's empirically chosen clustering threshold (section 4.4).
+DEFAULT_SIMILARITY_THRESHOLD = 0.9
+
+
+def sequence_similarity(a: Sequence[int], b: Sequence[int]) -> float:
+    """Fraction of positionwise-identical entries, normalised by max length.
+
+    1.0 for identical sequences, 0.0 for fully disjoint ones; an empty pair
+    is defined as identical (1.0).
+    """
+    if not a and not b:
+        return 1.0
+    matches = sum(1 for x, y in zip(a, b) if x == y)
+    return matches / max(len(a), len(b))
+
+
+@dataclass
+class PiCluster:
+    """One dominant π profile: a representative sequence and its weight."""
+
+    representative: Tuple[int, ...]
+    members: int = 1
+    member_units: List[int] = field(default_factory=list)
+
+    @property
+    def length(self) -> int:
+        return len(self.representative)
+
+
+class PiClusterer:
+    """Greedy single-pass clustering of per-unit PC sequences.
+
+    Each incoming profile joins the first existing cluster whose
+    representative it matches above the threshold, else founds a new
+    cluster.  Clusters are compared most-populous-first so dominant paths
+    absorb near-duplicates quickly; representatives are the first member
+    seen (the paper keeps one dominant profile per cluster).
+    """
+
+    def __init__(self, threshold: float = DEFAULT_SIMILARITY_THRESHOLD) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self.clusters: List[PiCluster] = []
+        self._exact: Dict[Tuple[int, ...], int] = {}
+        self._total = 0
+
+    def add(self, profile: Sequence[int], unit_id: int) -> int:
+        """Assign one unit's PC sequence to a cluster; returns cluster index."""
+        key = tuple(profile)
+        self._total += 1
+        hit = self._exact.get(key)
+        if hit is not None:
+            cluster = self.clusters[hit]
+            cluster.members += 1
+            cluster.member_units.append(unit_id)
+            return hit
+        order = sorted(
+            range(len(self.clusters)),
+            key=lambda i: -self.clusters[i].members,
+        )
+        for idx in order:
+            cluster = self.clusters[idx]
+            if sequence_similarity(key, cluster.representative) >= self.threshold:
+                cluster.members += 1
+                cluster.member_units.append(unit_id)
+                self._exact[key] = idx
+                return idx
+        self.clusters.append(
+            PiCluster(representative=key, members=1, member_units=[unit_id])
+        )
+        self._exact[key] = len(self.clusters) - 1
+        return len(self.clusters) - 1
+
+    @property
+    def total_units(self) -> int:
+        return self._total
+
+    def probabilities(self) -> List[float]:
+        """The measure Q over Π: each cluster's fraction of units."""
+        if self._total == 0:
+            return []
+        return [c.members / self._total for c in self.clusters]
+
+    def dominant(self) -> PiCluster:
+        """The most populous cluster."""
+        if not self.clusters:
+            raise ValueError("no profiles clustered yet")
+        return max(self.clusters, key=lambda c: c.members)

@@ -1,0 +1,426 @@
+"""The G-MAP statistical profile — the shareable workload artifact.
+
+Formally the paper's 5-tuple ``(Π, Q, B, P_S, P_R)`` (section 4.6) plus the
+execution-model metadata G-MAP needs to rebuild a proxy: the launch geometry
+(grid/TB dimensions are preserved verbatim), the coalescing-degree statistics,
+per-instruction store flags, and the scheduling summary ``SchedP_self``.
+
+A profile contains *no addresses from the original application* other than
+the (optionally obfuscated) base addresses ``B`` — this is the artifact a
+proprietary-workload owner can share with a hardware vendor (section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.distributions import Histogram
+
+
+@dataclass
+class InstructionStats:
+    """Statistics for one static memory instruction (one entry of B, P_S).
+
+    ``inter_stride`` is :math:`P_E^{(i)}` — the distribution of strides
+    between consecutive sequencing units' first touches; ``intra_stride`` is
+    :math:`P_A^{(i)}` — the distribution of strides between successive
+    dynamic executions within one unit.  ``txns_per_access`` is the
+    coalescing-degree distribution (transactions per dynamic warp
+    instruction) and ``txn_stride`` the spacing between sibling
+    transactions; both are degenerate when profiling at thread granularity.
+    ``intra_markov`` is an optional first-order refinement of
+    :math:`P_A^{(i)}`: the stride distribution conditioned on the previous
+    stride, which preserves run-length patterns (e.g. +s,+s,+s,wrap) that
+    IID sampling scrambles — used by the generator's "markov" stride model.
+    """
+
+    pc: int
+    base_address: int
+    inter_stride: Histogram = field(default_factory=Histogram)
+    intra_stride: Histogram = field(default_factory=Histogram)
+    txns_per_access: Histogram = field(default_factory=Histogram)
+    txn_stride: Histogram = field(default_factory=Histogram)
+    intra_markov: Dict[int, Histogram] = field(default_factory=dict)
+    size: int = 128
+    is_store: bool = False
+    dynamic_count: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "pc": self.pc,
+            "base_address": self.base_address,
+            "inter_stride": self.inter_stride.to_dict(),
+            "intra_stride": self.intra_stride.to_dict(),
+            "txns_per_access": self.txns_per_access.to_dict(),
+            "txn_stride": self.txn_stride.to_dict(),
+            "intra_markov": {
+                str(prev): hist.to_dict()
+                for prev, hist in self.intra_markov.items()
+            },
+            "size": self.size,
+            "is_store": self.is_store,
+            "dynamic_count": self.dynamic_count,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InstructionStats":
+        return cls(
+            pc=int(data["pc"]),
+            base_address=int(data["base_address"]),
+            inter_stride=Histogram.from_dict(data["inter_stride"]),
+            intra_stride=Histogram.from_dict(data["intra_stride"]),
+            txns_per_access=Histogram.from_dict(data["txns_per_access"]),
+            txn_stride=Histogram.from_dict(data.get("txn_stride", {})),
+            intra_markov={
+                int(prev): Histogram.from_dict(hist)
+                for prev, hist in data.get("intra_markov", {}).items()
+            },
+            size=int(data["size"]),
+            is_store=bool(data["is_store"]),
+            dynamic_count=int(data["dynamic_count"]),
+        )
+
+
+@dataclass
+class PiProfileStats:
+    """One dominant π profile with its probability and reuse distribution.
+
+    ``sequence`` is the representative PC sequence; ``probability`` its mass
+    under Q; ``reuse`` is :math:`P_R^{(i)}` — the LRU stack-distance
+    histogram of reusing accesses within member units' streams (cold
+    first-touches are excluded; ``reuse_fraction`` records how often an
+    access is a reuse at all).
+    """
+
+    sequence: Tuple[int, ...]
+    probability: float
+    reuse: Histogram = field(default_factory=Histogram)
+    reuse_fraction: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "sequence": list(self.sequence),
+            "probability": self.probability,
+            "reuse": self.reuse.to_dict(),
+            "reuse_fraction": self.reuse_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PiProfileStats":
+        return cls(
+            sequence=tuple(int(pc) for pc in data["sequence"]),
+            probability=float(data["probability"]),
+            reuse=Histogram.from_dict(data["reuse"]),
+            reuse_fraction=float(data["reuse_fraction"]),
+        )
+
+
+@dataclass
+class GmapProfile:
+    """The complete statistical profile of one kernel.
+
+    Attributes mirror the paper's notation: ``pi_profiles`` is Π with Q and
+    P_R folded in, ``instructions`` carries B and P_S.  ``unit`` records the
+    sequencing granularity ("warp" when coalescing was applied before the
+    locality analysis — the paper's default — or "thread").
+    """
+
+    name: str
+    grid_dim: Tuple[int, int, int]
+    block_dim: Tuple[int, int, int]
+    unit: str
+    segment_size: int
+    pi_profiles: List[PiProfileStats] = field(default_factory=list)
+    instructions: Dict[int, InstructionStats] = field(default_factory=dict)
+    sched_p_self: float = 0.0
+    total_transactions: int = 0
+    scale_factor: float = 1.0
+    #: Mean active lanes per warp instruction / 32 — the SIMD occupancy
+    #: divergence diagnostic (1.0 = divergence-free).
+    avg_warp_occupancy: float = 1.0
+
+    SCHEMA_VERSION = 1
+
+    def __post_init__(self) -> None:
+        if self.unit not in ("warp", "thread"):
+            raise ValueError(f"unit must be 'warp' or 'thread', got {self.unit!r}")
+
+    @property
+    def num_profiles(self) -> int:
+        """M — the number of dominant dynamic memory execution profiles."""
+        return len(self.pi_profiles)
+
+    @property
+    def num_instructions(self) -> int:
+        """N — the number of static memory instructions."""
+        return len(self.instructions)
+
+    @property
+    def q(self) -> List[float]:
+        """The probability measure Q over Π."""
+        return [p.probability for p in self.pi_profiles]
+
+    def dominant_profile(self) -> PiProfileStats:
+        if not self.pi_profiles:
+            raise ValueError("profile has no π profiles")
+        return max(self.pi_profiles, key=lambda p: p.probability)
+
+    def instruction(self, pc: int) -> InstructionStats:
+        return self.instructions[pc]
+
+    def obfuscated(self, base_seed: int = 0xDEAD_BEEF) -> "GmapProfile":
+        """Copy with base addresses replaced by synthetic ones.
+
+        Section 4.2: "Choice of the initial base addresses can help to
+        create obfuscated proxy memory access sequences for proprietariness."
+        See :func:`obfuscate_profiles` for the remapping rules (array-region
+        clustering, memory-space preservation).
+        """
+        return obfuscate_profiles([self], base_seed)[0]
+
+    def copy(self) -> "GmapProfile":
+        """Deep copy via serialisation round-trip."""
+        return GmapProfile.from_dict(self.to_dict())
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "name": self.name,
+            "grid_dim": list(self.grid_dim),
+            "block_dim": list(self.block_dim),
+            "unit": self.unit,
+            "segment_size": self.segment_size,
+            "pi_profiles": [p.to_dict() for p in self.pi_profiles],
+            "instructions": {
+                str(pc): stats.to_dict() for pc, stats in self.instructions.items()
+            },
+            "sched_p_self": self.sched_p_self,
+            "total_transactions": self.total_transactions,
+            "scale_factor": self.scale_factor,
+            "avg_warp_occupancy": self.avg_warp_occupancy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GmapProfile":
+        version = data.get("schema_version", 1)
+        if version != cls.SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported profile schema version {version} "
+                f"(expected {cls.SCHEMA_VERSION})"
+            )
+        return cls(
+            name=data["name"],
+            grid_dim=tuple(data["grid_dim"]),
+            block_dim=tuple(data["block_dim"]),
+            unit=data["unit"],
+            segment_size=int(data["segment_size"]),
+            pi_profiles=[PiProfileStats.from_dict(p) for p in data["pi_profiles"]],
+            instructions={
+                int(pc): InstructionStats.from_dict(stats)
+                for pc, stats in data["instructions"].items()
+            },
+            sched_p_self=float(data["sched_p_self"]),
+            total_transactions=int(data["total_transactions"]),
+            scale_factor=float(data.get("scale_factor", 1.0)),
+            avg_warp_occupancy=float(data.get("avg_warp_occupancy", 1.0)),
+        )
+
+
+def merge_profiles(profiles: List["GmapProfile"], name: str = "") -> "GmapProfile":
+    """Merge profiles of the *same kernel* over different runs/inputs.
+
+    A workload owner profiles several representative input datasets and
+    ships one consolidated artifact: histograms accumulate, π clusters with
+    identical representative sequences pool their probability mass (weighted
+    by each run's transaction count), and launch geometry must agree.
+    """
+    if not profiles:
+        raise ValueError("need at least one profile to merge")
+    first = profiles[0]
+    for other in profiles[1:]:
+        if (other.grid_dim, other.block_dim, other.unit) != (
+            first.grid_dim, first.block_dim, first.unit
+        ):
+            raise ValueError(
+                "profiles disagree on launch geometry/unit: "
+                f"{other.name!r} vs {first.name!r}"
+            )
+    merged = first.copy()
+    merged.name = name or first.name
+    weights = [max(1, p.total_transactions) for p in profiles]
+    total_weight = sum(weights)
+
+    # Instructions: histogram accumulation; bases from the first occurrence.
+    for other in profiles[1:]:
+        for pc, stats in other.instructions.items():
+            mine = merged.instructions.get(pc)
+            if mine is None:
+                merged.instructions[pc] = InstructionStats.from_dict(
+                    stats.to_dict()
+                )
+                continue
+            for value, count in stats.inter_stride.items():
+                mine.inter_stride.add(value, count)
+            for value, count in stats.intra_stride.items():
+                mine.intra_stride.add(value, count)
+            for value, count in stats.txns_per_access.items():
+                mine.txns_per_access.add(value, count)
+            for value, count in stats.txn_stride.items():
+                mine.txn_stride.add(value, count)
+            for prev, hist in stats.intra_markov.items():
+                target = mine.intra_markov.setdefault(prev, Histogram())
+                for value, count in hist.items():
+                    target.add(value, count)
+            mine.dynamic_count += stats.dynamic_count
+            mine.is_store = mine.is_store or stats.is_store
+
+    # π profiles: pool by representative sequence.
+    pooled: Dict[Tuple[int, ...], PiProfileStats] = {}
+    weight_acc: Dict[Tuple[int, ...], float] = {}
+    for profile, weight in zip(profiles, weights):
+        share = weight / total_weight
+        for pi in profile.pi_profiles:
+            entry = pooled.get(pi.sequence)
+            if entry is None:
+                entry = PiProfileStats(
+                    sequence=pi.sequence, probability=0.0,
+                    reuse=Histogram(), reuse_fraction=0.0,
+                )
+                pooled[pi.sequence] = entry
+                weight_acc[pi.sequence] = 0.0
+            entry.probability += pi.probability * share
+            for value, count in pi.reuse.items():
+                entry.reuse.add(value, count)
+            entry.reuse_fraction += pi.reuse_fraction * pi.probability * share
+            weight_acc[pi.sequence] += pi.probability * share
+    for sequence, entry in pooled.items():
+        if weight_acc[sequence] > 0:
+            entry.reuse_fraction /= weight_acc[sequence]
+    merged.pi_profiles = sorted(
+        pooled.values(), key=lambda p: -p.probability
+    )
+    merged.total_transactions = sum(p.total_transactions for p in profiles)
+    merged.sched_p_self = sum(
+        p.sched_p_self * w for p, w in zip(profiles, weights)
+    ) / total_weight
+    return merged
+
+
+def profile_distance(a: "GmapProfile", b: "GmapProfile") -> Dict[str, float]:
+    """Statistical distance between two profiles' distributions.
+
+    Returns per-component mean Hellinger distances in [0, 1] (0 = identical
+    shape) plus structural deltas — the quantitative answer to "does this
+    regenerated/external clone still look like the original workload?"
+    (used by ``gmap diff`` and the fidelity tests).
+    """
+    from repro.core.distributions import hellinger_distance
+
+    shared_pcs = sorted(set(a.instructions) & set(b.instructions))
+    only_a = len(set(a.instructions) - set(b.instructions))
+    only_b = len(set(b.instructions) - set(a.instructions))
+
+    def mean_component(selector) -> float:
+        if not shared_pcs:
+            return 1.0 if (only_a or only_b) else 0.0
+        total = 0.0
+        for pc in shared_pcs:
+            total += hellinger_distance(
+                selector(a.instructions[pc]), selector(b.instructions[pc])
+            )
+        return total / len(shared_pcs)
+
+    reuse_a = a.dominant_profile().reuse if a.pi_profiles else None
+    reuse_b = b.dominant_profile().reuse if b.pi_profiles else None
+    if reuse_a is not None and reuse_b is not None:
+        from repro.core.distributions import hellinger_distance as _hd
+
+        reuse_distance = _hd(reuse_a, reuse_b)
+    else:
+        reuse_distance = 1.0
+
+    return {
+        "inter_stride": mean_component(lambda s: s.inter_stride),
+        "intra_stride": mean_component(lambda s: s.intra_stride),
+        "txns_per_access": mean_component(lambda s: s.txns_per_access),
+        "reuse": reuse_distance,
+        "shared_pcs": float(len(shared_pcs)),
+        "only_in_a": float(only_a),
+        "only_in_b": float(only_b),
+        "pi_count_delta": float(abs(a.num_profiles - b.num_profiles)),
+    }
+
+
+#: Bases closer than this are treated as one array region when obfuscating
+#: (device allocators place arrays contiguously, so conservative merging
+#: preserves every cross-instruction relationship).
+_OBFUSCATION_GROUP_GAP = 1 << 26
+
+
+def obfuscate_profiles(profiles, base_seed: int = 0xDEAD_BEEF):
+    """Obfuscate one or more profiles with a *shared* base-address remap.
+
+    Rules:
+
+    * instructions whose original bases sit within
+      :data:`_OBFUSCATION_GROUP_GAP` of each other form one *array region*
+      and are shifted together, preserving their relative offsets — two
+      instructions (possibly in different kernels of one application) that
+      touched the same array keep touching the same synthetic array, so
+      producer/consumer reuse survives;
+    * each region moves to a fresh, seed-jittered location in its own
+      *memory space* window (global/shared/texture/constant), so the clone
+      still exercises the original on-chip paths;
+    * all stride/reuse statistics are untouched.
+
+    Returns the obfuscated copies in input order.
+    """
+    from repro.gpu.memspace import MemorySpace, region_bounds, space_of
+    from repro.workloads.patterns import splitmix64
+
+    clones = [profile.copy() for profile in profiles]
+    all_stats = [
+        stats for clone in clones for stats in clone.instructions.values()
+    ]
+    # Cluster bases into array regions, per space.
+    by_space = {}
+    for stats in all_stats:
+        by_space.setdefault(space_of(stats.base_address), []).append(stats)
+
+    offsets = {
+        MemorySpace.GLOBAL: 0x3000_0000,  # away from model allocations
+        MemorySpace.SHARED: 0x0400_0000,  # upper half of the window
+        MemorySpace.TEXTURE: 0x0800_0000,
+        MemorySpace.CONSTANT: 0x0008_0000,
+    }
+    spacing = {
+        MemorySpace.GLOBAL: 1 << 27,
+        MemorySpace.SHARED: 1 << 21,
+        MemorySpace.TEXTURE: 1 << 23,
+        MemorySpace.CONSTANT: 1 << 15,
+    }
+    for space, members in by_space.items():
+        members.sort(key=lambda s: s.base_address)
+        lo, hi = region_bounds(space)
+        cursor = lo + offsets[space]
+        group_start = None
+        group_anchor = 0
+        previous = None
+        for index, stats in enumerate(members):
+            if previous is None or (
+                stats.base_address - previous > _OBFUSCATION_GROUP_GAP
+            ):
+                # New array region: pick its synthetic anchor.
+                jitter = splitmix64(base_seed ^ stats.base_address) % 64
+                segment = clones[0].segment_size
+                group_start = stats.base_address
+                group_anchor = cursor + jitter * segment
+                cursor += spacing[space]
+                if cursor >= hi:
+                    cursor = lo + offsets[space] // 2  # wrap within window
+            previous = stats.base_address
+            stats.base_address = group_anchor + (
+                stats.base_address - group_start
+            )
+    return clones

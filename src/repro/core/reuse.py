@@ -1,0 +1,176 @@
+"""Exact LRU stack (reuse) distance computation.
+
+Reuse distance is the number of *distinct* data elements accessed between the
+current access and the previous access to the same element (Mattson et al.,
+"Evaluation techniques for storage hierarchies", IBM Syst. J. 1970).  G-MAP
+tracks intra-thread temporal locality as an LRU stack-distance histogram per
+dominant memory-instruction profile (paper section 4.3, Figure 5).
+
+Two implementations are provided:
+
+``naive_stack_distances``
+    The textbook O(n * u) LRU stack maintained as a list.  Used as the trusted
+    oracle in tests.
+
+``StackDistanceTracker``
+    The standard O(n log n) algorithm: a Fenwick (binary indexed) tree over
+    access timestamps stores a 1 at the timestamp of the *most recent* access
+    to each element.  The distance of an access at time ``t`` to an element
+    last touched at time ``t0`` is the number of set bits strictly between
+    ``t0`` and ``t`` — i.e. the number of distinct other elements touched in
+    between.
+
+Cold (first-touch) accesses have infinite distance, reported as
+:data:`COLD_MISS` (-1) so histograms can keep an explicit cold bucket.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+#: Sentinel distance for a first-touch (compulsory / cold) access.
+COLD_MISS = -1
+
+
+class _FenwickTree:
+    """Binary indexed tree supporting point update and prefix sum.
+
+    Indices are 1-based internally; the public methods accept 0-based
+    positions.  The tree grows geometrically when an index beyond the current
+    capacity is touched, so callers do not need to know the trace length in
+    advance.
+    """
+
+    __slots__ = ("_tree", "_size")
+
+    def __init__(self, size: int = 1024) -> None:
+        self._size = max(1, size)
+        self._tree = [0] * (self._size + 1)
+
+    def _grow(self, needed: int) -> None:
+        new_size = self._size
+        while new_size < needed:
+            new_size *= 2
+        # Rebuild: Fenwick trees cannot be resized in place cheaply, but a
+        # rebuild from prefix sums is O(n) and happens O(log n) times.
+        old_values = [self.range_sum(i, i) for i in range(self._size)]
+        self._size = new_size
+        self._tree = [0] * (new_size + 1)
+        for i, v in enumerate(old_values):
+            if v:
+                self.add(i, v)
+
+    def add(self, pos: int, delta: int) -> None:
+        """Add ``delta`` at 0-based position ``pos``."""
+        if pos >= self._size:
+            self._grow(pos + 1)
+        i = pos + 1
+        tree = self._tree
+        size = self._size
+        while i <= size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, pos: int) -> int:
+        """Sum of values at 0-based positions ``[0, pos]``."""
+        if pos < 0:
+            return 0
+        i = min(pos + 1, self._size)
+        tree = self._tree
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of values at 0-based positions ``[lo, hi]``."""
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+
+class StackDistanceTracker:
+    """Streaming exact LRU stack-distance tracker.
+
+    Feed elements (any hashable — G-MAP uses cache-line numbers) one at a time
+    with :meth:`access`; each call returns the LRU stack distance of that
+    access, or :data:`COLD_MISS` for a first touch.
+
+    >>> t = StackDistanceTracker()
+    >>> [t.access(x) for x in ["a", "b", "b", "a"]]
+    [-1, -1, 0, 1]
+    """
+
+    __slots__ = ("_last_time", "_tree", "_clock")
+
+    def __init__(self) -> None:
+        self._last_time: dict = {}
+        self._tree = _FenwickTree()
+        self._clock = 0
+
+    def access(self, element) -> int:
+        """Record an access and return its LRU stack distance."""
+        now = self._clock
+        self._clock = now + 1
+        prev = self._last_time.get(element)
+        if prev is None:
+            distance = COLD_MISS
+        else:
+            distance = self._tree.range_sum(prev + 1, now - 1)
+            self._tree.add(prev, -1)
+        self._last_time[element] = now
+        self._tree.add(now, 1)
+        return distance
+
+    @property
+    def unique_elements(self) -> int:
+        """Number of distinct elements seen so far."""
+        return len(self._last_time)
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses recorded."""
+        return self._clock
+
+
+def stack_distances(trace: Iterable) -> Iterator[int]:
+    """Yield the LRU stack distance of every access in ``trace``.
+
+    First touches yield :data:`COLD_MISS`.
+    """
+    tracker = StackDistanceTracker()
+    for element in trace:
+        yield tracker.access(element)
+
+
+def naive_stack_distances(trace: Iterable) -> List[int]:
+    """O(n*u) oracle implementation using an explicit LRU stack."""
+    stack: List = []
+    out: List[int] = []
+    for element in trace:
+        try:
+            depth = stack.index(element)
+        except ValueError:
+            out.append(COLD_MISS)
+        else:
+            out.append(depth)
+            del stack[depth]
+        stack.insert(0, element)
+    return out
+
+
+def miss_rate_from_distances(distances: Iterable[int], capacity: int) -> float:
+    """Fully-associative LRU miss rate implied by a stack-distance stream.
+
+    An access misses in a fully-associative LRU cache of ``capacity`` lines
+    iff its stack distance is >= ``capacity`` (cold misses always miss).
+    Returns 0.0 for an empty stream.
+    """
+    misses = 0
+    total = 0
+    for d in distances:
+        total += 1
+        if d == COLD_MISS or d >= capacity:
+            misses += 1
+    return misses / total if total else 0.0

@@ -1,0 +1,1 @@
+"""gpu subpackage of the G-MAP reproduction."""

@@ -1,0 +1,45 @@
+"""Multi-kernel GPU applications.
+
+"A GPU application is composed of several kernels" (paper section 2.2,
+Figure 1b).  G-MAP profiles each kernel separately — π profiles and stride
+statistics are per-kernel properties — while the memory system observes the
+*sequence*: a later kernel can hit on lines an earlier kernel left in the
+L2, so application-level cloning must replay kernels in order on a shared
+hierarchy.
+
+:class:`Application` is the container; profiling, generation, and
+sequential simulation live in :mod:`repro.core.app_pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence
+
+from repro.workloads.base import KernelModel
+
+
+class Application:
+    """An ordered sequence of kernel launches sharing one device memory."""
+
+    def __init__(self, name: str, kernels: Sequence[KernelModel]) -> None:
+        if not kernels:
+            raise ValueError("an application needs at least one kernel")
+        self.name = name
+        self.kernels: List[KernelModel] = list(kernels)
+
+    def __len__(self) -> int:
+        return len(self.kernels)
+
+    def __iter__(self) -> Iterator[KernelModel]:
+        return iter(self.kernels)
+
+    def __getitem__(self, index: int) -> KernelModel:
+        return self.kernels[index]
+
+    @property
+    def total_threads(self) -> int:
+        return sum(kernel.total_threads for kernel in self.kernels)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(kernel.name for kernel in self.kernels)
+        return f"<Application {self.name!r}: [{inner}]>"

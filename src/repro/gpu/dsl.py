@@ -1,0 +1,196 @@
+"""A small CUDA-like DSL for writing kernel models.
+
+:class:`~repro.workloads.base.KernelModel` asks authors to hand-compute byte
+addresses; this module provides the familiar CUDA vocabulary instead —
+``threadIdx``/``blockIdx`` via a thread context, typed device arrays with
+index arithmetic, ``syncthreads()``, and per-source-line PCs — while
+producing exactly the same per-thread access streams underneath.
+
+Example::
+
+    from repro.gpu.dsl import KernelBuilder
+
+    k = KernelBuilder("saxpy", grid=4, block=256)
+    x = k.array("x", elems=4096)
+    y = k.array("y", elems=4096)
+
+    @k.program
+    def saxpy(ctx):
+        i = ctx.global_tid
+        for j in range(ctx.params["iters"]):
+            ctx.load(x[i + j * ctx.total_threads])
+            ctx.load(y[i + j * ctx.total_threads])
+            ctx.store(y[i + j * ctx.total_threads])
+
+    kernel = k.build(iters=8)   # a regular KernelModel
+
+Each distinct ``load``/``store`` *call site* gets a stable synthetic PC
+(assigned in first-execution order), so profiles cluster and report exactly
+like hand-written models.  Arrays can live in any memory space
+(``space="shared"`` etc.), and ``ctx.syncthreads()`` emits a TB barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.gpu.hierarchy import LaunchConfig
+from repro.gpu.instructions import AccessTuple, pack, sync_marker
+from repro.workloads.base import KernelModel, Layout
+
+
+class DeviceArray:
+    """A typed device allocation; indexing yields an address reference."""
+
+    def __init__(self, name: str, base: int, elems: int, elem_size: int) -> None:
+        self.name = name
+        self.base = base
+        self.elems = elems
+        self.elem_size = elem_size
+
+    def __getitem__(self, index: int) -> "ElementRef":
+        return ElementRef(self, int(index))
+
+    @property
+    def nbytes(self) -> int:
+        return self.elems * self.elem_size
+
+    def __repr__(self) -> str:
+        return f"<DeviceArray {self.name!r} x{self.elems}>"
+
+
+class ElementRef:
+    """``array[i]`` — resolves to a byte address, wrapping out-of-range
+    indices into the allocation (models the modulo tiling synthetic kernels
+    use rather than faulting)."""
+
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: DeviceArray, index: int) -> None:
+        self.array = array
+        self.index = index
+
+    @property
+    def address(self) -> int:
+        wrapped = self.index % self.array.elems
+        return self.array.base + wrapped * self.array.elem_size
+
+
+class ThreadContext:
+    """Per-thread execution context handed to the kernel program."""
+
+    def __init__(self, kernel: "DslKernel", global_tid: int) -> None:
+        launch = kernel.launch
+        self._kernel = kernel
+        self.global_tid = global_tid
+        self.block_idx = launch.block_of_thread(global_tid)
+        self.thread_idx = global_tid % launch.threads_per_block
+        self.lane = launch.lane_of_thread(global_tid)
+        self.warp = launch.warp_of_thread(global_tid)
+        self.total_threads = launch.total_threads
+        self.block_dim = launch.threads_per_block
+        self.params: Dict[str, object] = kernel.params
+        self._out: List[AccessTuple] = []
+
+    # -- memory operations --------------------------------------------------
+
+    def load(self, ref: ElementRef, site: Optional[str] = None) -> None:
+        """Emit a load of ``array[i]``; PC keyed by call site."""
+        pc = self._kernel._pc_for(site or self._caller_site())
+        self._out.append(pack(pc, ref.address, ref.array.elem_size, False))
+
+    def store(self, ref: ElementRef, site: Optional[str] = None) -> None:
+        """Emit a store of ``array[i]``; PC keyed by call site."""
+        pc = self._kernel._pc_for(site or self._caller_site(), store=True)
+        self._out.append(pack(pc, ref.address, ref.array.elem_size, True))
+
+    def syncthreads(self) -> None:
+        """Emit a TB-level barrier (__syncthreads())."""
+        self._out.append(sync_marker())
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _caller_site() -> str:
+        import sys
+
+        frame = sys._getframe(2)
+        return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+
+class DslKernel(KernelModel):
+    """KernelModel backed by a DSL program function."""
+
+    suite = "dsl"
+
+    def __init__(
+        self,
+        name: str,
+        launch: LaunchConfig,
+        layout: Layout,
+        program: Callable[[ThreadContext], None],
+        params: Dict[str, object],
+    ) -> None:
+        super().__init__(launch)
+        self.name = name
+        self.layout = layout
+        self.program = program
+        self.params = params
+        self._site_pcs: Dict[str, int] = {}
+        self._next_pc = 0x1000
+
+    def _pc_for(self, site: str, store: bool = False) -> int:
+        pc = self._site_pcs.get(site)
+        if pc is None:
+            pc = self._next_pc
+            self._site_pcs[site] = pc
+            self._next_pc += 8
+        return pc
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        ctx = ThreadContext(self, tid)
+        self.program(ctx)
+        return iter(ctx._out)
+
+    def site_table(self) -> Dict[str, int]:
+        """Call-site -> synthetic PC mapping (after at least one thread ran)."""
+        if not self._site_pcs:
+            self.trace_thread(0)
+        return dict(self._site_pcs)
+
+
+class KernelBuilder:
+    """Fluent construction of a :class:`DslKernel`."""
+
+    def __init__(self, name: str, grid, block) -> None:
+        self.name = name
+        self.launch = LaunchConfig(grid_dim=grid, block_dim=block)
+        self.layout = Layout()
+        self._program: Optional[Callable[[ThreadContext], None]] = None
+
+    def array(
+        self, name: str, elems: int, elem_size: int = 4, space: str = "global"
+    ) -> DeviceArray:
+        """Allocate a device array in the given memory space."""
+        if elems < 1:
+            raise ValueError(f"array {name!r} needs at least one element")
+        base = self.layout.alloc(name, elems * elem_size, space)
+        return DeviceArray(name, base, elems, elem_size)
+
+    def program(
+        self, fn: Callable[[ThreadContext], None]
+    ) -> Callable[[ThreadContext], None]:
+        """Decorator registering the kernel body."""
+        self._program = fn
+        return fn
+
+    def build(self, **params) -> DslKernel:
+        """Materialise the kernel with the given runtime parameters."""
+        if self._program is None:
+            raise ValueError(
+                f"kernel {self.name!r} has no program; decorate one with "
+                f"@builder.program"
+            )
+        return DslKernel(
+            self.name, self.launch, self.layout, self._program, params
+        )

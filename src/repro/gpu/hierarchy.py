@@ -1,0 +1,218 @@
+"""CUDA/OpenCL thread hierarchy: grids, threadblocks, warps.
+
+Implements the Fermi execution model's thread grouping rules (CUDA C
+Programming Guide 5.5, section G.1, as cited by the paper):
+
+* a kernel launches a *grid* of *threadblocks* (CTAs);
+* threads within a block are linearised in x-major order
+  ``tid = x + y*Dx + z*Dx*Dy``;
+* consecutive linear thread ids within a block form *warps* of
+  :data:`WARP_SIZE` (32) threads, warp id = ``tid // 32``;
+* threadblocks are assigned to cores (SMs) round-robin until each core's
+  resource limit is reached (paper section 4.5).
+
+G-MAP keeps the original application's grid and TB dimensions when building
+proxies, so these types appear both in workload models and in generated
+clones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+#: Threads per warp in the Fermi baseline (paper section 2.2).
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA dim3: x/y/z extents, all >= 1."""
+
+    x: int = 1
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in ("x", "y", "z"):
+            v = getattr(self, axis)
+            if v < 1:
+                raise ValueError(f"Dim3.{axis} must be >= 1, got {v}")
+
+    @property
+    def count(self) -> int:
+        return self.x * self.y * self.z
+
+    def linearize(self, x: int, y: int = 0, z: int = 0) -> int:
+        """x-major linear index of coordinate (x, y, z) — CUDA G.1 rule."""
+        if not (0 <= x < self.x and 0 <= y < self.y and 0 <= z < self.z):
+            raise ValueError(f"({x},{y},{z}) out of range for {self}")
+        return x + y * self.x + z * self.x * self.y
+
+    def delinearize(self, linear: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`linearize`."""
+        if not 0 <= linear < self.count:
+            raise ValueError(f"linear index {linear} out of range for {self}")
+        x = linear % self.x
+        y = (linear // self.x) % self.y
+        z = linear // (self.x * self.y)
+        return x, y, z
+
+    def __str__(self) -> str:
+        return f"({self.x},{self.y},{self.z})"
+
+    @classmethod
+    def of(cls, spec) -> "Dim3":
+        """Coerce an int, tuple, or Dim3 into a Dim3."""
+        if isinstance(spec, Dim3):
+            return spec
+        if isinstance(spec, int):
+            return cls(spec)
+        return cls(*spec)
+
+
+@dataclass(frozen=True)
+class ThreadCoord:
+    """Full identity of one thread within a launch."""
+
+    block: int       # linear block index within the grid
+    tid_in_block: int  # linear thread index within the block
+
+    def global_tid(self, block_dim: Dim3) -> int:
+        return self.block * block_dim.count + self.tid_in_block
+
+    def warp_in_block(self) -> int:
+        return self.tid_in_block // WARP_SIZE
+
+    def lane(self) -> int:
+        return self.tid_in_block % WARP_SIZE
+
+
+class LaunchConfig:
+    """A kernel launch: grid dimensions x block dimensions.
+
+    Provides the canonical thread / warp / block enumeration used by the
+    executor, the profiler and the proxy generator — all three must agree on
+    how ``tid`` maps to (block, warp, lane).
+    """
+
+    def __init__(self, grid_dim, block_dim) -> None:
+        self.grid_dim = Dim3.of(grid_dim)
+        self.block_dim = Dim3.of(block_dim)
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block_dim.count
+
+    @property
+    def num_blocks(self) -> int:
+        return self.grid_dim.count
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+    @property
+    def warps_per_block(self) -> int:
+        """Warps per block, final warp possibly partial (G.1)."""
+        return -(-self.threads_per_block // WARP_SIZE)
+
+    @property
+    def total_warps(self) -> int:
+        return self.num_blocks * self.warps_per_block
+
+    def warp_of_thread(self, global_tid: int) -> int:
+        """Global warp id of a global thread id."""
+        self._check_tid(global_tid)
+        block, tid_in_block = divmod(global_tid, self.threads_per_block)
+        return block * self.warps_per_block + tid_in_block // WARP_SIZE
+
+    def lane_of_thread(self, global_tid: int) -> int:
+        self._check_tid(global_tid)
+        return (global_tid % self.threads_per_block) % WARP_SIZE
+
+    def block_of_thread(self, global_tid: int) -> int:
+        self._check_tid(global_tid)
+        return global_tid // self.threads_per_block
+
+    def block_of_warp(self, global_warp: int) -> int:
+        self._check_warp(global_warp)
+        return global_warp // self.warps_per_block
+
+    def threads_in_warp(self, global_warp: int) -> List[int]:
+        """Global thread ids belonging to a global warp id, in lane order."""
+        self._check_warp(global_warp)
+        block, warp_in_block = divmod(global_warp, self.warps_per_block)
+        first = warp_in_block * WARP_SIZE
+        last = min(first + WARP_SIZE, self.threads_per_block)
+        base = block * self.threads_per_block
+        return [base + t for t in range(first, last)]
+
+    def warps_in_block(self, block: int) -> List[int]:
+        if not 0 <= block < self.num_blocks:
+            raise ValueError(f"block {block} out of range")
+        start = block * self.warps_per_block
+        return list(range(start, start + self.warps_per_block))
+
+    def iter_threads(self) -> Iterator[int]:
+        return iter(range(self.total_threads))
+
+    def iter_warps(self) -> Iterator[int]:
+        return iter(range(self.total_warps))
+
+    def _check_tid(self, tid: int) -> None:
+        if not 0 <= tid < self.total_threads:
+            raise ValueError(f"tid {tid} out of range [0, {self.total_threads})")
+
+    def _check_warp(self, warp: int) -> None:
+        if not 0 <= warp < self.total_warps:
+            raise ValueError(f"warp {warp} out of range [0, {self.total_warps})")
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, LaunchConfig):
+            return NotImplemented
+        return self.grid_dim == other.grid_dim and self.block_dim == other.block_dim
+
+    def __repr__(self) -> str:
+        return f"LaunchConfig(grid={self.grid_dim}, block={self.block_dim})"
+
+
+def assign_blocks_to_cores(
+    num_blocks: int, num_cores: int, max_blocks_per_core: int = 8
+) -> List[List[int]]:
+    """Round-robin threadblock-to-SM placement (paper section 4.5).
+
+    Blocks are dealt to cores in round-robin order; ``max_blocks_per_core``
+    bounds how many are *concurrently resident*, but since G-MAP schedules new
+    TBs onto a core as running ones finish, every block is still placed — the
+    returned lists give each core's full execution order.
+
+    Returns ``cores[c] = [block ids in the order core c runs them]``.
+    """
+    if num_cores < 1:
+        raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+    if num_blocks < 0:
+        raise ValueError(f"num_blocks must be >= 0, got {num_blocks}")
+    if max_blocks_per_core < 1:
+        raise ValueError(f"max_blocks_per_core must be >= 1, got {max_blocks_per_core}")
+    cores: List[List[int]] = [[] for _ in range(num_cores)]
+    for block in range(num_blocks):
+        cores[block % num_cores].append(block)
+    return cores
+
+
+def resident_waves(
+    core_blocks: Sequence[int], max_blocks_per_core: int
+) -> List[List[int]]:
+    """Split a core's block list into concurrently-resident waves.
+
+    Wave ``k`` holds the blocks that run together once wave ``k-1`` finishes;
+    the executor uses this to bound how many warps share a warp queue at once.
+    """
+    if max_blocks_per_core < 1:
+        raise ValueError(f"max_blocks_per_core must be >= 1, got {max_blocks_per_core}")
+    blocks = list(core_blocks)
+    return [
+        blocks[i : i + max_blocks_per_core]
+        for i in range(0, len(blocks), max_blocks_per_core)
+    ]

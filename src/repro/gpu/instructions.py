@@ -1,0 +1,94 @@
+"""Memory instruction and access record types.
+
+The unit of everything G-MAP consumes is the *dynamic memory access*: a static
+memory instruction (identified by its PC) executed by one thread, touching one
+byte address.  Hot paths (profiling, generation, simulation) use plain tuples
+via the ``pack``/``unpack`` helpers; the dataclass forms exist for the public
+API and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Tuple
+
+
+class AccessType(IntEnum):
+    """Kind of memory access a static instruction performs."""
+
+    LOAD = 0
+    STORE = 1
+
+    @property
+    def is_store(self) -> bool:
+        return self is AccessType.STORE
+
+
+@dataclass(frozen=True)
+class StaticInstruction:
+    """A static memory instruction in a kernel.
+
+    ``pc`` is the instruction address (paper Table 1 identifies instructions
+    by PC, e.g. ``0x900``), ``access_type`` whether it loads or stores, and
+    ``size`` the per-thread access width in bytes (4 for a float, 8 for a
+    double...).
+    """
+
+    pc: int
+    access_type: AccessType = AccessType.LOAD
+    size: int = 4
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ValueError(f"pc must be non-negative, got {self.pc}")
+        if self.size <= 0 or self.size & (self.size - 1):
+            raise ValueError(f"size must be a positive power of two, got {self.size}")
+
+    def __str__(self) -> str:
+        kind = "ST" if self.access_type.is_store else "LD"
+        return f"{kind}@{self.pc:#x}"
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One dynamic memory access by one thread."""
+
+    pc: int
+    address: int
+    size: int = 4
+    is_store: bool = False
+
+    def as_tuple(self) -> Tuple[int, int, int, bool]:
+        return (self.pc, self.address, self.size, self.is_store)
+
+
+# Hot-path representation: (pc, address, size, is_store_int).
+AccessTuple = Tuple[int, int, int, int]
+
+#: Sentinel PC marking a threadblock-level barrier (__syncthreads()).  It
+#: flows through traces and π profiles like an instruction but carries no
+#: memory semantics; the scheduler holds warps at it until every warp of
+#: the block arrives (paper section 4.5, TB-level synchronization).
+SYNC_PC = -1
+
+
+def pack(pc: int, address: int, size: int = 4, is_store: bool = False) -> AccessTuple:
+    """Build the tuple form used on hot paths."""
+    return (pc, address, size, 1 if is_store else 0)
+
+
+def sync_marker() -> AccessTuple:
+    """A __syncthreads() barrier record for kernel-model thread programs."""
+    return (SYNC_PC, 0, 0, 0)
+
+
+def is_sync(access: AccessTuple) -> bool:
+    """True if the record is a TB barrier marker."""
+    return access[0] == SYNC_PC
+
+
+def unpack(access: AccessTuple) -> MemoryAccess:
+    """Convert a hot-path tuple back into a :class:`MemoryAccess`."""
+    pc, address, size, is_store = access
+    return MemoryAccess(pc=pc, address=address, size=size, is_store=bool(is_store))

@@ -1,0 +1,1 @@
+"""io subpackage of the G-MAP reproduction."""

@@ -1,0 +1,61 @@
+"""Profile serialisation — the artifact a workload owner actually ships.
+
+A :class:`~repro.core.profile.GmapProfile` round-trips through JSON (human
+auditable: the owner can verify no raw addresses beyond the — optionally
+obfuscated — base addresses leave the building).  Files may be gzipped by
+giving the path a ``.gz`` suffix.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.profile import GmapProfile
+
+PathLike = Union[str, Path]
+
+
+def save_profile(profile: GmapProfile, path: PathLike, indent: int = 2) -> None:
+    """Write a profile to a JSON (or .gz) file."""
+    path = Path(path)
+    payload = json.dumps(profile.to_dict(), indent=indent, sort_keys=True)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+
+
+def load_profile(path: PathLike) -> GmapProfile:
+    """Read a profile written by :func:`save_profile`."""
+    return GmapProfile.from_dict(_read_json(path))
+
+
+def save_application_profile(profile, path: PathLike, indent: int = 2) -> None:
+    """Write a multi-kernel :class:`ApplicationProfile` to JSON (or .gz)."""
+    path = Path(path)
+    payload = json.dumps(profile.to_dict(), indent=indent, sort_keys=True)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+
+
+def load_application_profile(path: PathLike):
+    """Read an application profile written by
+    :func:`save_application_profile`."""
+    from repro.core.app_pipeline import ApplicationProfile
+
+    return ApplicationProfile.from_dict(_read_json(path))
+
+
+def _read_json(path: PathLike) -> dict:
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            return json.load(fh)
+    return json.loads(path.read_text(encoding="utf-8"))

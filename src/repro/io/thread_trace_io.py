@@ -1,0 +1,127 @@
+"""Importer for per-thread memory traces from external tools.
+
+Instrumented simulators (GPGPU-sim plugins, binary instrumentation like
+NVBit, emulators) commonly dump one memory access per line, tagged with the
+issuing thread.  This module ingests that shape and runs it through the
+reproduction's own Fermi front end (warp grouping, lockstep divergence
+masking, coalescing), producing the per-warp streams the profiler consumes —
+so G-MAP can clone a *real* application's trace, not just the bundled
+synthetic models.
+
+Format (``gmap-ttrace v1``)::
+
+    # gmap-ttrace v1 grid=8 block=256
+    <tid> <pc_hex> <address_hex> <size> <R|W>
+    ...
+
+* ``grid=``/``block=`` in the header give the launch geometry (x dimension;
+  multi-dimensional launches are linearised by the producer);
+* lines may appear in any order; per-thread order is preserved as given;
+* ``<tid> SYNC`` records a barrier for that thread.
+"""
+
+from __future__ import annotations
+
+import gzip
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.core.coalescing import CoalescingModel
+from repro.gpu.executor import WarpTrace, lockstep_warp_trace
+from repro.gpu.hierarchy import LaunchConfig
+from repro.gpu.instructions import AccessTuple, pack, sync_marker
+
+PathLike = Union[str, Path]
+
+_MAGIC = re.compile(r"^# gmap-ttrace v1 grid=(\d+) block=(\d+)\s*$")
+
+
+def save_thread_traces(
+    thread_traces: List[List[AccessTuple]],
+    launch: LaunchConfig,
+    path: PathLike,
+) -> None:
+    """Write per-thread traces in the external one-access-per-line format."""
+    lines = [f"# gmap-ttrace v1 grid={launch.grid_dim.x} "
+             f"block={launch.block_dim.x}"]
+    for tid, trace in enumerate(thread_traces):
+        for pc, address, size, is_store in trace:
+            if pc < 0:
+                lines.append(f"{tid} SYNC")
+            else:
+                rw = "W" if is_store else "R"
+                lines.append(f"{tid} {pc:#x} {address:#x} {size} {rw}")
+    payload = "\n".join(lines) + "\n"
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+
+
+def load_thread_traces(
+    path: PathLike,
+) -> Tuple[List[List[AccessTuple]], LaunchConfig]:
+    """Read a per-thread trace file; returns (per-thread traces, launch)."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError(f"{path}: empty file")
+    header = _MAGIC.match(lines[0])
+    if not header:
+        raise ValueError(
+            f"{path}: not a gmap-ttrace v1 file (missing/garbled header)"
+        )
+    launch = LaunchConfig(grid_dim=int(header.group(1)),
+                          block_dim=int(header.group(2)))
+    traces: Dict[int, List[AccessTuple]] = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        try:
+            tid = int(parts[0])
+            if not 0 <= tid < launch.total_threads:
+                raise ValueError(f"tid {tid} outside the launch")
+            if parts[1] == "SYNC":
+                traces.setdefault(tid, []).append(sync_marker())
+                continue
+            pc = int(parts[1], 16)
+            address = int(parts[2], 16)
+            size = int(parts[3])
+            is_store = parts[4] == "W"
+            traces.setdefault(tid, []).append(pack(pc, address, size, is_store))
+        except (IndexError, ValueError) as exc:
+            raise ValueError(
+                f"{path}:{lineno}: malformed record: {line!r}"
+            ) from exc
+    return (
+        [traces.get(tid, []) for tid in range(launch.total_threads)],
+        launch,
+    )
+
+
+def warp_traces_from_thread_file(
+    path: PathLike, segment_size: int = 128
+) -> Tuple[List[WarpTrace], LaunchConfig]:
+    """Load a per-thread trace file and run it through the Fermi front end."""
+    thread_traces, launch = load_thread_traces(path)
+    coalescer = CoalescingModel(segment_size)
+    warp_traces = []
+    for warp in launch.iter_warps():
+        lanes = [thread_traces[tid] for tid in launch.threads_in_warp(warp)]
+        warp_traces.append(
+            lockstep_warp_trace(
+                lanes, coalescer, warp_id=warp,
+                block=launch.block_of_warp(warp),
+            )
+        )
+    return warp_traces, launch

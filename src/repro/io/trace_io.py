@@ -1,0 +1,97 @@
+"""Warp-trace files.
+
+A simple line-oriented text format for coalesced warp traces, so externally
+collected GPU memory traces (e.g. from an instrumented simulator) can enter
+the G-MAP pipeline, and generated proxy traces can leave it for other
+simulators.
+
+Format (one file per kernel)::
+
+    # gmap-trace v1
+    W <warp_id> <block>
+    I <pc_hex> <n_txns>
+    T <pc_hex> <address_hex> <size> <R|W>
+    ...
+
+``W`` starts a warp, ``I`` records one dynamic instruction (PC and its
+coalescing degree), ``T`` one transaction.  ``I`` lines are optional — when
+absent, each transaction is treated as its own instruction instance.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import List, Union
+
+from repro.gpu.executor import WarpTrace
+
+PathLike = Union[str, Path]
+
+_MAGIC = "# gmap-trace v1"
+
+
+def save_warp_traces(traces: List[WarpTrace], path: PathLike) -> None:
+    """Write warp traces to a trace file (gzipped if the path ends .gz)."""
+    lines = [_MAGIC]
+    for trace in traces:
+        lines.append(f"W {trace.warp_id} {trace.block}")
+        for pc, n_txns in trace.instructions:
+            lines.append(f"I {pc:#x} {n_txns}")
+        for pc, address, size, is_store in trace.transactions:
+            rw = "W" if is_store else "R"
+            lines.append(f"T {pc:#x} {address:#x} {size} {rw}")
+    payload = "\n".join(lines) + "\n"
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(payload)
+    else:
+        path.write_text(payload, encoding="utf-8")
+
+
+def load_warp_traces(path: PathLike) -> List[WarpTrace]:
+    """Read a trace file written by :func:`save_warp_traces`."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise ValueError(f"{path}: not a gmap-trace v1 file")
+    traces: List[WarpTrace] = []
+    current: WarpTrace | None = None
+    for lineno, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        try:
+            if kind == "W":
+                current = WarpTrace(warp_id=int(parts[1]), block=int(parts[2]))
+                traces.append(current)
+            elif kind == "I":
+                if current is None:
+                    raise ValueError("I record before any W record")
+                current.instructions.append((int(parts[1], 16), int(parts[2])))
+            elif kind == "T":
+                if current is None:
+                    raise ValueError("T record before any W record")
+                pc = int(parts[1], 16)
+                address = int(parts[2], 16)
+                size = int(parts[3])
+                is_store = 1 if parts[4] == "W" else 0
+                current.transactions.append((pc, address, size, is_store))
+            else:
+                raise ValueError(f"unknown record kind {kind!r}")
+        except (IndexError, ValueError) as exc:
+            raise ValueError(f"{path}:{lineno}: malformed record: {line!r}") from exc
+    for trace in traces:
+        if not trace.instructions:
+            trace.instructions = [
+                (pc, 1) for pc, *_ in trace.transactions
+            ]
+    return traces

@@ -1,0 +1,1 @@
+"""memsim subpackage of the G-MAP reproduction."""

@@ -1,0 +1,234 @@
+"""Configuration types for the SIMT-aware cache/memory simulator.
+
+``PAPER_BASELINE`` reproduces the paper's Table 2 profiled system
+configuration: 15 SMs, 16KB 4-way L1 with 128B lines, 1MB 8-way 8-bank L2,
+64 MSHRs/core, LRR scheduling, GDDR with 8 channels and
+tRCD-tCAS-tRP-tRAS = 11-11-11-28 at 924 MHz (core clock 1400 MHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+def _require_power_of_two(name: str, value: int) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value}")
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry, latency, and policies of one cache level.
+
+    ``write_policy`` is "write-back" (dirty lines, writebacks on eviction —
+    the CMP$im default) or "write-through" (stores forward downstream
+    immediately; lines never dirty).  ``write_allocate`` controls whether a
+    store miss fills the line; write-through + no-allocate models the
+    GPU-typical write-evict L1.  ``replacement`` is "lru", "fifo", or
+    "random" (deterministic, seeded per cache).
+    """
+
+    size: int              # bytes
+    assoc: int
+    line_size: int         # bytes
+    hit_latency: int = 1   # core cycles
+    mshrs: int = 64
+    banks: int = 1
+    write_policy: str = "write-back"
+    write_allocate: bool = True
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        # The size itself need not be a power of two (e.g. Fermi's 12KB
+        # 24-way texture cache); the number of sets must be, for indexing.
+        _require_power_of_two("line size", self.line_size)
+        _require_power_of_two("banks", self.banks)
+        if self.size <= 0:
+            raise ValueError(f"cache size must be positive, got {self.size}")
+        if self.assoc < 1:
+            raise ValueError(f"associativity must be >= 1, got {self.assoc}")
+        if self.size % (self.line_size * self.assoc):
+            raise ValueError(
+                f"size {self.size} not divisible by line*assoc "
+                f"({self.line_size}x{self.assoc})"
+            )
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(
+                f"number of sets must be a power of two, got {self.num_sets}"
+            )
+        if self.write_policy not in ("write-back", "write-through"):
+            raise ValueError(
+                f"write_policy must be write-back|write-through, "
+                f"got {self.write_policy!r}"
+            )
+        if self.replacement not in ("lru", "fifo", "random"):
+            raise ValueError(
+                f"replacement must be lru|fifo|random, got {self.replacement!r}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.line_size * self.assoc)
+
+    def describe(self) -> str:
+        kb = self.size // 1024
+        return f"{kb}KB {self.assoc}-way {self.line_size}B"
+
+
+@dataclass(frozen=True)
+class PrefetcherConfig:
+    """A prefetcher attached to one cache level.
+
+    ``kind`` is "stride" (PC-indexed, many-thread aware — the paper's L1
+    prefetcher after Lee et al. [12]) or "stream" (sequential stream
+    detector — the paper's L2 prefetcher).  ``degree`` is how many lines are
+    prefetched per trigger; ``stream_window`` the allocation window of the
+    stream detector (the paper sweeps 8/16/32); ``table_size`` the number of
+    tracked PCs or concurrent streams.
+    """
+
+    kind: str
+    degree: int = 2
+    table_size: int = 64
+    stream_window: int = 16
+    train_on_miss_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stride", "stream"):
+            raise ValueError(f"prefetcher kind must be stride|stream, got {self.kind!r}")
+        if self.degree < 1:
+            raise ValueError(f"degree must be >= 1, got {self.degree}")
+        if self.table_size < 1:
+            raise ValueError(f"table_size must be >= 1, got {self.table_size}")
+        if self.stream_window < 1:
+            raise ValueError(f"stream_window must be >= 1, got {self.stream_window}")
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """Key DRAM timing parameters, in DRAM-clock cycles.
+
+    Beyond the paper's headline tRCD-tCAS-tRP-tRAS quad (Table 2:
+    11-11-11-28), the model honours the secondary constraints that shape
+    GDDR behaviour under real traffic: the four-activate window ``t_faw``,
+    the write-to-read turnaround ``t_wtr``, and periodic refresh
+    (``t_refi`` interval, ``t_rfc`` blackout).  Setting ``t_faw=0`` /
+    ``t_wtr=0`` / ``t_refi=0`` disables the respective constraint.
+    """
+
+    t_rcd: int = 11
+    t_cas: int = 11
+    t_rp: int = 11
+    t_ras: int = 28
+    t_faw: int = 32
+    t_wtr: int = 6
+    t_refi: int = 3900
+    t_rfc: int = 160
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_cas", "t_rp", "t_ras"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        for name in ("t_faw", "t_wtr", "t_refi", "t_rfc"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """GDDR memory system geometry and timing."""
+
+    channels: int = 8
+    ranks: int = 1
+    banks: int = 8
+    row_bytes: int = 2048
+    bus_width: int = 8          # bytes per DRAM clock edge per channel
+    clock_mhz: float = 924.0
+    timings: DramTimings = field(default_factory=DramTimings)
+    mapping: str = "RoBaRaCoCh"
+    frfcfs_window: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "ranks", "banks"):
+            _require_power_of_two(name, getattr(self, name))
+        _require_power_of_two("row_bytes", self.row_bytes)
+        _require_power_of_two("bus_width", self.bus_width)
+        if self.mapping not in ("RoBaRaCoCh", "ChRaBaRoCo"):
+            raise ValueError(
+                f"mapping must be RoBaRaCoCh|ChRaBaRoCo, got {self.mapping!r}"
+            )
+        if self.frfcfs_window < 1:
+            raise ValueError("frfcfs_window must be >= 1")
+
+    def describe(self) -> str:
+        return (
+            f"{self.channels}ch x{self.ranks}rank x{self.banks}bank "
+            f"{self.bus_width}B bus, {self.mapping}"
+        )
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Complete system configuration for one simulation run."""
+
+    num_cores: int = 15
+    core_clock_mhz: float = 1400.0
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size=16 * 1024, assoc=4, line_size=128)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size=1024 * 1024, assoc=8, line_size=128, hit_latency=30, banks=8
+        )
+    )
+    dram: DramConfig = field(default_factory=DramConfig)
+    l1_prefetcher: Optional[PrefetcherConfig] = None
+    l2_prefetcher: Optional[PrefetcherConfig] = None
+    scheduler: str = "lrr"
+    sched_p_self: float = 0.5
+    scheduler_seed: int = 0
+    max_blocks_per_core: int = 8
+    # Per-SM specialised paths (section 2.1: "Each SM is associated with a
+    # private L1 data cache, texture cache, constant cache and shared
+    # memory").  Fermi-class defaults; set to None to model their absence.
+    texture_cache: Optional[CacheConfig] = field(
+        default_factory=lambda: CacheConfig(
+            size=12 * 1024, assoc=24, line_size=128, hit_latency=4
+        )
+    )
+    constant_cache: Optional[CacheConfig] = field(
+        default_factory=lambda: CacheConfig(
+            size=8 * 1024, assoc=4, line_size=64, hit_latency=1
+        )
+    )
+    shared_latency: float = 1.0
+    #: SM <-> L2-partition interconnect traversal (section 2.1: "all SMs
+    #: are connected to the memory modules by an interconnection network").
+    #: Applied once per L2-bound request; 0 disables.
+    noc_latency: float = 8.0
+    #: L2 inclusion policy: "non-inclusive" (default — L1 and L2 contents
+    #: evolve independently, the common GPU arrangement) or "inclusive"
+    #: (an L2 eviction back-invalidates every core's L1 copy).
+    l2_inclusion: str = "non-inclusive"
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.l2_inclusion not in ("non-inclusive", "inclusive"):
+            raise ValueError(
+                f"l2_inclusion must be non-inclusive|inclusive, "
+                f"got {self.l2_inclusion!r}"
+            )
+
+    def with_(self, **changes) -> "SimConfig":
+        """Functional update, for sweep construction."""
+        return replace(self, **changes)
+
+    @property
+    def dram_cycle_in_core_cycles(self) -> float:
+        return self.core_clock_mhz / self.dram.clock_mhz
+
+
+#: Table 2 of the paper: the profiled system configuration.
+PAPER_BASELINE = SimConfig()

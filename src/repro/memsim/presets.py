@@ -1,0 +1,69 @@
+"""Named memory-system presets for design-space exploration.
+
+The paper profiles on a GDDR3-class part (Table 2) and sweeps GDDR5-class
+configurations in Figure 7.  These presets bundle the geometry/timing
+combinations a user would otherwise assemble by hand, including an HBM-like
+point (many narrow channels) to explore the bandwidth-vs-locality trade-off
+beyond the paper's sweep.
+
+Timings are in DRAM-clock cycles of each standard's own clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.memsim.config import DramConfig, DramTimings
+
+#: Table 2's profiled part: GDDR3, 8 channels, 924 MHz, 11-11-11-28.
+GDDR3_PAPER = DramConfig(
+    channels=8,
+    ranks=1,
+    banks=8,
+    row_bytes=2048,
+    bus_width=8,
+    clock_mhz=924.0,
+    timings=DramTimings(t_rcd=11, t_cas=11, t_rp=11, t_ras=28),
+)
+
+#: A GDDR5-class point (Figure 7's sweep family): faster clock, deeper
+#: timing in cycles, 16 banks.
+GDDR5 = DramConfig(
+    channels=8,
+    ranks=1,
+    banks=16,
+    row_bytes=2048,
+    bus_width=8,
+    clock_mhz=1750.0,
+    timings=DramTimings(t_rcd=18, t_cas=18, t_rp=18, t_ras=42,
+                        t_faw=46, t_wtr=8, t_refi=6825, t_rfc=280),
+)
+
+#: An HBM2-like point: many narrow channels at a slow clock — high
+#: parallelism, low per-channel bandwidth.
+HBM2_LIKE = DramConfig(
+    channels=16,
+    ranks=1,
+    banks=16,
+    row_bytes=1024,
+    bus_width=16,
+    clock_mhz=500.0,
+    timings=DramTimings(t_rcd=7, t_cas=7, t_rp=7, t_ras=17,
+                        t_faw=15, t_wtr=3, t_refi=1950, t_rfc=130),
+)
+
+PRESETS: Dict[str, DramConfig] = {
+    "gddr3-paper": GDDR3_PAPER,
+    "gddr5": GDDR5,
+    "hbm2-like": HBM2_LIKE,
+}
+
+
+def dram_preset(name: str) -> DramConfig:
+    """Look up a preset by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown DRAM preset {name!r}; available: {sorted(PRESETS)}"
+        ) from None

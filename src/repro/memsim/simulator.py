@@ -1,0 +1,259 @@
+"""SIMT-aware trace-driven simulation loop.
+
+Drives per-core warp queues against the memory hierarchy with latency
+feedback (paper sections 4.5/4.6): each core issues one coalesced memory
+transaction per cycle from a warp chosen by the scheduling policy; the
+issuing warp is then *delayed in proportion to the request's latency* before
+it is eligible again, which is what lets thread-level parallelism hide (or
+fail to hide) memory latency in the model.
+
+The same loop simulates original applications and G-MAP proxies — both are
+just lists of :class:`~repro.gpu.executor.CoreAssignment`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.gpu.executor import CoreAssignment, WarpTrace
+from repro.gpu.instructions import AccessTuple
+from repro.gpu.scheduler import WarpQueue, WarpScheduler, make_scheduler
+from repro.memsim.config import SimConfig
+from repro.memsim.hierarchy import MemoryHierarchy
+from repro.memsim.stats import SimResult
+
+
+#: Warps parked at a barrier are delayed to this time; they re-enter the
+#: ready set only through an explicit barrier release.
+_BARRIER_PARK = float("inf")
+
+
+class _CoreState:
+    """Scheduling state of one simulated core.
+
+    Besides the warp queue, the core tracks TB-level barriers (paper
+    section 4.5): a warp reaching a ``SYNC_PC`` record parks until every
+    still-active warp of its threadblock has arrived, then the whole block
+    crosses together.  A block's barrier also releases when its remaining
+    non-parked warps retire, so clones whose warps drew π profiles with
+    differing barrier counts cannot deadlock.
+    """
+
+    __slots__ = (
+        "core_id", "now", "queue", "scheduler", "traces", "cursors",
+        "waves", "wave_index", "last_warp", "issued", "same_issues",
+        "block_active", "barrier_wait", "syncs_crossed",
+    )
+
+    def __init__(
+        self, core_id: int, waves: List[List[WarpTrace]], scheduler: WarpScheduler
+    ) -> None:
+        self.core_id = core_id
+        self.now = 0.0
+        self.queue = WarpQueue()
+        self.scheduler = scheduler
+        self.traces: Dict[int, WarpTrace] = {}
+        self.cursors: Dict[int, int] = {}
+        self.waves = waves
+        self.wave_index = 0
+        self.last_warp: Optional[int] = None
+        self.issued = 0
+        self.same_issues = 0
+        self.block_active: Dict[int, int] = {}
+        self.barrier_wait: Dict[int, List[int]] = {}
+        self.syncs_crossed = 0
+        self._load_next_wave()
+
+    def _load_next_wave(self) -> bool:
+        """Fill the warp queue with the next resident wave of threadblocks."""
+        while self.wave_index < len(self.waves):
+            wave = self.waves[self.wave_index]
+            self.wave_index += 1
+            loaded = False
+            self.block_active = {}
+            self.barrier_wait = {}
+            for trace in wave:
+                if trace.transactions:
+                    self.queue.add(trace.warp_id, self.now)
+                    self.traces[trace.warp_id] = trace
+                    self.cursors[trace.warp_id] = 0
+                    self.block_active[trace.block] = (
+                        self.block_active.get(trace.block, 0) + 1
+                    )
+                    loaded = True
+            if loaded:
+                return True
+        return False
+
+    @property
+    def active(self) -> bool:
+        return len(self.queue) > 0
+
+    def _retire(self, warp: int) -> None:
+        block = self.traces[warp].block
+        self.queue.retire(warp)
+        del self.traces[warp]
+        del self.cursors[warp]
+        self.block_active[block] -= 1
+        self._maybe_release_barrier(block)
+        if not self.queue:
+            self._load_next_wave()
+
+    def _maybe_release_barrier(self, block: int) -> None:
+        waiting = self.barrier_wait.get(block)
+        if not waiting or len(waiting) < self.block_active.get(block, 0):
+            return
+        self.barrier_wait[block] = []
+        self.syncs_crossed += 1
+        for warp in waiting:
+            cursor = self.cursors[warp] + 1  # step past the SYNC record
+            if cursor >= len(self.traces[warp].transactions):
+                self.cursors[warp] = cursor
+                self._retire(warp)
+            else:
+                self.cursors[warp] = cursor
+                self.queue.delay(warp, self.now + 1.0)
+
+    def step(self, hierarchy: MemoryHierarchy) -> bool:
+        """Issue at most one transaction; returns False when the core idles."""
+        ready = self.queue.ready_at(self.now)
+        if not ready:
+            next_ready = self.queue.next_event()
+            if next_ready is None:
+                return self._load_next_wave()
+            if next_ready == _BARRIER_PARK:
+                raise RuntimeError(
+                    f"core {self.core_id}: all warps parked at barriers — "
+                    "barrier bookkeeping is inconsistent"
+                )
+            self.now = max(self.now, next_ready)
+            ready = self.queue.ready_at(self.now)
+        warp = self.scheduler.select(ready, self.last_warp)
+        trace = self.traces[warp]
+        cursor = self.cursors[warp]
+        pc, address, size, is_store = trace.transactions[cursor]
+        if pc < 0:  # SYNC_PC: park at the TB barrier (no memory request)
+            block = trace.block
+            self.barrier_wait.setdefault(block, []).append(warp)
+            self.queue.delay(warp, _BARRIER_PARK)
+            self.last_warp = warp
+            self._maybe_release_barrier(block)
+            self.now += 1.0
+            return True
+        latency = hierarchy.access(
+            self.core_id, self.now, pc, address, size, bool(is_store)
+        )
+        if self.last_warp == warp:
+            self.same_issues += 1
+        self.last_warp = warp
+        self.issued += 1
+        cursor += 1
+        if cursor >= len(trace.transactions):
+            self.cursors[warp] = cursor
+            self._retire(warp)
+        else:
+            self.cursors[warp] = cursor
+            self.queue.delay(warp, self.now + latency)
+        self.now += 1.0
+        return True
+
+
+class SimtSimulator:
+    """Runs core assignments through a fresh memory hierarchy."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.hierarchy = MemoryHierarchy(config)
+
+    def run(
+        self,
+        assignments: Sequence[CoreAssignment],
+        max_requests: Optional[int] = None,
+    ) -> SimResult:
+        """Simulate until every warp drains (or ``max_requests`` issue).
+
+        Cores interleave in global time order so the shared L2/DRAM sees a
+        realistic merged request stream.
+        """
+        scheduler_proto = make_scheduler(
+            self.config.scheduler,
+            self.config.sched_p_self,
+            self.config.scheduler_seed,
+        )
+        cores = [
+            _CoreState(a.core_id, a.waves, scheduler_proto.clone())
+            for a in assignments
+        ]
+        active = [c for c in cores if c.active]
+        issued_total = 0
+        budget = max_requests if max_requests is not None else float("inf")
+        hierarchy = self.hierarchy
+        while active and issued_total < budget:
+            core = min(active, key=lambda c: c.now)
+            before = core.issued
+            alive = core.step(hierarchy)
+            issued_total += core.issued - before
+            if not alive or not core.active:
+                active = [c for c in active if c.active]
+
+        result = SimResult(
+            l1=hierarchy.l1_stats(),
+            l2=hierarchy.l2_stats(),
+            dram=hierarchy.dram_stats(),
+            texture=hierarchy.texture_stats(),
+            constant=hierarchy.constant_stats(),
+            shared_accesses=hierarchy.shared_accesses,
+            requests_issued=issued_total,
+            cycles=max((c.now for c in cores), default=0.0),
+            barriers_crossed=sum(c.syncs_crossed for c in cores),
+            per_core_l1=[l1.stats for l1 in hierarchy.l1s],
+        )
+        total_issues = sum(c.issued for c in cores)
+        same = sum(c.same_issues for c in cores)
+        result.measured_p_self = same / total_issues if total_issues else 0.0
+        return result
+
+
+def simulate(
+    assignments: Sequence[CoreAssignment],
+    config: SimConfig,
+    max_requests: Optional[int] = None,
+) -> SimResult:
+    """One-shot convenience wrapper: fresh simulator, one run."""
+    return SimtSimulator(config).run(assignments, max_requests=max_requests)
+
+
+def simulate_flat_trace(
+    per_core_traces: Sequence[Sequence[AccessTuple]], config: SimConfig
+) -> SimResult:
+    """Simulate pre-interleaved per-core traces (no scheduling feedback).
+
+    Used for trace-file replay and for the fixed-order interleavings that
+    Algorithm 2's simplest round-robin drain produces.
+    """
+    hierarchy = MemoryHierarchy(config)
+    clocks = [0.0] * len(per_core_traces)
+    cursors = [0] * len(per_core_traces)
+    issued = 0
+    remaining = sum(len(t) for t in per_core_traces)
+    while remaining:
+        core = min(
+            (c for c in range(len(per_core_traces))
+             if cursors[c] < len(per_core_traces[c])),
+            key=lambda c: clocks[c],
+        )
+        pc, address, size, is_store = per_core_traces[core][cursors[core]]
+        cursors[core] += 1
+        remaining -= 1
+        if pc < 0:  # SYNC_PC records carry no memory semantics here
+            continue
+        hierarchy.access(core, clocks[core], pc, address, size, bool(is_store))
+        clocks[core] += 1.0
+        issued += 1
+    return SimResult(
+        l1=hierarchy.l1_stats(),
+        l2=hierarchy.l2_stats(),
+        dram=hierarchy.dram_stats(),
+        requests_issued=issued,
+        cycles=max(clocks, default=0.0),
+    )

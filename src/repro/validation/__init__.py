@@ -1,0 +1,1 @@
+"""validation subpackage of the G-MAP reproduction."""

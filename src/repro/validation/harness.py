@@ -1,0 +1,209 @@
+"""Original-vs-proxy validation harness.
+
+Runs the paper's experiment structure: for each benchmark, profile once
+(profiles are configuration-independent — "profiling is a one-time cost",
+section 5), generate the proxy once, then simulate both the original and the
+proxy across a configuration sweep and compare metrics per configuration.
+
+The harness is the engine behind every Figure 6/7/8 bench target and the
+`gmap validate` CLI command.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.generator import ProxyGenerator
+from repro.core.miniaturize import miniaturize_profile
+from repro.core.profile import GmapProfile
+from repro.core.profiler import GmapProfiler
+from repro.gpu.executor import CoreAssignment, execute_kernel
+from repro.memsim.config import SimConfig
+from repro.memsim.simulator import SimtSimulator
+from repro.memsim.stats import SimResult
+from repro.validation.metrics import SweepComparison
+from repro.workloads.base import KernelModel
+
+
+@dataclass
+class BenchmarkPipeline:
+    """Cached per-benchmark artifacts shared across a sweep.
+
+    The original's warp traces and the proxy's generated warp traces do not
+    depend on cache/prefetcher/DRAM parameters (only on core count and
+    residency), so they are built once and re-simulated per configuration.
+    """
+
+    kernel: KernelModel
+    profile: GmapProfile
+    original_assignments: List[CoreAssignment]
+    proxy_assignments: List[CoreAssignment]
+    profiling_seconds: float
+    generation_seconds: float
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+
+def build_pipeline(
+    kernel: KernelModel,
+    num_cores: int = 15,
+    max_blocks_per_core: int = 8,
+    seed: int = 1234,
+    scale_factor: float = 1.0,
+    profiler: Optional[GmapProfiler] = None,
+    stride_model: str = "iid",
+) -> BenchmarkPipeline:
+    """Profile a kernel and generate its proxy, ready for simulation.
+
+    ``scale_factor`` miniaturizes the proxy (Figure 8); 1.0 keeps the clone
+    the same size as the original.  ``stride_model`` selects the paper's IID
+    stride sampling or the first-order Markov refinement.
+    """
+    profiler = profiler or GmapProfiler()
+    t0 = time.perf_counter()
+    profile = profiler.profile(kernel)
+    t1 = time.perf_counter()
+    original = execute_kernel(kernel, num_cores, max_blocks_per_core)
+    if scale_factor != 1.0:
+        profile_for_generation = miniaturize_profile(profile, scale_factor)
+    else:
+        profile_for_generation = profile
+    generator = ProxyGenerator(
+        profile_for_generation, seed=seed, stride_model=stride_model
+    )
+    proxy = generator.generate(num_cores, max_blocks_per_core=max_blocks_per_core)
+    t2 = time.perf_counter()
+    return BenchmarkPipeline(
+        kernel=kernel,
+        profile=profile,
+        original_assignments=original,
+        proxy_assignments=proxy,
+        profiling_seconds=t1 - t0,
+        generation_seconds=t2 - t1,
+    )
+
+
+@dataclass
+class RunPair:
+    """Original and proxy simulation results for one configuration."""
+
+    config: SimConfig
+    original: SimResult
+    proxy: SimResult
+
+
+def simulate_pair(
+    pipeline: BenchmarkPipeline, config: SimConfig, track_scheduling: bool = True
+) -> RunPair:
+    """Simulate original and proxy under one configuration.
+
+    When the configuration uses a non-LRR scheduler, the proxy is driven by
+    the paper's ``SchedP_self`` abstraction (section 4.5): the original run
+    is simulated under the real policy, its empirical probability of
+    back-to-back same-warp issue is measured, and the proxy is scheduled
+    with that probability.
+    """
+    original = SimtSimulator(config).run(pipeline.original_assignments)
+    proxy_config = config
+    if track_scheduling and config.scheduler.lower() not in ("lrr",):
+        proxy_config = config.with_(
+            scheduler="schedpself", sched_p_self=original.measured_p_self
+        )
+    proxy = SimtSimulator(proxy_config).run(pipeline.proxy_assignments)
+    return RunPair(config=config, original=original, proxy=proxy)
+
+
+@dataclass
+class SweepResult:
+    """All per-configuration pairs of one benchmark's sweep."""
+
+    benchmark: str
+    pairs: List[RunPair] = field(default_factory=list)
+
+    def comparison(self, metric: str) -> SweepComparison:
+        return SweepComparison(
+            benchmark=self.benchmark,
+            metric=metric,
+            originals=[p.original.metric(metric) for p in self.pairs],
+            proxies=[p.proxy.metric(metric) for p in self.pairs],
+        )
+
+
+def run_sweep(
+    pipeline: BenchmarkPipeline, configs: Sequence[SimConfig]
+) -> SweepResult:
+    """Simulate one benchmark's original and proxy across a sweep."""
+    result = SweepResult(benchmark=pipeline.name)
+    for config in configs:
+        result.pairs.append(simulate_pair(pipeline, config))
+    return result
+
+
+@dataclass
+class ExperimentReport:
+    """Aggregated per-benchmark and overall statistics for one experiment."""
+
+    metric: str
+    comparisons: List[SweepComparison]
+
+    @property
+    def mean_error(self) -> float:
+        if not self.comparisons:
+            return 0.0
+        return sum(c.mean_abs_error for c in self.comparisons) / len(self.comparisons)
+
+    @property
+    def mean_correlation(self) -> float:
+        if not self.comparisons:
+            return 1.0
+        return sum(c.correlation for c in self.comparisons) / len(self.comparisons)
+
+    def rows(self) -> List[tuple]:
+        return [c.row() for c in self.comparisons]
+
+    def format_table(self) -> str:
+        lines = [f"{'benchmark':<18} {'err':>8} {'corr':>7}"]
+        for name, err, corr in self.rows():
+            lines.append(f"{name:<18} {err * 100:7.2f}% {corr:7.3f}")
+        lines.append(
+            f"{'AVERAGE':<18} {self.mean_error * 100:7.2f}% "
+            f"{self.mean_correlation:7.3f}"
+        )
+        return "\n".join(lines)
+
+
+def _one_benchmark_comparison(args):
+    """Worker body: pipeline + sweep for one benchmark (picklable)."""
+    kernel, configs, metric, seed, num_cores = args
+    pipeline = build_pipeline(kernel, num_cores=num_cores, seed=seed)
+    return run_sweep(pipeline, configs).comparison(metric)
+
+
+def run_experiment(
+    kernels: Sequence[KernelModel],
+    configs: Sequence[SimConfig],
+    metric: str,
+    seed: int = 1234,
+    num_cores: int = 15,
+    workers: Optional[int] = None,
+) -> ExperimentReport:
+    """The full per-figure evaluation loop: all benchmarks x all configs.
+
+    ``workers`` > 1 distributes benchmarks over a process pool — results
+    are bit-identical to the serial run (each benchmark's pipeline is
+    self-contained and seeded).
+    """
+    tasks = [(kernel, list(configs), metric, seed, num_cores)
+             for kernel in kernels]
+    if workers and workers > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=workers) as pool:
+            comparisons = pool.map(_one_benchmark_comparison, tasks)
+    else:
+        comparisons = [_one_benchmark_comparison(task) for task in tasks]
+    return ExperimentReport(metric=metric, comparisons=comparisons)

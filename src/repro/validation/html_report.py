@@ -1,0 +1,221 @@
+"""Self-contained HTML reports with inline SVG charts.
+
+``gmap validate --html out.html`` (and the reproduce_all script) render the
+original-vs-proxy evidence as a single dependency-free HTML file: per-figure
+tables, grouped bar charts comparing original and proxy values per
+benchmark, and the paper's reported numbers alongside.  Everything is
+generated from :class:`~repro.validation.metrics.SweepComparison` objects;
+no plotting library is required.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.validation.metrics import SweepComparison
+
+PathLike = Union[str, Path]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { border-bottom: 3px solid #4a4e69; padding-bottom: .4rem; }
+h2 { color: #22223b; margin-top: 2.2rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .92rem; }
+th, td { border: 1px solid #c9cad9; padding: .35rem .7rem; text-align: right; }
+th { background: #f2e9e4; }
+td:first-child, th:first-child { text-align: left; }
+.note { color: #4a4e69; font-size: .88rem; }
+.paper { background: #eef3f8; border-left: 4px solid #4a6fa5;
+         padding: .5rem .9rem; margin: .8rem 0; font-size: .9rem; }
+svg { margin: .6rem 0; }
+"""
+
+#: Chart palette: original vs proxy.
+_COLORS = ("#4a6fa5", "#c86b4a")
+
+
+def _escape(text: object) -> str:
+    return html.escape(str(text))
+
+
+class HtmlReport:
+    """Accumulates sections and renders one standalone HTML document."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self._body: List[str] = []
+
+    # -- content -------------------------------------------------------------
+
+    def add_heading(self, text: str, level: int = 2) -> None:
+        """Add an h2/h3... heading."""
+        level = min(max(level, 1), 6)
+        self._body.append(f"<h{level}>{_escape(text)}</h{level}>")
+
+    def add_paragraph(self, text: str, css_class: str = "") -> None:
+        """Add a paragraph of (escaped) text."""
+        cls = f' class="{_escape(css_class)}"' if css_class else ""
+        self._body.append(f"<p{cls}>{_escape(text)}</p>")
+
+    def add_paper_note(self, text: str) -> None:
+        """Add a highlighted 'the paper reports ...' callout."""
+        self._body.append(f'<div class="paper">{_escape(text)}</div>')
+
+    def add_table(self, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
+        """Add a table; cells are escaped, floats formatted to 4 digits."""
+        parts = ["<table><thead><tr>"]
+        parts.extend(f"<th>{_escape(h)}</th>" for h in headers)
+        parts.append("</tr></thead><tbody>")
+        for row in rows:
+            parts.append("<tr>")
+            for cell in row:
+                if isinstance(cell, float):
+                    cell = f"{cell:.4f}"
+                parts.append(f"<td>{_escape(cell)}</td>")
+            parts.append("</tr>")
+        parts.append("</tbody></table>")
+        self._body.append("".join(parts))
+
+    def add_grouped_bars(
+        self,
+        labels: Sequence[str],
+        series: Dict[str, Sequence[float]],
+        unit: str = "",
+        width: int = 720,
+    ) -> None:
+        """Horizontal grouped bar chart (one group per label).
+
+        ``series`` maps series name (e.g. "original"/"proxy") to one value
+        per label.  Rendered as inline SVG.
+        """
+        names = list(series)
+        for name in names:
+            if len(series[name]) != len(labels):
+                raise ValueError(
+                    f"series {name!r} has {len(series[name])} values for "
+                    f"{len(labels)} labels"
+                )
+        maximum = max(
+            (v for vals in series.values() for v in vals), default=0.0
+        ) or 1e-9
+        bar_h = 14
+        group_h = bar_h * len(names) + 10
+        height = group_h * len(labels) + 24
+        label_w = 150
+        chart_w = width - label_w - 70
+        parts = [
+            f'<svg width="{width}" height="{height}" '
+            f'font-size="11" font-family="sans-serif">'
+        ]
+        for g, label in enumerate(labels):
+            y0 = g * group_h + 12
+            parts.append(
+                f'<text x="{label_w - 6}" y="{y0 + group_h / 2 - 4}" '
+                f'text-anchor="end">{_escape(label)}</text>'
+            )
+            for s, name in enumerate(names):
+                value = series[name][g]
+                bar = max(1.0, value / maximum * chart_w)
+                y = y0 + s * bar_h
+                color = _COLORS[s % len(_COLORS)]
+                parts.append(
+                    f'<rect x="{label_w}" y="{y}" width="{bar:.1f}" '
+                    f'height="{bar_h - 3}" fill="{color}"/>'
+                )
+                parts.append(
+                    f'<text x="{label_w + bar + 4:.1f}" y="{y + bar_h - 5}">'
+                    f"{value:.3f}{_escape(unit)}</text>"
+                )
+        # Legend.
+        lx = label_w
+        ly = height - 8
+        for s, name in enumerate(names):
+            color = _COLORS[s % len(_COLORS)]
+            parts.append(
+                f'<rect x="{lx}" y="{ly - 9}" width="10" height="10" '
+                f'fill="{color}"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 14}" y="{ly}">{_escape(name)}</text>'
+            )
+            lx += 14 + 8 * len(name) + 24
+        parts.append("</svg>")
+        self._body.append("".join(parts))
+
+    def add_comparison_section(
+        self,
+        title: str,
+        comparisons: Sequence[SweepComparison],
+        paper_note: str = "",
+    ) -> None:
+        """One experiment: paper note, per-benchmark table, grouped bars."""
+        self.add_heading(title)
+        if paper_note:
+            self.add_paper_note(paper_note)
+        if not comparisons:
+            self.add_paragraph("(no data)", css_class="note")
+            return
+        rows = []
+        labels: List[str] = []
+        orig_means: List[float] = []
+        proxy_means: List[float] = []
+        for comparison in comparisons:
+            n = len(comparison.originals) or 1
+            orig_mean = sum(comparison.originals) / n
+            proxy_mean = sum(comparison.proxies) / n
+            labels.append(comparison.benchmark)
+            orig_means.append(orig_mean)
+            proxy_means.append(proxy_mean)
+            rows.append([
+                comparison.benchmark, orig_mean, proxy_mean,
+                f"{comparison.mean_abs_error * 100:.2f}pp",
+                f"{comparison.correlation:.3f}",
+            ])
+        mean_err = sum(c.mean_abs_error for c in comparisons) / len(comparisons)
+        mean_corr = sum(c.correlation for c in comparisons) / len(comparisons)
+        rows.append(["AVERAGE", "", "", f"{mean_err * 100:.2f}pp",
+                     f"{mean_corr:.3f}"])
+        metric = comparisons[0].metric
+        self.add_table(
+            ["benchmark", f"original {metric}", f"proxy {metric}",
+             "error", "correlation"],
+            rows,
+        )
+        self.add_grouped_bars(
+            labels, {"original": orig_means, "proxy": proxy_means}
+        )
+
+    # -- output ----------------------------------------------------------------
+
+    def render(self) -> str:
+        """The complete HTML document as a string."""
+        return (
+            "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>{_escape(self.title)}</title>"
+            f"<style>{_CSS}</style></head><body>"
+            f"<h1>{_escape(self.title)}</h1>"
+            + "".join(self._body)
+            + "</body></html>"
+        )
+
+    def save(self, path: PathLike) -> None:
+        """Write the document to ``path``."""
+        Path(path).write_text(self.render(), encoding="utf-8")
+
+
+def experiment_html_report(
+    title: str,
+    comparisons: Sequence[SweepComparison],
+    paper_note: str = "",
+    path: Optional[PathLike] = None,
+) -> str:
+    """Convenience: one-experiment report; optionally saved to ``path``."""
+    report = HtmlReport(title)
+    report.add_comparison_section(title, comparisons, paper_note)
+    document = report.render()
+    if path is not None:
+        Path(path).write_text(document, encoding="utf-8")
+    return document

@@ -1,0 +1,143 @@
+"""Report generation: CSV series and ASCII renderings of the paper's figures.
+
+The paper's Figures 6 and 7 are per-benchmark bar charts (cloning error /
+normalised metrics) and Figure 8 a two-axis line chart.  This module turns
+:class:`~repro.validation.metrics.SweepComparison` collections into:
+
+* machine-readable CSV (one row per benchmark x configuration) for external
+  plotting, and
+* terminal-renderable ASCII charts, so every bench target can show the
+  figure's shape without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.validation.metrics import SweepComparison
+
+PathLike = Union[str, Path]
+
+#: Glyph resolution of one chart row.
+_BAR_WIDTH = 40
+
+
+def write_comparison_csv(
+    comparisons: Sequence[SweepComparison], path: PathLike
+) -> None:
+    """One row per (benchmark, configuration index): original vs proxy."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["benchmark", "metric", "config_index", "original", "proxy"]
+        )
+        for comparison in comparisons:
+            for index, (orig, proxy) in enumerate(
+                zip(comparison.originals, comparison.proxies)
+            ):
+                writer.writerow(
+                    [comparison.benchmark, comparison.metric, index,
+                     f"{orig:.6f}", f"{proxy:.6f}"]
+                )
+
+
+def read_comparison_csv(path: PathLike) -> List[SweepComparison]:
+    """Inverse of :func:`write_comparison_csv`."""
+    grouped: Dict[Tuple[str, str], Tuple[List[float], List[float]]] = {}
+    order: List[Tuple[str, str]] = []
+    with Path(path).open(newline="", encoding="utf-8") as fh:
+        for row in csv.DictReader(fh):
+            key = (row["benchmark"], row["metric"])
+            if key not in grouped:
+                grouped[key] = ([], [])
+                order.append(key)
+            grouped[key][0].append(float(row["original"]))
+            grouped[key][1].append(float(row["proxy"]))
+    return [
+        SweepComparison(
+            benchmark=name, metric=metric,
+            originals=grouped[(name, metric)][0],
+            proxies=grouped[(name, metric)][1],
+        )
+        for name, metric in order
+    ]
+
+
+def ascii_bar(value: float, maximum: float, width: int = _BAR_WIDTH) -> str:
+    """A single horizontal bar scaled so ``maximum`` fills ``width``."""
+    if maximum <= 0:
+        return ""
+    filled = round(min(value, maximum) / maximum * width)
+    return "#" * filled
+
+
+def render_error_chart(
+    comparisons: Sequence[SweepComparison], title: str = "cloning error"
+) -> str:
+    """A Figure-6-style bar chart: per-benchmark mean absolute error."""
+    if not comparisons:
+        return f"{title}: (no data)"
+    errors = [(c.benchmark, c.mean_abs_error) for c in comparisons]
+    maximum = max(err for _, err in errors) or 1e-9
+    lines = [f"{title} (bar max = {maximum * 100:.2f}pp)"]
+    for name, err in errors:
+        lines.append(
+            f"{name:<18} {err * 100:6.2f}pp |{ascii_bar(err, maximum)}"
+        )
+    mean = sum(err for _, err in errors) / len(errors)
+    lines.append(f"{'AVERAGE':<18} {mean * 100:6.2f}pp")
+    return "\n".join(lines)
+
+
+def render_two_series_chart(
+    xs: Sequence[float],
+    left: Sequence[float],
+    right: Sequence[float],
+    x_label: str = "factor",
+    left_label: str = "accuracy",
+    right_label: str = "speedup",
+) -> str:
+    """A Figure-8-style dual-series table with inline bars."""
+    if not (len(xs) == len(left) == len(right)):
+        raise ValueError("series lengths differ")
+    if not xs:
+        return "(no data)"
+    left_max = max(left) or 1e-9
+    right_max = max(right) or 1e-9
+    half = _BAR_WIDTH // 2
+    lines = [
+        f"{x_label:>8} {left_label:>10} {'':<{half}} "
+        f"{right_label:>10}"
+    ]
+    for x, lv, rv in zip(xs, left, right):
+        lines.append(
+            f"{x:>8g} {lv:>10.3f} {ascii_bar(lv, left_max, half):<{half}} "
+            f"{rv:>10.3f} {ascii_bar(rv, right_max, half)}"
+        )
+    return "\n".join(lines)
+
+
+def render_normalized_series(
+    values_by_benchmark: Dict[str, Tuple[float, float]],
+    baseline: str,
+    title: str = "normalised metric",
+) -> str:
+    """A Figure-7-style original-vs-clone listing, normalised to a baseline."""
+    if baseline not in values_by_benchmark:
+        raise ValueError(f"baseline {baseline!r} not among benchmarks")
+    norm = values_by_benchmark[baseline][0] or 1e-9
+    lines = [f"{title} (normalised to {baseline})"]
+    maximum = max(
+        max(orig, proxy) / norm for orig, proxy in values_by_benchmark.values()
+    ) or 1e-9
+    for name, (orig, proxy) in values_by_benchmark.items():
+        lines.append(
+            f"{name:<18} orig {orig / norm:7.3f} |{ascii_bar(orig / norm, maximum)}"
+        )
+        lines.append(
+            f"{'':<18} prox {proxy / norm:7.3f} |{ascii_bar(proxy / norm, maximum)}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""Configuration sweeps of the paper's evaluation (section 5).
+
+Each function returns the list of :class:`~repro.memsim.config.SimConfig`
+variations one experiment evaluates per benchmark:
+
+* :func:`l1_sweep` — 30 L1 configurations (size 8-128KB, associativity 1-16,
+  line size 32-128B; L2 fixed at 1MB 8-way) — Figure 6a;
+* :func:`l2_sweep` — 30 L2 configurations (128KB-4MB, 1-16 way, 64-128B
+  lines; L1 fixed at 16KB 4-way) — Figure 6b;
+* :func:`l1_prefetcher_sweep` — 72 L1 + stride-prefetcher configurations —
+  Figure 6c;
+* :func:`l2_prefetcher_sweep` — 96 L2 + stream-prefetcher configurations
+  (window 8/16/32 x degree 1/2/4/8) — Figure 6d;
+* :func:`scheduling_sweep` — LRR and GTO — Figure 6e;
+* :func:`dram_sweep` — 11 GDDR configurations (bus width, channel
+  parallelism, RoBaRaCoCh / ChRaBaRoCo addressing) — Figure 7.
+
+The paper's exact 30/72/96-point grids are not published; these grids match
+the stated parameter ranges and counts.  ``reduced=True`` subsamples each
+sweep for fast test/bench runs while preserving its extremes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.memsim.config import (
+    PAPER_BASELINE,
+    CacheConfig,
+    DramConfig,
+    PrefetcherConfig,
+    SimConfig,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+def _subsample(configs: List[SimConfig], reduced: bool, keep: int) -> List[SimConfig]:
+    if not reduced or len(configs) <= keep:
+        return configs
+    if keep < 2:
+        return configs[:1]
+    # Keep endpoints and an even spread in between.
+    step = (len(configs) - 1) / (keep - 1)
+    indices = sorted({round(i * step) for i in range(keep)})
+    return [configs[i] for i in indices]
+
+
+def l1_sweep(reduced: bool = False, keep: int = 6) -> List[SimConfig]:
+    """Figure 6a: 30 L1 configurations, L2 fixed at 1MB 8-way."""
+    configs = []
+    for size_kb in (8, 16, 32, 64, 128):
+        for assoc in (1, 2, 4, 8, 16):
+            configs.append(
+                PAPER_BASELINE.with_(
+                    l1=CacheConfig(size=size_kb * KB, assoc=assoc, line_size=128)
+                )
+            )
+    for size_kb, assoc, line in (
+        (16, 4, 32), (16, 4, 64), (32, 8, 32), (32, 8, 64), (64, 4, 64),
+    ):
+        configs.append(
+            PAPER_BASELINE.with_(
+                l1=CacheConfig(size=size_kb * KB, assoc=assoc, line_size=line)
+            )
+        )
+    assert len(configs) == 30
+    return _subsample(configs, reduced, keep)
+
+
+def l2_sweep(reduced: bool = False, keep: int = 6) -> List[SimConfig]:
+    """Figure 6b: 30 L2 configurations, L1 fixed at 16KB 4-way."""
+    configs = []
+    for size in (128 * KB, 256 * KB, 512 * KB, 1 * MB, 2 * MB, 4 * MB):
+        for assoc in (1, 2, 4, 8):
+            configs.append(
+                PAPER_BASELINE.with_(
+                    l2=CacheConfig(
+                        size=size, assoc=assoc, line_size=128,
+                        hit_latency=30, banks=8,
+                    )
+                )
+            )
+    for size, assoc in ((512 * KB, 16), (1 * MB, 16), (256 * KB, 8),
+                        (512 * KB, 8), (2 * MB, 8), (4 * MB, 16)):
+        configs.append(
+            PAPER_BASELINE.with_(
+                l2=CacheConfig(
+                    size=size, assoc=assoc, line_size=64, hit_latency=30, banks=8
+                )
+            )
+        )
+    assert len(configs) == 30
+    return _subsample(configs, reduced, keep)
+
+
+def l1_prefetcher_sweep(reduced: bool = False, keep: int = 8) -> List[SimConfig]:
+    """Figure 6c: 72 L1 + stride prefetcher configurations."""
+    l1_points = [
+        CacheConfig(size=8 * KB, assoc=4, line_size=128),
+        CacheConfig(size=16 * KB, assoc=4, line_size=128),
+        CacheConfig(size=16 * KB, assoc=8, line_size=128),
+        CacheConfig(size=32 * KB, assoc=4, line_size=128),
+        CacheConfig(size=32 * KB, assoc=8, line_size=64),
+        CacheConfig(size=64 * KB, assoc=8, line_size=128),
+        CacheConfig(size=16 * KB, assoc=4, line_size=64),
+        CacheConfig(size=8 * KB, assoc=2, line_size=128),
+        CacheConfig(size=128 * KB, assoc=16, line_size=128),
+    ]
+    configs = []
+    for l1 in l1_points:
+        for degree in (1, 2, 4, 8):
+            for table_size in (16, 64):
+                configs.append(
+                    PAPER_BASELINE.with_(
+                        l1=l1,
+                        l1_prefetcher=PrefetcherConfig(
+                            kind="stride", degree=degree, table_size=table_size
+                        ),
+                    )
+                )
+    assert len(configs) == 72
+    return _subsample(configs, reduced, keep)
+
+
+def l2_prefetcher_sweep(reduced: bool = False, keep: int = 8) -> List[SimConfig]:
+    """Figure 6d: ~96 L2 + stream prefetcher configurations."""
+    l2_points = [
+        CacheConfig(size=512 * KB, assoc=8, line_size=128, hit_latency=30, banks=8),
+        CacheConfig(size=1 * MB, assoc=8, line_size=128, hit_latency=30, banks=8),
+        CacheConfig(size=1 * MB, assoc=16, line_size=128, hit_latency=30, banks=8),
+        CacheConfig(size=2 * MB, assoc=8, line_size=128, hit_latency=30, banks=8),
+        CacheConfig(size=2 * MB, assoc=16, line_size=64, hit_latency=30, banks=8),
+        CacheConfig(size=4 * MB, assoc=8, line_size=128, hit_latency=30, banks=8),
+        CacheConfig(size=256 * KB, assoc=4, line_size=128, hit_latency=30, banks=8),
+        CacheConfig(size=512 * KB, assoc=4, line_size=64, hit_latency=30, banks=8),
+    ]
+    configs = []
+    for l2 in l2_points:
+        for window in (8, 16, 32):
+            for degree in (1, 2, 4, 8):
+                configs.append(
+                    PAPER_BASELINE.with_(
+                        l2=l2,
+                        l2_prefetcher=PrefetcherConfig(
+                            kind="stream", degree=degree, stream_window=window
+                        ),
+                    )
+                )
+    assert len(configs) == 96
+    return _subsample(configs, reduced, keep)
+
+
+def scheduling_sweep() -> List[SimConfig]:
+    """Figure 6e: the two scheduling policies, on the baseline system."""
+    return [
+        PAPER_BASELINE.with_(scheduler="lrr"),
+        PAPER_BASELINE.with_(scheduler="gto"),
+    ]
+
+
+def dram_sweep(reduced: bool = False, keep: int = 5) -> List[SimConfig]:
+    """Figure 7: 11 GDDR configurations."""
+    points = [
+        dict(bus_width=4, channels=8, mapping="RoBaRaCoCh"),
+        dict(bus_width=8, channels=8, mapping="RoBaRaCoCh"),
+        dict(bus_width=16, channels=8, mapping="RoBaRaCoCh"),
+        dict(bus_width=8, channels=2, mapping="RoBaRaCoCh"),
+        dict(bus_width=8, channels=4, mapping="RoBaRaCoCh"),
+        dict(bus_width=8, channels=16, mapping="RoBaRaCoCh"),
+        dict(bus_width=4, channels=8, mapping="ChRaBaRoCo"),
+        dict(bus_width=8, channels=8, mapping="ChRaBaRoCo"),
+        dict(bus_width=16, channels=8, mapping="ChRaBaRoCo"),
+        dict(bus_width=8, channels=4, mapping="ChRaBaRoCo"),
+        dict(bus_width=8, channels=16, mapping="ChRaBaRoCo"),
+    ]
+    configs = [
+        PAPER_BASELINE.with_(dram=DramConfig(**point)) for point in points
+    ]
+    assert len(configs) == 11
+    return _subsample(configs, reduced, keep)
+
+
+def miniaturization_factors() -> List[float]:
+    """Figure 8's trace-reduction sweep."""
+    return [1.0, 2.0, 4.0, 8.0, 16.0]

@@ -1,0 +1,138 @@
+"""Multi-kernel application models (paper section 2.2, Figure 1b).
+
+Real GPGPU benchmarks launch kernel *sequences* over shared device arrays:
+Rodinia's srad alternates a coefficient kernel and an update kernel over the
+same image, and backprop runs a forward layer pass followed by a weight
+adjustment over the same weight matrix.  The consumer kernel re-reads the
+producer's data, so the shared L2 carries reuse *across* launches — the
+behaviour :func:`repro.core.app_pipeline.simulate_application` preserves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.gpu.application import Application
+from repro.gpu.hierarchy import LaunchConfig
+from repro.workloads.base import Layout, RegularKernel, StridedInstr, WorkloadScale
+
+_BLOCK = 256
+
+
+def _launch(scale: WorkloadScale) -> LaunchConfig:
+    return LaunchConfig(grid_dim=scale.blocks, block_dim=_BLOCK)
+
+
+def make_srad_application(scale: str | WorkloadScale = "small") -> Application:
+    """srad as its real two-kernel sequence over one shared image.
+
+    Kernel 1 (srad1) reads the image and *writes* the diffusion-coefficient
+    array; kernel 2 (srad2) reads those coefficients back and updates the
+    image — the producer/consumer pattern whose inter-kernel L2 reuse a
+    single-kernel model cannot express.
+    """
+    if isinstance(scale, str):
+        scale = WorkloadScale.preset(scale)
+    launch = _launch(scale)
+    iters = scale.iters(24)
+    row_bytes = 512
+    jump = 8320
+    layout = Layout()
+    span = launch.total_threads * row_bytes + (iters + 2) * jump + 8192
+    layout.alloc("image", span)
+    layout.alloc("coeff", span)
+    phase = (iters + 1) * jump
+
+    srad1 = RegularKernel(
+        launch, layout,
+        [
+            StridedInstr(pc=0x250, array="image", inter_stride=row_bytes,
+                         intra_stride=-jump, phase=phase),
+            StridedInstr(pc=0x258, array="coeff", inter_stride=row_bytes,
+                         intra_stride=-jump, phase=phase, is_store=True),
+        ],
+        iters=iters,
+    )
+    srad1.name, srad1.suite = "srad1", "rodinia"
+
+    srad2 = RegularKernel(
+        launch, layout,
+        [
+            StridedInstr(pc=0x350, array="coeff", inter_stride=row_bytes,
+                         intra_stride=-jump, phase=phase),
+            StridedInstr(pc=0x358, array="image", inter_stride=row_bytes,
+                         intra_stride=-jump, phase=phase, is_store=True),
+        ],
+        iters=iters,
+    )
+    srad2.name, srad2.suite = "srad2", "rodinia"
+
+    return Application("srad_app", [srad1, srad2])
+
+
+def make_backprop_application(scale: str | WorkloadScale = "small") -> Application:
+    """backprop's forward + weight-adjust kernel pair over shared weights."""
+    if isinstance(scale, str):
+        scale = WorkloadScale.preset(scale)
+    launch = _launch(scale)
+    iters = scale.iters(32)
+    layout = Layout()
+    span = launch.total_threads * 4 + (iters + 2) * 128 + 4096
+    layout.alloc("in_units", span)
+    layout.alloc("weights", span)
+    layout.alloc("hidden", span)
+    layout.alloc("deltas", span)
+
+    forward = RegularKernel(
+        launch, layout,
+        [
+            StridedInstr(pc=0x3F8, array="in_units", inter_stride=4,
+                         intra_stride=128),
+            StridedInstr(pc=0x400, array="weights", inter_stride=4,
+                         intra_stride=128),
+            StridedInstr(pc=0x408, array="hidden", inter_stride=4,
+                         intra_stride=128, reuse_period=4, is_store=True),
+        ],
+        iters=iters,
+        sync_every=8,
+    )
+    forward.name, forward.suite = "bp_layerforward", "rodinia"
+
+    adjust = RegularKernel(
+        launch, layout,
+        [
+            StridedInstr(pc=0x470, array="deltas", inter_stride=4,
+                         intra_stride=128),
+            StridedInstr(pc=0x478, array="weights", inter_stride=4,
+                         intra_stride=128),
+            StridedInstr(pc=0x480, array="weights", inter_stride=4,
+                         intra_stride=128, is_store=True),
+        ],
+        iters=iters,
+    )
+    adjust.name, adjust.suite = "bp_adjust", "rodinia"
+
+    return Application("backprop_app", [forward, adjust])
+
+
+APPLICATIONS: Dict[str, Callable[..., Application]] = {
+    "srad_app": make_srad_application,
+    "backprop_app": make_backprop_application,
+}
+
+
+def available_applications() -> List[str]:
+    """Names of the registered multi-kernel applications."""
+    return sorted(APPLICATIONS)
+
+
+def make_application(name: str, scale: str | WorkloadScale = "small") -> Application:
+    """Instantiate a registered multi-kernel application."""
+    try:
+        factory = APPLICATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown application {name!r}; "
+            f"available: {', '.join(available_applications())}"
+        ) from None
+    return factory(scale)

@@ -1,0 +1,283 @@
+"""Additional kernel models beyond the paper's 18-app evaluation suite.
+
+These exercise structural corners the core suite under-represents —
+log-tree reductions with a barrier per level, CSR sparse matrix-vector
+products with data-dependent row lengths, and a transpose with perfectly
+anti-coalesced stores — and serve as regression workloads for the profiler's
+π-divergence, barrier, and coalescing-degree machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gpu.hierarchy import LaunchConfig
+from repro.gpu.instructions import AccessTuple, pack, sync_marker
+from repro.workloads.base import KernelModel, Layout, WorkloadScale
+from repro.workloads.patterns import splitmix64, zipf_index
+
+_BLOCK = 256
+
+
+def _launch(scale: WorkloadScale) -> LaunchConfig:
+    return LaunchConfig(grid_dim=scale.blocks, block_dim=_BLOCK)
+
+
+class ReductionKernel(KernelModel):
+    """Tree reduction: halving active threads, a barrier per level.
+
+    Level ``s`` has only threads with ``tid % 2^(s+1) == 0`` active — each
+    level is a *different* divergent subset, so thread-granularity π
+    clustering sees log(block) distinct profiles while the barrier count is
+    uniform.
+    """
+
+    name = "reduction"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, rounds: int) -> None:
+        super().__init__(launch)
+        self.rounds = rounds
+        self.levels = 8  # reduce 256 elements per block
+        layout = Layout()
+        self.data_base = layout.alloc(
+            "data", launch.total_threads * 4 * (rounds + 1) + 4096
+        )
+        self.partial_base = layout.alloc(
+            "partial", launch.total_threads * 4 + 4096
+        )
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        lane = tid % _BLOCK
+        block_base = self.partial_base + (tid - lane) * 4
+        for r in range(self.rounds):
+            yield pack(0xD10, self.data_base + tid * 4 + r * 8192)
+            yield pack(0xD18, block_base + lane * 4, 4, True)
+            yield sync_marker()
+            for level in range(self.levels):
+                stride = 1 << level
+                if lane % (stride * 2) == 0:
+                    yield pack(0xD20, block_base + lane * 4)
+                    yield pack(0xD28, block_base + (lane + stride) * 4)
+                    yield pack(0xD30, block_base + lane * 4, 4, True)
+                yield sync_marker()
+
+
+def make_reduction(scale: WorkloadScale) -> KernelModel:
+    """Factory for the reduction kernel model (see class docstring)."""
+    return ReductionKernel(_launch(scale), rounds=max(1, scale.iters(4)))
+
+
+class SpmvCsrKernel(KernelModel):
+    """CSR sparse matrix-vector product: one row per thread.
+
+    Row lengths are Zipf-distributed (power-law graphs/matrices), so
+    threads execute *different numbers* of column/value loads — a realistic
+    source of many π profiles — and the x-vector gathers are scattered by
+    column index while row/val streams are sequential.
+    """
+
+    name = "spmv_csr"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, max_row: int) -> None:
+        super().__init__(launch)
+        self.max_row = max_row
+        self.cols = 1 << 14
+        layout = Layout()
+        n = launch.total_threads
+        self.rowptr_base = layout.alloc("rowptr", (n + 1) * 4 + 4096)
+        self.vals_base = layout.alloc("vals", n * max_row * 8 + 4096)
+        self.colidx_base = layout.alloc("colidx", n * max_row * 4 + 4096)
+        self.x_base = layout.alloc("x", self.cols * 4)
+        self.y_base = layout.alloc("y", n * 4 + 4096)
+        self.layout = layout
+
+    def row_length(self, tid: int) -> int:
+        return 1 + zipf_index(tid * 48611, self.max_row, skew=1.3)
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        yield pack(0xE10, self.rowptr_base + tid * 4)
+        yield pack(0xE18, self.rowptr_base + (tid + 1) * 4)
+        start = tid * self.max_row
+        for k in range(self.row_length(tid)):
+            yield pack(0xE20, self.vals_base + (start + k) * 8)
+            yield pack(0xE28, self.colidx_base + (start + k) * 4)
+            col = splitmix64(tid * 2718281 + k) % self.cols
+            yield pack(0xE30, self.x_base + col * 4)
+        yield pack(0xE38, self.y_base + tid * 4, 4, True)
+
+
+def make_spmv_csr(scale: WorkloadScale) -> KernelModel:
+    """Factory for the spmv_csr kernel model (see class docstring)."""
+    return SpmvCsrKernel(_launch(scale), max_row=max(4, scale.iters(16)))
+
+
+class TransposeKernel(KernelModel):
+    """Naive matrix transpose: coalesced loads, fully scattered stores.
+
+    The store's lanes are a column apart (row_bytes stride), so every warp
+    store instruction degenerates into 32 transactions — the worst-case
+    coalescing degree, stressing the txns_per_access/txn_stride statistics.
+    """
+
+    name = "transpose"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, rows: int) -> None:
+        super().__init__(launch)
+        self.rows = rows
+        self.dim = 256  # square tile edge, elements
+        layout = Layout()
+        n = launch.total_threads
+        matrix_bytes = (n + self.dim) * self.dim * 4 + (rows + 1) * 4096
+        self.in_base = layout.alloc("in", matrix_bytes)
+        self.out_base = layout.alloc("out", matrix_bytes)
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        dim = self.dim
+        row, col = divmod(tid, dim)
+        for r in range(self.rows):
+            offset = r * dim * dim * 4
+            yield pack(0xF10, self.in_base + offset + (row * dim + col) * 4)
+            yield pack(
+                0xF18, self.out_base + offset + (col * dim + row) * 4, 4, True
+            )
+
+
+def make_transpose(scale: WorkloadScale) -> KernelModel:
+    """Factory for the transpose kernel model (see class docstring)."""
+    return TransposeKernel(_launch(scale), rows=max(2, scale.iters(8)))
+
+
+class GaussianKernel(KernelModel):
+    """Gaussian elimination: shrinking active region + pivot-row broadcast.
+
+    Outer step ``k`` updates only rows/columns beyond ``k``: threads whose
+    assigned row has been eliminated drop out (divergence grows over time),
+    survivors read the shared pivot row (broadcast reuse) and update their
+    own shrinking row suffix.
+    """
+
+    name = "gaussian"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, steps: int) -> None:
+        super().__init__(launch)
+        self.steps = steps
+        self.dim = 512  # matrix edge, elements (2KB rows)
+        layout = Layout()
+        n = launch.total_threads
+        self.mat_base = layout.alloc("matrix", (n + self.dim) * self.dim * 4)
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        dim = self.dim
+        row_bytes = dim * 4
+        my_row = self.mat_base + tid * row_bytes
+        pivot_rows = self.mat_base + self.launch.total_threads * row_bytes
+        for k in range(self.steps):
+            if tid % self.steps < k:
+                continue  # this thread's row is already eliminated
+            # Broadcast read of the pivot row's suffix (shared -> hot lines).
+            yield pack(0x910, pivot_rows + (k % 8) * row_bytes + k * 4)
+            yield pack(0x918, pivot_rows + (k % 8) * row_bytes + (k + 64) * 4)
+            # Update this row's suffix: start moves right every step.
+            for c in range(k, min(k + 4, dim // 64)):
+                yield pack(0x920, my_row + (k + c * 64) * 4)
+                yield pack(0x928, my_row + (k + c * 64) * 4, 4, True)
+
+
+def make_gaussian(scale: WorkloadScale) -> KernelModel:
+    """Factory for the gaussian kernel model (see class docstring)."""
+    return GaussianKernel(_launch(scale), steps=max(4, scale.iters(16)))
+
+
+class PointerChaseKernel(KernelModel):
+    """MUMmer-style tree walk: serial pointer chasing per thread.
+
+    Each thread repeatedly follows a deterministic pseudo-random pointer
+    chain through a node pool — every access *depends* on the previous one,
+    so there is no stride structure at all, only whatever locality the pool
+    size allows.  The hardest-possible input for stride-based cloning, kept
+    in the suite as an honest stress case (the paper's related work notes
+    CPU cloning handles pointer chasing poorly too).
+    """
+
+    name = "pointer_chase"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, hops: int) -> None:
+        super().__init__(launch)
+        self.hops = hops
+        self.nodes = 1 << 12  # 4096 nodes x 64B = 256KB pool
+        layout = Layout()
+        self.pool_base = layout.alloc("pool", self.nodes * 64)
+        self.out_base = layout.alloc("out", launch.total_threads * 4 + 4096)
+        self.layout = layout
+
+    def _next(self, node: int) -> int:
+        return splitmix64(node * 1099511628211 + 13) % self.nodes
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        node = splitmix64(tid) % self.nodes
+        for _ in range(self.hops):
+            yield pack(0xA50, self.pool_base + node * 64)
+            node = self._next(node)
+        yield pack(0xA58, self.out_base + tid * 4, 4, True)
+
+
+def make_pointer_chase(scale: WorkloadScale) -> KernelModel:
+    """Factory for the pointer_chase kernel model (see class docstring)."""
+    return PointerChaseKernel(_launch(scale), hops=scale.iters(48))
+
+
+class Stencil3dKernel(KernelModel):
+    """3D 7-point stencil: three distinct stride scales per instruction set.
+
+    Neighbour offsets of ±1 element, ±1 row and ±1 plane give the profiler
+    three well-separated stride populations on one array — a multi-modal
+    P_A exercise with genuine physical meaning.
+    """
+
+    name = "stencil3d"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, sweeps: int) -> None:
+        super().__init__(launch)
+        self.sweeps = sweeps
+        self.nx = 64           # elements per row
+        self.ny = 64           # rows per plane
+        layout = Layout()
+        plane = self.nx * self.ny * 4
+        cells = launch.total_threads + 2 * (self.nx * self.ny + self.nx + 1)
+        self.in_base = layout.alloc(
+            "grid_in", cells * 4 + (sweeps + 2) * plane
+        )
+        self.out_base = layout.alloc(
+            "grid_out", cells * 4 + (sweeps + 2) * plane
+        )
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        nx, ny = self.nx, self.ny
+        plane_elems = nx * ny
+        centre0 = self.in_base + (tid + plane_elems + nx + 1) * 4
+        for s in range(self.sweeps):
+            centre = centre0 + s * plane_elems * 4
+            yield pack(0xB50, centre)
+            yield pack(0xB58, centre - 4)
+            yield pack(0xB60, centre + 4)
+            yield pack(0xB68, centre - nx * 4)
+            yield pack(0xB70, centre + nx * 4)
+            yield pack(0xB78, centre - plane_elems * 4)
+            yield pack(0xB80, centre + plane_elems * 4)
+            yield pack(0xB88, self.out_base + (tid + s * plane_elems) * 4,
+                       4, True)
+
+
+def make_stencil3d(scale: WorkloadScale) -> KernelModel:
+    """Factory for the stencil3d kernel model (see class docstring)."""
+    return Stencil3dKernel(_launch(scale), sweeps=max(2, scale.iters(12)))

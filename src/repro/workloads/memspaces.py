@@ -1,0 +1,160 @@
+"""Workloads exercising shared memory, texture and constant caches.
+
+The paper evaluates global-memory behaviour only but notes G-MAP's
+"methodology is generic enough to capture and replicate patterns in accesses
+to these caches as well" (section 5).  These three models demonstrate that:
+they are registered in the suite (outside the 18-app paper set) and covered
+by the ``test_ext_memory_spaces`` bench, which clones them end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gpu.hierarchy import WARP_SIZE, LaunchConfig
+from repro.gpu.instructions import AccessTuple, pack, sync_marker
+from repro.workloads.base import KernelModel, Layout, WorkloadScale
+
+_BLOCK = 256
+
+
+def _launch(scale: WorkloadScale) -> LaunchConfig:
+    return LaunchConfig(grid_dim=scale.blocks, block_dim=_BLOCK)
+
+
+class MatmulSharedKernel(KernelModel):
+    """Tiled matrix multiply staging tiles through shared memory.
+
+    The classic pattern: each iteration loads one A-tile and one B-tile
+    element from global memory, stores them to shared, barriers, then reads
+    a row/column of the shared tiles repeatedly.  Shared reads of B are
+    column-strided — lanes hit the same bank when the tile width equals the
+    bank count, producing the bank conflicts the front end serialises.
+    """
+
+    name = "matmul_shared"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, tiles: int) -> None:
+        super().__init__(launch)
+        self.tiles = tiles
+        self.tile = 16  # 16x16 tiles
+        layout = Layout()
+        n = launch.total_threads
+        self.a_base = layout.alloc("A", n * 4 * (tiles + 1) + 4096)
+        self.b_base = layout.alloc("B", n * 4 * (tiles + 1) + 4096)
+        self.c_base = layout.alloc("C", n * 4 + 4096)
+        self.sa_base = layout.alloc("sA", self.tile * self.tile * 4, "shared")
+        self.sb_base = layout.alloc("sB", self.tile * self.tile * 4, "shared")
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        tile = self.tile
+        local = tid % (tile * tile)  # position within the 16x16 tile
+        row, col = divmod(local, tile)
+        for t in range(self.tiles):
+            # Global loads of this tile (unit-stride, coalesced).
+            yield pack(0xA10, self.a_base + tid * 4 + t * 4096)
+            yield pack(0xA18, self.b_base + tid * 4 + t * 4096)
+            # Stage into shared memory.
+            yield pack(0xA20, self.sa_base + local * 4, 4, True)
+            yield pack(0xA28, self.sb_base + local * 4, 4, True)
+            yield sync_marker()
+            # Inner product over the tile: row of sA (broadcast-friendly),
+            # column of sB (stride 16 words -> 2-way bank conflicts).
+            for k in range(tile):
+                yield pack(0xA30, self.sa_base + (row * tile + k) * 4)
+                yield pack(0xA38, self.sb_base + (k * tile + col) * 4)
+            yield sync_marker()
+        yield pack(0xA40, self.c_base + tid * 4, 4, True)
+
+
+def make_matmul_shared(scale: WorkloadScale) -> KernelModel:
+    """Factory for the matmul_shared kernel model (see class docstring)."""
+    return MatmulSharedKernel(_launch(scale), tiles=max(2, scale.iters(6)))
+
+
+class ConvolutionTextureKernel(KernelModel):
+    """2D convolution sampling the image through the texture cache.
+
+    Texture fetches walk a 3x3 neighbourhood around each thread's pixel —
+    heavy 2D locality that the per-SM texture cache captures — while the
+    filter weights come from the constant cache and results stream to
+    global memory.
+    """
+
+    name = "convolution_texture"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, rows: int) -> None:
+        super().__init__(launch)
+        self.rows = rows
+        self.width = 512  # image row, in pixels (4B each)
+        layout = Layout()
+        image_bytes = (launch.total_threads + (rows + 2) * self.width + 64) * 4
+        self.tex_base = layout.alloc("image", image_bytes, "texture")
+        self.weights_base = layout.alloc("weights", 64 * 4, "constant")
+        self.out_base = layout.alloc(
+            "out", launch.total_threads * 4 + rows * self.width * 4 + 4096
+        )
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        width = self.width
+        for r in range(self.rows):
+            centre = self.tex_base + (tid + r * width + width + 1) * 4
+            tap = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    yield pack(0xB10, centre + (dy * width + dx) * 4)
+                    yield pack(0xB18, self.weights_base + tap * 4)
+                    tap += 1
+            yield pack(0xB20, self.out_base + (tid + r * width) * 4, 4, True)
+
+
+def make_convolution_texture(scale: WorkloadScale) -> KernelModel:
+    """Factory for the convolution_texture kernel model (see class docstring)."""
+    return ConvolutionTextureKernel(_launch(scale), rows=max(2, scale.iters(8)))
+
+
+class HistogramSharedKernel(KernelModel):
+    """Histogramming with per-block shared-memory bins.
+
+    Input streams from global memory; bin updates scatter across a small
+    shared array (data-dependent banks — conflict degrees vary), and the
+    final bins are flushed to global memory after a barrier.
+    """
+
+    name = "histogram_shared"
+    suite = "extension"
+
+    def __init__(self, launch: LaunchConfig, iters: int) -> None:
+        super().__init__(launch)
+        self.iters = iters
+        self.bins = 64
+        layout = Layout()
+        self.in_base = layout.alloc(
+            "input", launch.total_threads * 4 * (iters + 1) + 4096
+        )
+        self.bins_base = layout.alloc("bins", self.bins * 4, "shared")
+        self.out_base = layout.alloc("out", self.bins * 4 * 64 + 4096)
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        from repro.workloads.patterns import splitmix64
+
+        for j in range(self.iters):
+            yield pack(0xC10, self.in_base + tid * 4 + j * 8192)
+            bin_index = splitmix64(tid * 977 + j) % self.bins
+            yield pack(0xC18, self.bins_base + bin_index * 4)
+            yield pack(0xC20, self.bins_base + bin_index * 4, 4, True)
+        yield sync_marker()
+        if tid % WARP_SIZE < self.bins // WARP_SIZE * WARP_SIZE or tid % _BLOCK < self.bins:
+            if tid % _BLOCK < self.bins:
+                yield pack(0xC28, self.bins_base + (tid % _BLOCK) * 4)
+                yield pack(0xC30, self.out_base + (tid % _BLOCK) * 4, 4, True)
+
+
+def make_histogram_shared(scale: WorkloadScale) -> KernelModel:
+    """Factory for the histogram_shared kernel model (see class docstring)."""
+    return HistogramSharedKernel(_launch(scale), iters=scale.iters(32))

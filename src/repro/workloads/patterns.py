@@ -1,0 +1,99 @@
+"""Address-pattern primitives for synthetic GPGPU kernel models.
+
+The paper's trace source is GPGPU-sim running real CUDA binaries; this
+reproduction replaces it with kernel *models* that emit the same kind of
+per-thread memory access streams (see DESIGN.md, substitution table).  The
+primitives here are the vocabulary those models are written in:
+
+* linear thread-indexed addressing (``a[tid]``, ``a[tid*K + j]``) — the
+  dominant GPGPU idiom the paper's section 4.2 builds on;
+* deterministic pseudo-random scatter (hash-based) for irregular kernels such
+  as hotspot's non-dominant patterns or BFS's data-dependent neighbours;
+* Zipf-like table lookups for AES-style substitution tables.
+
+Everything is deterministic given its inputs — kernel models must produce the
+identical trace on every run so profiling and validation are repeatable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_MASK64 = (1 << 64) - 1
+
+
+def splitmix64(x: int) -> int:
+    """SplitMix64 hash step: a fast, well-mixed deterministic 64-bit hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def linear(base: int, index: int, stride: int) -> int:
+    """``base + index*stride`` — the canonical tid-linear GPU address."""
+    return base + index * stride
+
+
+def grid2d(base: int, row: int, col: int, row_bytes: int, elem_size: int) -> int:
+    """Row-major 2D array element address."""
+    return base + row * row_bytes + col * elem_size
+
+
+def hash_scatter(base: int, key: int, footprint_bytes: int, align: int = 4) -> int:
+    """Deterministic scattered address within ``[base, base+footprint)``.
+
+    Used for irregular access patterns; successive keys land in unrelated
+    cache lines, destroying both stride regularity and spatial locality.
+    """
+    if footprint_bytes <= 0:
+        raise ValueError(f"footprint must be positive, got {footprint_bytes}")
+    if align <= 0:
+        raise ValueError(f"align must be positive, got {align}")
+    slots = max(1, footprint_bytes // align)
+    return base + (splitmix64(key) % slots) * align
+
+
+def zipf_index(key: int, n: int, skew: float = 1.2) -> int:
+    """Deterministic Zipf-distributed index in ``[0, n)``.
+
+    Approximates a Zipf(skew) draw by inverse-transform on the hashed key.
+    Small indices are heavily favoured, which models hot substitution-table
+    entries (AES) and hot graph vertices (BFS frontiers).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if skew <= 0:
+        raise ValueError(f"skew must be positive, got {skew}")
+    u = (splitmix64(key) >> 11) / float(1 << 53)  # uniform in [0, 1)
+    # Inverse CDF of a continuous Zipf-like density on [1, n+1).
+    if abs(skew - 1.0) < 1e-9:
+        idx = int((n + 1) ** u) - 1
+    else:
+        power = 1.0 - skew
+        idx = int(((u * ((n + 1) ** power - 1.0)) + 1.0) ** (1.0 / power)) - 1
+    return min(max(idx, 0), n - 1)
+
+
+def stencil_offsets_2d(radius: int, row_elems: int) -> List[int]:
+    """Element offsets of a von Neumann stencil of ``radius`` on a 2D grid.
+
+    Returned in the order centre, ±x, ±y per ring — the access order a
+    typical finite-difference kernel (hotspot, srad) uses.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    offsets = [0]
+    for r in range(1, radius + 1):
+        offsets.extend([-r, r, -r * row_elems, r * row_elems])
+    return offsets
+
+
+def triangular_row_start(row: int) -> int:
+    """Element index where ``row`` starts in a packed lower-triangular matrix.
+
+    LU-style kernels walk shrinking triangles; this gives their row bases.
+    """
+    if row < 0:
+        raise ValueError(f"row must be >= 0, got {row}")
+    return row * (row + 1) // 2

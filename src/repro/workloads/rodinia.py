@@ -1,0 +1,376 @@
+"""Synthetic models of the Rodinia benchmarks used in the paper.
+
+Each factory returns a :class:`~repro.workloads.base.KernelModel` whose
+per-thread access stream reproduces the benchmark's memory structure as
+documented in the paper's Table 1 (dominant PCs, relative frequency,
+inter-warp stride after coalescing, intra-warp stride, reuse class) and in
+the evaluation text (hotspot irregular, nw prefetch-friendly...).
+
+Thread-level strides translate to Table 1's coalesced inter-*warp* strides by
+a factor of 32 (warp size): a 4-byte per-thread stride makes each warp cover
+one 128-byte segment, so consecutive warps sit 128 bytes apart.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gpu.hierarchy import LaunchConfig
+from repro.gpu.instructions import AccessTuple, pack
+from repro.workloads.base import (
+    KernelModel,
+    Layout,
+    RegularKernel,
+    StridedInstr,
+    WorkloadScale,
+)
+from repro.workloads.patterns import hash_scatter, stencil_offsets_2d, zipf_index
+
+_BLOCK = 256  # threads per block across the suite (8 warps)
+
+
+def _launch(scale: WorkloadScale) -> LaunchConfig:
+    return LaunchConfig(grid_dim=scale.blocks, block_dim=_BLOCK)
+
+
+def make_heartwall(scale: WorkloadScale) -> KernelModel:
+    """Heartwall: template matching, *high* reuse.
+
+    Table 1: PC 0x900 at 81% (inter-warp 128, intra 64), 0x4a0 at 5%
+    (intra -128), 0x4a8 at 3.8% (intra 1024).  The small template window is
+    re-walked every few iterations, producing the high temporal reuse that
+    lets G-MAP clone it at >97% accuracy (section 5).
+    """
+    launch = _launch(scale)
+    iters = scale.iters(64)
+    layout = Layout()
+    layout.alloc("image", launch.total_threads * 4 + iters * 64 + 4096)
+    layout.alloc("template", launch.total_threads * 4 + 8 * 128 + 4096)
+    layout.alloc("coeff", launch.total_threads * 4 + 8 * 1024 + 4096)
+    instrs = [
+        StridedInstr(pc=0x900, array="image", inter_stride=4,
+                     intra_stride=64, reuse_period=4),
+        StridedInstr(pc=0x4A0, array="template", inter_stride=4,
+                     intra_stride=-128, phase=7 * 128, reuse_period=8, every=16),
+        StridedInstr(pc=0x4A8, array="coeff", inter_stride=4,
+                     intra_stride=1024, reuse_period=8, every=21),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "heartwall", "rodinia"
+    return kernel
+
+
+def make_backprop(scale: WorkloadScale) -> KernelModel:
+    """Backprop (BP): layer weight updates, *medium* reuse.
+
+    Table 1: PCs 0x3F8/0x408/0x478 each at 19.4%, inter-warp 128, intra-warp
+    strides +128/-128/+128.  Five equally-hot instructions give each ~20% of
+    dynamic memory traffic; the weight array wraps mid-way for medium reuse.
+    """
+    launch = _launch(scale)
+    iters = scale.iters(48)
+    layout = Layout()
+    span = launch.total_threads * 4 + iters * 128 + 4096
+    for array in ("in_units", "weights", "deltas", "hidden", "partial"):
+        layout.alloc(array, span)
+    # The three hot layer arrays stream monotonically; the per-layer hidden
+    # activations and partial sums cycle over a short window, putting ~40%
+    # of traffic on re-touched lines — the medium reuse class, realised
+    # through short (clonable) reuse distances rather than long-period wraps.
+    instrs = [
+        StridedInstr(pc=0x3F8, array="in_units", inter_stride=4,
+                     intra_stride=128),
+        StridedInstr(pc=0x408, array="weights", inter_stride=4,
+                     intra_stride=-128, phase=(iters + 1) * 128),
+        StridedInstr(pc=0x478, array="deltas", inter_stride=4,
+                     intra_stride=128),
+        StridedInstr(pc=0x480, array="hidden", inter_stride=4,
+                     intra_stride=128, reuse_period=4),
+        StridedInstr(pc=0x488, array="partial", inter_stride=4,
+                     intra_stride=128, reuse_period=4, is_store=True),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "backprop", "rodinia"
+    return kernel
+
+
+def make_kmeans(scale: WorkloadScale) -> KernelModel:
+    """Kmeans: one dominant load (Table 1: PC 0xe8 at ~100%), *high* reuse.
+
+    Each thread owns one 34-feature point (34 * 4B = 136B per thread, hence
+    the 4352-byte inter-warp stride of Table 1) and re-walks it once per
+    cluster, so after the first sweep every access is a reuse.
+    """
+    launch = _launch(scale)
+    features = 34
+    clusters = max(2, scale.iters(6))
+    layout = Layout()
+    layout.alloc("points", launch.total_threads * features * 4 + 4096)
+    layout.alloc("centers", clusters * features * 4 + 4096)
+    instrs = [
+        StridedInstr(pc=0xE8, array="points", inter_stride=features * 4,
+                     intra_stride=4, reuse_period=features),
+        StridedInstr(pc=0xF0, array="centers", inter_stride=0,
+                     intra_stride=4, reuse_period=features, every=features),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=features * clusters)
+    kernel.name, kernel.suite = "kmeans", "rodinia"
+    return kernel
+
+
+def make_srad(scale: WorkloadScale) -> KernelModel:
+    """SRAD: column-walk diffusion over a large 2D image, *low* reuse.
+
+    Table 1: PCs 0x250/0x230/0x350 each ~31%, inter-warp stride 16384
+    (512 bytes per thread — one image row of 128 floats), intra-warp stride
+    -8192.  The footprint greatly exceeds L1/L2, so reuse is low.
+    """
+    launch = _launch(scale)
+    iters = scale.iters(48)
+    row_bytes = 512
+    layout = Layout()
+    # Lanes sit 4 cache lines apart (512B); the per-iteration jump of 65
+    # lines (-8320B, the paper's -8192 rounded to the next line) is coprime
+    # with that spacing, so successive warp windows interleave without
+    # re-touching a single line — the low reuse class of Table 1.
+    jump = 8320
+    span = launch.total_threads * row_bytes + (iters + 2) * jump + 8192
+    for array in ("image_n", "image_s", "image_e", "deriv"):
+        layout.alloc(array, span)
+    phase = (iters + 1) * jump
+    instrs = [
+        StridedInstr(pc=0x250, array="image_n", inter_stride=row_bytes,
+                     intra_stride=-jump, phase=phase),
+        StridedInstr(pc=0x230, array="image_s", inter_stride=row_bytes,
+                     intra_stride=-jump, phase=phase),
+        StridedInstr(pc=0x350, array="image_e", inter_stride=row_bytes,
+                     intra_stride=-jump, phase=phase),
+        StridedInstr(pc=0x360, array="deriv", inter_stride=row_bytes,
+                     intra_stride=jump, every=5, is_store=True),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "srad", "rodinia"
+    return kernel
+
+
+class HotspotKernel(KernelModel):
+    """Hotspot: thermal stencil with *non-dominant* access patterns.
+
+    The paper singles hotspot out as its worst case: "it does not have
+    significantly dominant intra-/inter-thread stride patterns or reuse
+    locality" and is insensitive to prefetching.  The model mixes a weak
+    stencil with hash-scattered ambient reads over a large footprint so no
+    stride or reuse bucket dominates.
+    """
+
+    name = "hotspot"
+    suite = "rodinia"
+
+    def __init__(self, launch: LaunchConfig, iters: int) -> None:
+        super().__init__(launch)
+        self.iters = iters
+        layout = Layout()
+        self.row_elems = 512
+        grid_bytes = (launch.total_threads + 2 * self.row_elems) * 4 * 8
+        self.temp_base = layout.alloc("temp", grid_bytes)
+        self.power_base = layout.alloc("power", grid_bytes)
+        self.ambient_base = layout.alloc("ambient", 1 << 22)
+        self.layout = layout
+        self._stencil = stencil_offsets_2d(1, self.row_elems)
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        row_bytes = self.row_elems * 4
+        centre = self.temp_base + row_bytes + tid * 4 + (tid % 7) * 52
+        for j in range(self.iters):
+            wobble = ((tid * 2654435761 + j * 40503) >> 3) % 5
+            offset = self._stencil[(j + wobble) % len(self._stencil)]
+            yield pack(0x610, centre + offset * 4 + j * (row_bytes // 2))
+            yield pack(0x618, self.power_base + (tid * 4 + j * 396) % (1 << 21))
+            if (tid + j) % 3 == 0:
+                yield pack(
+                    0x620,
+                    hash_scatter(self.ambient_base, tid * 131071 + j, 1 << 22),
+                )
+            if j % 4 == 0:
+                yield pack(0x628, centre + j * row_bytes, 4, True)
+
+
+def make_hotspot(scale: WorkloadScale) -> KernelModel:
+    """Factory for the hotspot kernel model (see class docstring)."""
+    return HotspotKernel(_launch(scale), iters=scale.iters(48))
+
+
+def make_nw(scale: WorkloadScale) -> KernelModel:
+    """Needleman-Wunsch: diagonal wavefront, long sequential runs.
+
+    The evaluation notes nw *benefits from prefetching*: its score-matrix
+    walk is unit-stride per thread with a short reuse window, an ideal
+    stride-prefetcher target.
+    """
+    launch = _launch(scale)
+    iters = scale.iters(96)
+    layout = Layout()
+    layout.alloc("score", launch.total_threads * 4 + iters * 128 + 4096)
+    layout.alloc("ref", launch.total_threads * 4 + iters * 128 + 4096)
+    instrs = [
+        StridedInstr(pc=0x150, array="score", inter_stride=4, intra_stride=128),
+        StridedInstr(pc=0x158, array="ref", inter_stride=4, intra_stride=128),
+        StridedInstr(pc=0x160, array="score", inter_stride=4,
+                     intra_stride=128, phase=64, every=2, is_store=True),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "nw", "rodinia"
+    return kernel
+
+
+class LudKernel(KernelModel):
+    """LU decomposition (Table 1 "LUL"): triangular walk, *low* reuse.
+
+    Table 1 shows weakly dominant strides (26%): each outer step moves every
+    thread to a different (shrinking) row of the matrix, so the stride
+    between successive accesses keeps changing and lines are rarely
+    re-touched.  PCs 0x1c85/0x1ca8/0x1cc8 each carry a share of traffic next
+    to a streaming pivot-row instruction.
+    """
+
+    name = "lud"
+    suite = "rodinia"
+
+    def __init__(self, launch: LaunchConfig, iters: int) -> None:
+        super().__init__(launch)
+        self.iters = iters
+        layout = Layout()
+        self.dim = 256  # leading dimension in elements (1KB rows, 8 lines)
+        self.rows = launch.total_threads * (iters + 1) + 8
+        self.mat_base = layout.alloc("matrix", self.rows * self.dim * 4 + 4096)
+        self.pivot_base = layout.alloc("pivot", self.rows * self.dim * 4 + 4096)
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        dim = self.dim
+        total = self.launch.total_threads
+        row_bytes = dim * 4
+        third = dim // 3
+        for j in range(self.iters):
+            # Each outer step works on a fresh slab of rows, and each static
+            # instruction owns a disjoint third of its row: low reuse.
+            row_base = self.mat_base + (j * total + tid) * row_bytes
+            width = dim - (j % (dim // 2))  # shrinking triangular width
+            yield pack(0x1C85, row_base + ((j * 3) % third) * 4)
+            yield pack(0x1CA8, row_base + (third + (j * 11) % third) * 4)
+            yield pack(0x1CC8, row_base
+                       + (2 * third + (width - 1 - j) % third) * 4)
+            pivot_base = self.pivot_base + (j * total + tid) * row_bytes
+            for k in range(3):  # pivot row streams ahead of the triangle
+                yield pack(
+                    0x1D00, pivot_base + ((k * 83 + j * 3) % dim) * 4,
+                )
+
+
+def make_lud(scale: WorkloadScale) -> KernelModel:
+    """Factory for the lud kernel model (see class docstring)."""
+    return LudKernel(_launch(scale), iters=scale.iters(48))
+
+
+class BfsKernel(KernelModel):
+    """BFS: CSR neighbour-list walks, irregular and divergent.
+
+    Frontier reads are unit-stride.  Each expanding thread walks a short
+    *sequential* run of its vertex's CSR edge list (row starts are
+    Zipf-skewed toward hot vertices) and probes the visited bitmap at the
+    hot-skewed neighbour ids.  Only 3 of 4 threads expand a node each level,
+    giving a second dominant π profile (paper Figure 3b).
+    """
+
+    name = "bfs"
+    suite = "rodinia"
+
+    def __init__(self, launch: LaunchConfig, iters: int) -> None:
+        super().__init__(launch)
+        self.iters = iters
+        layout = Layout()
+        self.frontier_base = layout.alloc("frontier", launch.total_threads * 4 + 4096)
+        self.nodes = 1 << 12
+        self.degree = 8  # edges read per expansion
+        self.edges_base = layout.alloc("edges", self.nodes * self.degree * 8 + 4096)
+        self.visited_base = layout.alloc("visited", self.nodes * 4)
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        for j in range(self.iters):
+            yield pack(0x710, self.frontier_base + tid * 4)
+            if tid % 4 != 0:  # only expanding threads walk neighbours
+                v = zipf_index(tid * 7919 + j * 104729, self.nodes)
+                row = self.edges_base + v * self.degree * 8
+                for e in range(self.degree):
+                    yield pack(0x718, row + e * 8)
+                neighbour = zipf_index(v * 31 + j, self.nodes)
+                yield pack(0x720, self.visited_base + neighbour * 4)
+                if j % 2 == 0:
+                    yield pack(0x728, self.visited_base + neighbour * 4, 4, True)
+
+
+def make_bfs(scale: WorkloadScale) -> KernelModel:
+    """Factory for the bfs kernel model (see class docstring)."""
+    return BfsKernel(_launch(scale), iters=scale.iters(32))
+
+
+def make_pathfinder(scale: WorkloadScale) -> KernelModel:
+    """Pathfinder: row-by-row dynamic programming, *medium* reuse.
+
+    Each thread reads its three upper neighbours (re-touching the previous
+    row, hence medium reuse) and writes its own cell.
+    """
+    launch = _launch(scale)
+    iters = scale.iters(64)
+    layout = Layout()
+    row_bytes = launch.total_threads * 4 + 4096
+    layout.alloc("wall", row_bytes * (iters + 2))
+    layout.alloc("result", row_bytes * (iters + 2))
+    instrs = [
+        StridedInstr(pc=0x310, array="wall", inter_stride=4,
+                     intra_stride=row_bytes, reuse_period=max(2, iters // 3)),
+        StridedInstr(pc=0x318, array="wall", inter_stride=4, phase=-4,
+                     intra_stride=row_bytes, reuse_period=max(2, iters // 3)),
+        StridedInstr(pc=0x320, array="wall", inter_stride=4, phase=4,
+                     intra_stride=row_bytes, reuse_period=max(2, iters // 3)),
+        StridedInstr(pc=0x328, array="result", inter_stride=4,
+                     intra_stride=row_bytes, is_store=True),
+    ]
+    # phase=-4 on thread 0 would go below the array base; shift all bases up.
+    for i, instr in enumerate(instrs):
+        instrs[i] = StridedInstr(
+            pc=instr.pc, array=instr.array, inter_stride=instr.inter_stride,
+            intra_stride=instr.intra_stride, reuse_period=instr.reuse_period,
+            every=instr.every, phase=instr.phase + 64, size=instr.size,
+            is_store=instr.is_store,
+        )
+    # The real pathfinder kernel barriers after every DP row (__syncthreads).
+    kernel = RegularKernel(launch, layout, instrs, iters=iters, sync_every=1)
+    kernel.name, kernel.suite = "pathfinder", "rodinia"
+    return kernel
+
+
+def make_streamcluster(scale: WorkloadScale) -> KernelModel:
+    """Streamcluster: streaming points vs a small hot centre table.
+
+    Point reads stream with no reuse; centre reads hit a small resident
+    region every iteration (high reuse), an archetypal mixed-locality load.
+    """
+    launch = _launch(scale)
+    iters = scale.iters(64)
+    dims = 16
+    layout = Layout()
+    layout.alloc("points", launch.total_threads * dims * 4 + iters * 64 + 4096)
+    layout.alloc("centers", 64 * dims * 4 + 4096)
+    instrs = [
+        StridedInstr(pc=0x510, array="points", inter_stride=dims * 4,
+                     intra_stride=64),
+        StridedInstr(pc=0x518, array="centers", inter_stride=0,
+                     intra_stride=4, reuse_period=dims),
+        StridedInstr(pc=0x520, array="centers", inter_stride=0,
+                     intra_stride=64, reuse_period=8, every=4),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "streamcluster", "rodinia"
+    return kernel

@@ -1,0 +1,203 @@
+"""Synthetic models of the CUDA SDK benchmarks used in the paper."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.gpu.hierarchy import LaunchConfig
+from repro.gpu.instructions import AccessTuple, pack
+from repro.workloads.base import (
+    KernelModel,
+    Layout,
+    RegularKernel,
+    StridedInstr,
+    WorkloadScale,
+)
+from repro.workloads.patterns import hash_scatter
+
+_BLOCK = 256
+
+
+def _launch(scale: WorkloadScale) -> LaunchConfig:
+    return LaunchConfig(grid_dim=scale.blocks, block_dim=_BLOCK)
+
+
+def make_scalarprod(scale: WorkloadScale) -> KernelModel:
+    """ScalarProd (SP): paired vector loads, *low* reuse.
+
+    Table 1: PCs 0xd8/0xe0 each at 48%, inter-warp 128, intra-warp 4096.
+    The evaluation notes SP is largely insensitive to L1 prefetching because
+    of its large footprint and low temporal locality — each thread strides
+    4 KB per iteration and never returns.
+    """
+    launch = _launch(scale)
+    iters = scale.iters(48)
+    layout = Layout()
+    span = launch.total_threads * 4 + (iters + 1) * 4096 + 4096
+    layout.alloc("vec_a", span)
+    layout.alloc("vec_b", span)
+    layout.alloc("partial", launch.total_threads * 4 + iters * 128 + 4096)
+    instrs = [
+        StridedInstr(pc=0xD8, array="vec_a", inter_stride=4, intra_stride=4096),
+        StridedInstr(pc=0xE0, array="vec_b", inter_stride=4, intra_stride=4096),
+        StridedInstr(pc=0xE8, array="partial", inter_stride=4,
+                     intra_stride=128, every=24, is_store=True),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "scalarprod", "sdk"
+    return kernel
+
+
+def make_blackscholes(scale: WorkloadScale) -> KernelModel:
+    """BlackScholes (BLK): option-batch streaming, *low* reuse.
+
+    Table 1: PCs 0xF0/0xF8/0x100 each at 20%, inter-warp 128, intra-warp
+    245760 — each iteration jumps to the next large option batch.  Five
+    instructions (3 loads, 2 stores) split traffic evenly at 20% each.
+    """
+    launch = _launch(scale)
+    iters = scale.iters(24)
+    batch = 245760
+    layout = Layout()
+    span = launch.total_threads * 4 + (iters + 1) * batch + 4096
+    for array in ("price", "strike", "years", "call", "put"):
+        layout.alloc(array, span)
+    instrs = [
+        StridedInstr(pc=0x0F0, array="price", inter_stride=4, intra_stride=batch),
+        StridedInstr(pc=0x0F8, array="strike", inter_stride=4, intra_stride=batch),
+        StridedInstr(pc=0x100, array="years", inter_stride=4, intra_stride=batch),
+        StridedInstr(pc=0x108, array="call", inter_stride=4,
+                     intra_stride=batch, is_store=True),
+        StridedInstr(pc=0x110, array="put", inter_stride=4,
+                     intra_stride=batch, is_store=True),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "blackscholes", "sdk"
+    return kernel
+
+
+def make_fwt(scale: WorkloadScale) -> KernelModel:
+    """Fast Walsh Transform (FWT): batch jumps with paired butterflies.
+
+    Table 1: PCs 0x458/0x460/0x478 each at 12%, inter-warp 128, intra-warp
+    19200, *medium* reuse.  Eight equally-hot instructions put each at 12.5%
+    of traffic; the data array wraps every few batches (medium reuse).
+    """
+    launch = _launch(scale)
+    iters = scale.iters(32)
+    batch = 19200
+    layout = Layout()
+    period = max(3, iters // 3)  # a few wraps: medium reuse
+    span = launch.total_threads * 4 + (period + 1) * batch + 4096
+    for array in ("d0", "d1", "d2", "d3", "d4", "d5", "d6", "d7"):
+        layout.alloc(array, span)
+    pcs = (0x458, 0x460, 0x478, 0x480, 0x488, 0x490, 0x498, 0x4A0)
+    instrs = [
+        StridedInstr(pc=pc, array=f"d{k}", inter_stride=4,
+                     intra_stride=batch, reuse_period=period,
+                     is_store=(k >= 6))
+        for k, pc in enumerate(pcs)
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "fwt", "sdk"
+    return kernel
+
+
+class MonteCarloKernel(KernelModel):
+    """MonteCarlo: scattered path samples against hot pricing parameters.
+
+    Random-number-driven path reads scatter across a large state region
+    (no stride regularity) while per-option parameters are re-read every
+    step (high temporal locality on a small region).
+    """
+
+    name = "montecarlo"
+    suite = "sdk"
+
+    def __init__(self, launch: LaunchConfig, iters: int) -> None:
+        super().__init__(launch)
+        self.iters = iters
+        layout = Layout()
+        self.samples_base = layout.alloc("samples", 1 << 22)
+        self.params_base = layout.alloc("params", 8192)
+        self.payoff_base = layout.alloc(
+            "payoff", launch.total_threads * 4 + 4096
+        )
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        for j in range(self.iters):
+            yield pack(
+                0x210, hash_scatter(self.samples_base, tid * 65537 + j, 1 << 22)
+            )
+            yield pack(0x218, self.params_base + (tid % 32) * 64)
+            yield pack(0x220, self.params_base + 4096 + (j % 16) * 64)
+            if j % 8 == 7:
+                yield pack(0x228, self.payoff_base + tid * 4, 4, True)
+
+
+def make_montecarlo(scale: WorkloadScale) -> KernelModel:
+    """Factory for the montecarlo kernel model (see class docstring)."""
+    return MonteCarloKernel(_launch(scale), iters=scale.iters(48))
+
+
+class SortingNetworksKernel(KernelModel):
+    """SortingNetworks: bitonic compare-exchange with power-of-two strides.
+
+    Stage ``s`` pairs element ``tid`` with ``tid XOR 2^s``: the stride
+    doubles every stage, exercising the profiler's multi-modal intra-thread
+    stride histograms.
+    """
+
+    name = "sortingnetworks"
+    suite = "sdk"
+
+    def __init__(self, launch: LaunchConfig, passes: int) -> None:
+        super().__init__(launch)
+        self.passes = passes
+        self.stages = 8
+        layout = Layout()
+        self.keys_base = layout.alloc(
+            "keys", (launch.total_threads + (1 << self.stages)) * 4 + 4096
+        )
+        self.layout = layout
+
+    def thread_program(self, tid: int) -> Iterator[AccessTuple]:
+        base = self.keys_base
+        for p in range(self.passes):
+            for s in range(self.stages):
+                partner = tid ^ (1 << s)
+                yield pack(0x330, base + tid * 4)
+                yield pack(0x338, base + partner * 4)
+                yield pack(0x340, base + tid * 4, 4, True)
+
+
+def make_sortingnetworks(scale: WorkloadScale) -> KernelModel:
+    """Factory for the sortingnetworks kernel model (see class docstring)."""
+    return SortingNetworksKernel(_launch(scale), passes=max(1, scale.iters(6)))
+
+
+def make_vectoradd(scale: WorkloadScale) -> KernelModel:
+    """VectorAdd: the paper's Figure 4 running example.
+
+    Two unit-stride loads and one store; with ``Total_Threads`` elements per
+    sweep each thread revisits stride ``Total_Threads * 4`` bytes — the
+    textbook inter-thread-stride-1 / intra-thread-stride-16 example.
+    """
+    launch = _launch(scale)
+    iters = scale.iters(64)
+    sweep = launch.total_threads * 4
+    layout = Layout()
+    span = sweep * (iters + 1) + 4096
+    layout.alloc("a", span)
+    layout.alloc("b", span)
+    layout.alloc("c", span)
+    instrs = [
+        StridedInstr(pc=0x050, array="a", inter_stride=4, intra_stride=sweep),
+        StridedInstr(pc=0x058, array="b", inter_stride=4, intra_stride=sweep),
+        StridedInstr(pc=0x060, array="c", inter_stride=4,
+                     intra_stride=sweep, is_store=True),
+    ]
+    kernel = RegularKernel(launch, layout, instrs, iters=iters)
+    kernel.name, kernel.suite = "vectoradd", "sdk"
+    return kernel

@@ -1,0 +1,109 @@
+"""Registry of the synthetic GPGPU benchmark suite.
+
+``paper_suite()`` returns the 18 benchmarks mirroring the paper's evaluation
+set (Rodinia + CUDA SDK + ISPASS-2009); ``table1_suite()`` the 10 apps whose
+memory patterns the paper's Table 1 documents, in row order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.workloads import extras, ispass, memspaces, rodinia, sdk
+from repro.workloads.base import KernelModel, WorkloadScale
+
+_FACTORIES: Dict[str, Callable[[WorkloadScale], KernelModel]] = {
+    # Rodinia
+    "heartwall": rodinia.make_heartwall,
+    "backprop": rodinia.make_backprop,
+    "kmeans": rodinia.make_kmeans,
+    "srad": rodinia.make_srad,
+    "hotspot": rodinia.make_hotspot,
+    "nw": rodinia.make_nw,
+    "lud": rodinia.make_lud,
+    "bfs": rodinia.make_bfs,
+    "pathfinder": rodinia.make_pathfinder,
+    "streamcluster": rodinia.make_streamcluster,
+    # CUDA SDK
+    "scalarprod": sdk.make_scalarprod,
+    "blackscholes": sdk.make_blackscholes,
+    "fwt": sdk.make_fwt,
+    "montecarlo": sdk.make_montecarlo,
+    "sortingnetworks": sdk.make_sortingnetworks,
+    "vectoradd": sdk.make_vectoradd,
+    # ISPASS-2009
+    "cp": ispass.make_cp,
+    "lib": ispass.make_lib,
+    "aes": ispass.make_aes,
+    # Memory-space extensions (shared/texture/constant; outside the 18-app
+    # paper suite — see repro.workloads.memspaces).
+    "matmul_shared": memspaces.make_matmul_shared,
+    "convolution_texture": memspaces.make_convolution_texture,
+    "histogram_shared": memspaces.make_histogram_shared,
+    # Structural stress extensions (see repro.workloads.extras).
+    "reduction": extras.make_reduction,
+    "spmv_csr": extras.make_spmv_csr,
+    "transpose": extras.make_transpose,
+    "gaussian": extras.make_gaussian,
+    "pointer_chase": extras.make_pointer_chase,
+    "stencil3d": extras.make_stencil3d,
+}
+
+#: The 18 applications standing in for the paper's evaluation suite.
+PAPER_SUITE: Sequence[str] = (
+    "heartwall", "backprop", "kmeans", "srad", "hotspot", "nw", "lud", "bfs",
+    "pathfinder", "streamcluster", "scalarprod", "blackscholes", "fwt",
+    "montecarlo", "sortingnetworks", "cp", "lib", "aes",
+)
+
+#: Table 1 of the paper documents these 10, in this row order.
+TABLE1_SUITE: Sequence[str] = (
+    "heartwall", "backprop", "kmeans", "srad", "scalarprod", "cp",
+    "blackscholes", "lud", "lib", "fwt",
+)
+
+#: Short names used in the paper's tables/figures.
+PAPER_ALIASES: Dict[str, str] = {
+    "backprop": "BP",
+    "scalarprod": "SP",
+    "cp": "CP",
+    "blackscholes": "BLK",
+    "lud": "LUL",
+    "lib": "LIB",
+    "fwt": "FWT",
+}
+
+
+def available() -> List[str]:
+    """All registered benchmark names (19: the 18 + vectoradd demo)."""
+    return sorted(_FACTORIES)
+
+
+def make(name: str, scale: str | WorkloadScale = "small") -> KernelModel:
+    """Instantiate one benchmark at the given scale preset or explicit scale."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; available: {', '.join(available())}"
+        ) from None
+    if isinstance(scale, str):
+        scale = WorkloadScale.preset(scale)
+    return factory(scale)
+
+
+def paper_suite(scale: str | WorkloadScale = "small") -> List[KernelModel]:
+    """The 18-benchmark evaluation suite."""
+    return [make(name, scale) for name in PAPER_SUITE]
+
+
+def table1_suite(scale: str | WorkloadScale = "small") -> List[KernelModel]:
+    """The 10 benchmarks of the paper's Table 1, in row order."""
+    return [make(name, scale) for name in TABLE1_SUITE]
+
+
+def register(name: str, factory: Callable[[WorkloadScale], KernelModel]) -> None:
+    """Add a user-defined benchmark to the registry (for extensions/tests)."""
+    if name in _FACTORIES:
+        raise ValueError(f"benchmark {name!r} already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,57 @@
+"""Shared fixtures for the G-MAP test suite.
+
+Fixtures favour tiny workloads and small core counts so the full suite stays
+fast; accuracy-sensitive integration tests use the paper baseline directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profiler import GmapProfiler
+from repro.gpu.hierarchy import LaunchConfig
+from repro.memsim.config import CacheConfig, DramConfig, SimConfig
+from repro.workloads import suite
+
+
+@pytest.fixture(scope="session")
+def tiny_kmeans():
+    return suite.make("kmeans", scale="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_vectoradd():
+    return suite.make("vectoradd", scale="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_bfs():
+    return suite.make("bfs", scale="tiny")
+
+
+@pytest.fixture(scope="session")
+def kmeans_profile(tiny_kmeans):
+    return GmapProfiler().profile(tiny_kmeans)
+
+
+@pytest.fixture(scope="session")
+def vectoradd_profile(tiny_vectoradd):
+    return GmapProfiler().profile(tiny_vectoradd)
+
+
+@pytest.fixture
+def small_launch():
+    """2 blocks x 64 threads: 2 warps per block."""
+    return LaunchConfig(grid_dim=2, block_dim=64)
+
+
+@pytest.fixture
+def small_config():
+    """A fast 4-core configuration for simulator tests."""
+    return SimConfig(
+        num_cores=4,
+        l1=CacheConfig(size=8 * 1024, assoc=4, line_size=128),
+        l2=CacheConfig(size=256 * 1024, assoc=8, line_size=128,
+                       hit_latency=30, banks=8),
+        dram=DramConfig(channels=4),
+    )

@@ -1,0 +1,174 @@
+"""Tests for the analytical baseline models (Tang 2011, Nugteren 2014)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytical import NugterenL1Model, StackDistanceProfile, TangL1Model
+from repro.analytical.profile_model import (
+    _conflict_probability,
+    round_robin_interleave,
+)
+from repro.gpu.executor import execute_kernel
+from repro.memsim.config import PAPER_BASELINE, CacheConfig
+from repro.memsim.simulator import simulate
+from repro.workloads import suite
+
+
+class TestRoundRobinInterleave:
+    def test_equal_streams(self):
+        merged = round_robin_interleave([[1, 2], [10, 20]])
+        assert merged == [1, 10, 2, 20]
+
+    def test_unequal_streams(self):
+        merged = round_robin_interleave([[1, 2, 3], [10]])
+        assert merged == [1, 10, 2, 3]
+
+    def test_empty(self):
+        assert round_robin_interleave([[], []]) == []
+
+
+class TestStackDistanceProfile:
+    def test_line_size_validation(self):
+        with pytest.raises(ValueError):
+            StackDistanceProfile(line_sizes=(48,))
+
+    def test_unknown_line_size_rejected(self):
+        profile = StackDistanceProfile.from_addresses([0], line_sizes=(64,))
+        with pytest.raises(ValueError, match="not collected"):
+            profile.histogram(128)
+
+    def test_cold_misses_counted(self):
+        profile = StackDistanceProfile.from_addresses(
+            [0, 128, 0], line_sizes=(128,)
+        )
+        assert profile.cold_misses(128) == 2
+        assert profile.histogram(128).count(1) == 1
+
+    def test_miss_rate_pure_streaming_is_one(self):
+        addresses = [i * 128 for i in range(100)]
+        profile = StackDistanceProfile.from_addresses(addresses, (128,))
+        config = CacheConfig(size=16 * 1024, assoc=4, line_size=128)
+        assert profile.miss_rate(config) == pytest.approx(1.0)
+
+    def test_miss_rate_resident_working_set(self):
+        addresses = [(i % 8) * 128 for i in range(800)]
+        profile = StackDistanceProfile.from_addresses(addresses, (128,))
+        config = CacheConfig(size=16 * 1024, assoc=4, line_size=128)
+        # 8 cold misses out of 800 accesses (+ a negligible binomial
+        # set-conflict correction term).
+        assert profile.miss_rate(config) == pytest.approx(0.01, abs=1e-3)
+
+    def test_miss_rate_monotone_in_capacity(self):
+        addresses = [(i * 7 % 64) * 128 for i in range(2000)]
+        profile = StackDistanceProfile.from_addresses(addresses, (128,))
+        rates = [
+            profile.miss_rate(CacheConfig(size=s, assoc=4, line_size=128))
+            for s in (1024, 4096, 16 * 1024)
+        ]
+        assert rates[0] >= rates[1] >= rates[2]
+
+    def test_empty_profile(self):
+        profile = StackDistanceProfile()
+        config = CacheConfig(size=1024, assoc=2, line_size=64)
+        assert profile.miss_rate(config) == 0.0
+
+    def test_matches_fa_cache_without_conflict_model(self):
+        """On a 1-set cache the FA prediction is exact."""
+        addresses = [(i * 13 % 20) * 64 for i in range(500)]
+        profile = StackDistanceProfile.from_addresses(addresses, (64,))
+        config = CacheConfig(size=64 * 8, assoc=8, line_size=64)  # 1 set
+        from repro.memsim.cache import SetAssociativeCache
+        cache = SetAssociativeCache(config)
+        misses = 0
+        for a in addresses:
+            hit, _ = cache.access(a)
+            misses += not hit
+        assert profile.miss_rate(config, set_conflicts=False) == \
+            pytest.approx(misses / len(addresses))
+
+
+class TestConflictProbability:
+    def test_zero_when_distance_below_assoc(self):
+        assert _conflict_probability(2, num_sets=16, assoc=4) < 1e-4
+
+    def test_one_set_always_conflicts_at_capacity(self):
+        # distance >= assoc with a single set is certain.
+        assert _conflict_probability(8, num_sets=1, assoc=4) == pytest.approx(1.0)
+
+    def test_monotone_in_distance(self):
+        a = _conflict_probability(8, 32, 4)
+        b = _conflict_probability(64, 32, 4)
+        assert b >= a
+
+    def test_bounded(self):
+        for d in (1, 10, 100, 1000):
+            p = _conflict_probability(d, 32, 8)
+            assert 0.0 <= p <= 1.0
+
+
+class TestTangModel:
+    def test_block_validation(self):
+        kernel = suite.make("vectoradd", "tiny")
+        with pytest.raises(ValueError):
+            TangL1Model(kernel, block=99)
+
+    def test_predicts_streaming_kernel(self):
+        kernel = suite.make("vectoradd", "tiny")
+        model = TangL1Model(kernel)
+        config = PAPER_BASELINE.l1
+        truth = simulate(execute_kernel(kernel, 15), PAPER_BASELINE).l1_miss_rate
+        assert abs(model.predict_l1_miss_rate(config) - truth) < 0.05
+
+    def test_l2_out_of_scope(self):
+        model = TangL1Model(suite.make("vectoradd", "tiny"))
+        with pytest.raises(NotImplementedError, match="L1 only"):
+            model.predict_l2_miss_rate(PAPER_BASELINE.l2)
+
+    def test_single_tb_blindspot(self):
+        """Tang ignores inter-TB thrashing: with many TBs per core the
+        true miss rate can exceed its single-TB prediction."""
+        kernel = suite.make("lib", "small")
+        model = TangL1Model(kernel)
+        small_l1 = CacheConfig(size=8 * 1024, assoc=2, line_size=128)
+        config = PAPER_BASELINE.with_(l1=small_l1, num_cores=1)
+        truth = simulate(execute_kernel(kernel, 1), config).l1_miss_rate
+        predicted = model.predict_l1_miss_rate(small_l1)
+        assert truth >= predicted - 0.02  # never *better* than one TB alone
+
+
+class TestNugterenModel:
+    def test_core_validation(self):
+        kernel = suite.make("vectoradd", "tiny")
+        with pytest.raises(ValueError):
+            NugterenL1Model(kernel, num_cores=4, core=9)
+
+    def test_multi_tb_awareness(self):
+        """Nugteren interleaves all co-resident warps (vs Tang's one TB)."""
+        kernel = suite.make("kmeans", "tiny")
+        tang = TangL1Model(kernel)
+        nugteren = NugterenL1Model(kernel, num_cores=1)
+        assert nugteren.num_warps > len(
+            kernel.launch.warps_in_block(0)
+        ) or kernel.launch.num_blocks == 1
+
+    def test_prediction_within_bounds(self):
+        kernel = suite.make("srad", "tiny")
+        model = NugterenL1Model(kernel)
+        rate = model.predict_l1_miss_rate(PAPER_BASELINE.l1)
+        assert 0.0 <= rate <= 1.0
+
+    def test_l2_out_of_scope(self):
+        model = NugterenL1Model(suite.make("vectoradd", "tiny"))
+        with pytest.raises(NotImplementedError):
+            model.predict_l2_miss_rate(PAPER_BASELINE.l2)
+
+    def test_reasonable_accuracy_on_regular_kernels(self):
+        config = PAPER_BASELINE.l1
+        for name in ("vectoradd", "nw", "srad"):
+            kernel = suite.make(name, "tiny")
+            model = NugterenL1Model(kernel)
+            truth = simulate(
+                execute_kernel(kernel, 15), PAPER_BASELINE
+            ).l1_miss_rate
+            assert abs(model.predict_l1_miss_rate(config) - truth) < 0.10

@@ -1,0 +1,163 @@
+"""Tests for the G.4.2 warp coalescing model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coalescing import DEFAULT_SEGMENT_SIZE, CoalescingModel
+from repro.gpu.instructions import AccessType, MemoryAccess, StaticInstruction, pack, unpack
+
+
+class TestInstructionTypes:
+    def test_static_instruction_str(self):
+        load = StaticInstruction(pc=0x900)
+        store = StaticInstruction(pc=0x40, access_type=AccessType.STORE)
+        assert "LD" in str(load) and "0x900" in str(load)
+        assert "ST" in str(store)
+
+    def test_static_instruction_validation(self):
+        with pytest.raises(ValueError):
+            StaticInstruction(pc=-1)
+        with pytest.raises(ValueError):
+            StaticInstruction(pc=0, size=3)
+
+    def test_access_type_is_store(self):
+        assert AccessType.STORE.is_store
+        assert not AccessType.LOAD.is_store
+
+    def test_pack_unpack_round_trip(self):
+        access = unpack(pack(0x100, 4096, 8, True))
+        assert access == MemoryAccess(pc=0x100, address=4096, size=8, is_store=True)
+        assert access.as_tuple() == (0x100, 4096, 8, True)
+
+
+class TestCoalescingModel:
+    def test_segment_size_validation(self):
+        with pytest.raises(ValueError):
+            CoalescingModel(segment_size=100)
+        with pytest.raises(ValueError):
+            CoalescingModel(segment_size=0)
+
+    def test_unit_stride_warp_is_one_transaction(self):
+        """Figure 4: 32 consecutive 4B accesses coalesce into one 128B txn."""
+        model = CoalescingModel()
+        lanes = [(0x1000 + 4 * lane, 4) for lane in range(32)]
+        txns = model.coalesce(0x50, lanes)
+        assert len(txns) == 1
+        assert txns[0].address == 0x1000
+        assert txns[0].size == DEFAULT_SEGMENT_SIZE
+        assert txns[0].lanes == 32
+
+    def test_misaligned_unit_stride_is_two_transactions(self):
+        model = CoalescingModel()
+        lanes = [(0x1040 + 4 * lane, 4) for lane in range(32)]
+        txns = model.coalesce(0, lanes)
+        assert len(txns) == 2
+        assert [t.address for t in txns] == [0x1000, 0x1080]
+
+    def test_stride_two_doubles_transactions(self):
+        model = CoalescingModel()
+        lanes = [(0x2000 + 8 * lane, 4) for lane in range(32)]
+        assert len(model.coalesce(0, lanes)) == 2
+
+    def test_fully_scattered_is_per_lane(self):
+        model = CoalescingModel()
+        lanes = [(0x10000 + 512 * lane, 4) for lane in range(32)]
+        txns = model.coalesce(0, lanes)
+        assert len(txns) == 32
+        assert all(t.lanes == 1 for t in txns)
+
+    def test_same_address_all_lanes_is_one(self):
+        model = CoalescingModel()
+        lanes = [(0x3000, 4)] * 32
+        txns = model.coalesce(0, lanes)
+        assert len(txns) == 1
+        assert txns[0].lanes == 32
+
+    def test_access_spanning_segment_boundary(self):
+        model = CoalescingModel()
+        txns = model.coalesce(0, [(0x107C, 8)])  # 8B access crossing 0x1080
+        assert [t.address for t in txns] == [0x1000, 0x1080]
+
+    def test_transactions_sorted_by_address(self):
+        model = CoalescingModel()
+        lanes = [(0x5000, 4), (0x1000, 4), (0x3000, 4)]
+        addresses = [t.address for t in model.coalesce(0, lanes)]
+        assert addresses == sorted(addresses)
+
+    def test_store_flag_propagates(self):
+        model = CoalescingModel()
+        txns = model.coalesce(0x9, [(0, 4)], is_store=True)
+        assert txns[0].is_store
+
+    def test_empty_lane_set(self):
+        assert CoalescingModel().coalesce(0, []) == []
+
+    def test_invalid_lane_size(self):
+        with pytest.raises(ValueError):
+            CoalescingModel().coalesce(0, [(0, 0)])
+
+    def test_transactions_per_warp(self):
+        model = CoalescingModel()
+        assert model.transactions_per_warp(range(0, 128, 4)) == 1
+        assert model.transactions_per_warp([0, 128, 256]) == 3
+
+    def test_segment_of(self):
+        model = CoalescingModel(segment_size=64)
+        assert model.segment_of(0) == 0
+        assert model.segment_of(63) == 0
+        assert model.segment_of(64) == 64
+
+    def test_smaller_segment_size(self):
+        model = CoalescingModel(segment_size=32)
+        lanes = [(4 * lane, 4) for lane in range(32)]
+        assert len(model.coalesce(0, lanes)) == 4
+
+
+class TestCoalescingEfficiency:
+    def test_perfect(self):
+        model = CoalescingModel()
+        lanes = [(4 * lane, 4) for lane in range(32)]
+        assert model.efficiency(lanes) == pytest.approx(1.0)
+
+    def test_scattered_is_poor(self):
+        model = CoalescingModel()
+        lanes = [(512 * lane, 4) for lane in range(32)]
+        assert model.efficiency(lanes) == pytest.approx(4 / 128)
+
+    def test_empty_is_perfect(self):
+        assert CoalescingModel().efficiency([]) == 1.0
+
+
+class TestCoalescingProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=32))
+    def test_transaction_count_bounds(self, addresses):
+        """1 <= transactions <= 2x active lanes (straddlers split in two)."""
+        model = CoalescingModel()
+        txns = model.coalesce(0, [(a, 4) for a in addresses])
+        assert 1 <= len(txns) <= 2 * len(addresses)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=32))
+    def test_every_lane_byte_covered(self, addresses):
+        model = CoalescingModel()
+        txns = model.coalesce(0, [(a, 4) for a in addresses])
+        covered = set()
+        for t in txns:
+            covered.update(range(t.address, t.address + t.size))
+        for a in addresses:
+            assert set(range(a, a + 4)) <= covered
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=32))
+    def test_lane_counts_sum_to_segment_touches(self, addresses):
+        model = CoalescingModel()
+        txns = model.coalesce(0, [(a, 4) for a in addresses])
+        # Each 4B access touches 1 segment (or 2 if it straddles).
+        expected = sum(
+            2 if (a % 128) > 124 else 1 for a in addresses
+        )
+        assert sum(t.lanes for t in txns) == expected

@@ -1,0 +1,236 @@
+"""Tests for the empirical histogram machinery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distributions import (
+    Histogram,
+    chi2_distance,
+    hellinger_distance,
+    reuse_class,
+    strides_of,
+)
+
+counts_strategy = st.dictionaries(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=1, max_value=50),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestHistogramConstruction:
+    def test_empty(self):
+        h = Histogram()
+        assert h.empty
+        assert h.total == 0
+        assert h.mode() is None
+        assert h.dominant() == (None, 0.0)
+
+    def test_add_and_count(self):
+        h = Histogram()
+        h.add(128, 3)
+        h.add(-64)
+        assert h.count(128) == 3
+        assert h.count(-64) == 1
+        assert h.total == 4
+        assert len(h) == 2
+
+    def test_add_zero_count_is_noop(self):
+        h = Histogram()
+        h.add(5, 0)
+        assert h.empty
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative count"):
+            Histogram().add(1, -1)
+
+    def test_from_counts_mapping(self):
+        h = Histogram({4: 2, 8: 6})
+        assert h.probability(8) == pytest.approx(0.75)
+
+    def test_update_iterable(self):
+        h = Histogram()
+        h.update([1, 1, 2])
+        assert h.count(1) == 2
+        assert h.count(2) == 1
+
+    def test_equality(self):
+        assert Histogram({1: 2}) == Histogram({1: 2})
+        assert Histogram({1: 2}) != Histogram({1: 3})
+
+    def test_repr_contains_values(self):
+        assert "128" in repr(Histogram({128: 4}))
+
+
+class TestHistogramQueries:
+    def test_support_sorted(self):
+        h = Histogram({5: 1, -3: 1, 0: 1})
+        assert h.support() == [-3, 0, 5]
+
+    def test_contains(self):
+        h = Histogram({128: 10})
+        assert 128 in h
+        assert 64 not in h
+
+    def test_mode_ties_break_small(self):
+        h = Histogram({2: 5, 1: 5})
+        assert h.mode() == 1
+
+    def test_dominant(self):
+        h = Histogram({128: 75, 64: 25})
+        value, freq = h.dominant()
+        assert value == 128
+        assert freq == pytest.approx(0.75)
+
+    def test_mean(self):
+        h = Histogram({0: 1, 10: 1})
+        assert h.mean() == pytest.approx(5.0)
+        assert Histogram().mean() == 0.0
+
+    def test_entropy_degenerate_is_zero(self):
+        assert Histogram({42: 100}).entropy() == pytest.approx(0.0)
+
+    def test_entropy_uniform_two_values(self):
+        assert Histogram({0: 5, 1: 5}).entropy() == pytest.approx(1.0)
+
+    def test_percentile(self):
+        h = Histogram({1: 50, 2: 30, 3: 20})
+        assert h.percentile(0.5) == 1
+        assert h.percentile(0.8) == 2
+        assert h.percentile(1.0) == 3
+
+    def test_percentile_validation(self):
+        h = Histogram({1: 1})
+        with pytest.raises(ValueError):
+            h.percentile(0.0)
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5)
+
+
+class TestHistogramSampling:
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Histogram().sample(random.Random(0))
+
+    def test_sample_degenerate(self):
+        h = Histogram({7: 3})
+        rng = random.Random(0)
+        assert all(h.sample(rng) == 7 for _ in range(20))
+
+    def test_sample_deterministic_given_seed(self):
+        h = Histogram({1: 1, 2: 2, 3: 3})
+        a = h.sample_many(random.Random(42), 50)
+        b = h.sample_many(random.Random(42), 50)
+        assert a == b
+
+    def test_sample_respects_weights(self):
+        h = Histogram({0: 900, 1: 100})
+        samples = h.sample_many(random.Random(1), 5000)
+        frac = samples.count(0) / len(samples)
+        assert 0.87 <= frac <= 0.93
+
+    def test_sampling_after_mutation_uses_new_counts(self):
+        h = Histogram({0: 1})
+        rng = random.Random(0)
+        h.sample(rng)
+        h.add(1, 10_000)
+        samples = h.sample_many(rng, 100)
+        assert samples.count(1) > 90
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts_strategy, st.integers(min_value=0, max_value=2**31))
+    def test_samples_always_in_support(self, counts, seed):
+        h = Histogram(counts)
+        rng = random.Random(seed)
+        support = set(h.support())
+        assert all(h.sample(rng) in support for _ in range(20))
+
+
+class TestHistogramTransforms:
+    def test_scaled_counts(self):
+        h = Histogram({1: 100, 2: 10, 3: 1})
+        scaled = h.scaled_counts(0.1)
+        assert scaled.count(1) == 10
+        assert scaled.count(2) == 1
+        assert scaled.count(3) == 0
+
+    def test_scaled_counts_never_empty(self):
+        h = Histogram({5: 3})
+        scaled = h.scaled_counts(0.01)
+        assert not scaled.empty
+        assert scaled.mode() == 5
+
+    def test_scaled_counts_invalid_factor(self):
+        with pytest.raises(ValueError):
+            Histogram({1: 1}).scaled_counts(0)
+
+    def test_mapped_values_merges(self):
+        h = Histogram({1: 2, 2: 3})
+        mapped = h.mapped_values(lambda v: 0)
+        assert mapped.count(0) == 5
+
+    def test_truncated(self):
+        h = Histogram({1: 10, 2: 5, 3: 1})
+        t = h.truncated(2)
+        assert t.support() == [1, 2]
+        with pytest.raises(ValueError):
+            h.truncated(0)
+
+    def test_round_trip_dict(self):
+        h = Histogram({-128: 3, 4096: 7})
+        assert Histogram.from_dict(h.to_dict()) == h
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts_strategy)
+    def test_serialisation_round_trip(self, counts):
+        h = Histogram(counts)
+        assert Histogram.from_dict(h.to_dict()) == h
+
+
+class TestDistances:
+    def test_chi2_identical_is_zero(self):
+        h = Histogram({1: 4, 2: 6})
+        assert chi2_distance(h, h) == pytest.approx(0.0)
+
+    def test_chi2_disjoint_is_one(self):
+        assert chi2_distance(Histogram({1: 5}), Histogram({2: 5})) == pytest.approx(1.0)
+
+    def test_chi2_empty_conventions(self):
+        assert chi2_distance(Histogram(), Histogram()) == 0.0
+        assert chi2_distance(Histogram(), Histogram({1: 1})) == 1.0
+
+    def test_hellinger_bounds(self):
+        a = Histogram({1: 3, 2: 1})
+        b = Histogram({1: 1, 2: 3})
+        d = hellinger_distance(a, b)
+        assert 0.0 < d < 1.0
+
+    def test_hellinger_scale_invariant(self):
+        a = Histogram({1: 1, 2: 3})
+        b = Histogram({1: 10, 2: 30})
+        assert hellinger_distance(a, b) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestHelpers:
+    @pytest.mark.parametrize(
+        "fraction,expected",
+        [(0.0, "low"), (0.29, "low"), (0.30, "med"), (0.70, "med"),
+         (0.71, "high"), (1.0, "high")],
+    )
+    def test_reuse_class_boundaries(self, fraction, expected):
+        assert reuse_class(fraction) == expected
+
+    def test_reuse_class_validation(self):
+        with pytest.raises(ValueError):
+            reuse_class(1.5)
+
+    def test_strides_of(self):
+        assert strides_of([0, 128, 64]) == [128, -64]
+        assert strides_of([5]) == []
+        assert strides_of([]) == []

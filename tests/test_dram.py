@@ -1,0 +1,195 @@
+"""Tests for the GDDR DRAM timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim.config import DramConfig, DramTimings
+from repro.memsim.dram import DramModel
+
+
+def make_dram(**kwargs) -> DramModel:
+    return DramModel(DramConfig(**kwargs), txn_size=128, core_clock_mhz=1400.0)
+
+
+class TestTimingsValidation:
+    def test_positive_timings(self):
+        with pytest.raises(ValueError):
+            DramTimings(t_rcd=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DramConfig(mapping="RowFirst")
+        with pytest.raises(ValueError):
+            DramConfig(channels=3)
+        with pytest.raises(ValueError):
+            DramConfig(frfcfs_window=0)
+
+
+class TestRowBufferOutcomes:
+    def test_first_access_is_row_empty(self):
+        dram = make_dram()
+        dram.access(0.0, 0x1000)
+        assert dram.stats.row_empties == 1
+        assert dram.stats.row_hits == 0
+
+    def test_same_row_hit(self):
+        dram = make_dram(mapping="ChRaBaRoCo")  # sequential stays in a row
+        dram.access(0.0, 0)
+        dram.access(1000.0, 128)
+        assert dram.stats.row_hits == 1
+
+    def test_conflict_on_different_row_same_bank(self):
+        dram = make_dram(mapping="ChRaBaRoCo")
+        dram.access(0.0, 0)
+        dram.access(1000.0, 4096)  # row 2 of bank 0
+        assert dram.stats.row_conflicts == 1
+
+    def test_latency_ordering_hit_lt_empty_lt_conflict(self):
+        """tCAS < tRCD+tCAS < tRP+tRCD+tCAS, all issued in isolation.
+
+        Issue times are chosen outside the periodic refresh blackout
+        windows so only the row-buffer outcome differs.
+        """
+        base = dict(mapping="ChRaBaRoCo")
+        empty = make_dram(**base).access(1000.0, 0)
+
+        dram = make_dram(**base)
+        dram.access(1000.0, 0)
+        hit = dram.access(10_000.0, 128)
+
+        dram = make_dram(**base)
+        dram.access(1000.0, 0)
+        conflict = dram.access(10_000.0, 4096)
+
+        assert hit < empty < conflict
+
+    def test_row_buffer_locality_metric(self):
+        dram = make_dram(mapping="ChRaBaRoCo")
+        for i in range(16):  # 16 txns = one full 2KB row
+            dram.access(i * 1000.0, i * 128)
+        assert dram.stats.row_buffer_locality == pytest.approx(15 / 16)
+
+
+class TestMappingEffects:
+    def test_chrabarooco_has_higher_rbl_on_interleaved_streams(self):
+        """Figure 7 mechanism: with multiple distant sequential streams,
+        ChRaBaRoCo isolates each stream in its own bank (rows stay open)
+        while RoBaRaCoCh folds them onto the same banks (row ping-pong)."""
+        spacing = 1 << 27  # beyond the row field: distinct banks under Ch
+        ro = make_dram(mapping="RoBaRaCoCh")
+        ch = make_dram(mapping="ChRaBaRoCo")
+        t = 0.0
+        for i in range(64):
+            for stream in range(8):
+                address = stream * spacing + i * 128
+                ro.access(t, address)
+                ch.access(t, address)
+                t += 500.0
+        assert ch.stats.row_buffer_locality > ro.stats.row_buffer_locality
+
+    def test_robaracoch_spreads_load_across_channels(self):
+        dram = make_dram(mapping="RoBaRaCoCh")
+        seq = [i * 128 for i in range(64)]
+        lat_interleaved = [dram.access(0.0, a) for a in seq]
+        dram2 = make_dram(mapping="ChRaBaRoCo")
+        lat_single = [dram2.access(0.0, a) for a in seq]
+        # All 64 requests at t=0: channel striping drains 8x faster.
+        assert max(lat_interleaved) < max(lat_single)
+
+
+class TestContentionAndQueue:
+    def test_bank_busy_serialises(self):
+        dram = make_dram(mapping="ChRaBaRoCo")
+        first = dram.access(0.0, 0)
+        second = dram.access(0.0, 128)  # same bank, same instant
+        assert second > first  # had to wait for the bank
+
+    def test_queue_length_grows_under_burst(self):
+        dram = make_dram(mapping="ChRaBaRoCo")
+        for _ in range(32):
+            dram.access(0.0, 0)
+        assert dram.stats.avg_queue_length > 1.0
+
+    def test_queue_drains_over_time(self):
+        dram = make_dram()
+        dram.access(0.0, 0)
+        dram.access(1e9, 128)  # long after: queue should be empty again
+        assert dram.stats.queue_samples == 2
+
+    def test_writes_tracked_separately(self):
+        dram = make_dram()
+        dram.access(0.0, 0, is_write=True)
+        dram.access(0.0, 1 << 20, is_write=False)
+        assert dram.stats.writes == 1
+        assert dram.stats.reads == 1
+        assert dram.stats.avg_write_latency > 0
+        assert dram.stats.avg_read_latency > 0
+
+
+class TestBusWidth:
+    def test_wider_bus_shorter_burst(self):
+        narrow = make_dram(bus_width=4)
+        wide = make_dram(bus_width=16)
+        assert narrow.access(0.0, 0) > wide.access(0.0, 0)
+
+
+class TestSecondaryTimings:
+    def test_tfaw_throttles_activation_bursts(self):
+        """A fifth row activation in the window waits for tFAW."""
+        from repro.memsim.config import DramTimings
+        # 5 conflicting activates to distinct rows of distinct banks on one
+        # rank, issued back to back outside the refresh blackout.
+        fast = make_dram(mapping="ChRaBaRoCo",
+                         timings=DramTimings(t_faw=0, t_refi=0))
+        slow = make_dram(mapping="ChRaBaRoCo",
+                         timings=DramTimings(t_faw=200, t_refi=0))
+        bank_stride = 2048 * (1 << 16)  # next bank under ChRaBaRoCo
+        latencies_fast = [fast.access(1000.0, k * bank_stride) for k in range(5)]
+        latencies_slow = [slow.access(1000.0, k * bank_stride) for k in range(5)]
+        assert latencies_slow[4] > latencies_fast[4]
+
+    def test_twtr_penalises_read_after_write(self):
+        from repro.memsim.config import DramTimings
+        no_wtr = make_dram(timings=DramTimings(t_wtr=0, t_refi=0))
+        wtr = make_dram(timings=DramTimings(t_wtr=50, t_refi=0))
+        for dram in (no_wtr, wtr):
+            dram.access(1000.0, 0, is_write=True)
+        # Read on the same rank right after the write completes.
+        read_plain = no_wtr.access(1001.0, 1 << 22)
+        read_wtr = wtr.access(1001.0, 1 << 22)
+        assert read_wtr > read_plain
+
+    def test_refresh_blackout_delays(self):
+        from repro.memsim.config import DramTimings
+        dram = make_dram(timings=DramTimings(t_refi=1000, t_rfc=100))
+        # t=0 falls inside the blackout (phase 0 < t_rfc scaled).
+        in_blackout = dram.access(0.0, 0)
+        fresh = make_dram(timings=DramTimings(t_refi=1000, t_rfc=100))
+        outside = fresh.access(500.0, 0)
+        assert in_blackout > outside
+
+    def test_refresh_disabled(self):
+        from repro.memsim.config import DramTimings
+        dram = make_dram(timings=DramTimings(t_refi=0))
+        a = dram.access(0.0, 0)
+        fresh = make_dram(timings=DramTimings(t_refi=0))
+        b = fresh.access(500.0, 0)
+        assert a == pytest.approx(b)
+
+    def test_timings_validation(self):
+        from repro.memsim.config import DramTimings
+        with pytest.raises(ValueError):
+            DramTimings(t_faw=-1)
+
+
+class TestDiagnostics:
+    def test_open_rows(self):
+        dram = make_dram(mapping="RoBaRaCoCh")
+        assert dram.open_rows == 0
+        dram.access(0.0, 0)
+        dram.access(0.0, 128)
+        assert dram.open_rows == 2
+
+    def test_describe(self):
+        assert "RoBaRaCoCh" in make_dram().describe()

@@ -1,0 +1,178 @@
+"""Tests for the CUDA thread hierarchy (grid/TB/warp, G.1 rules)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.hierarchy import (
+    WARP_SIZE,
+    Dim3,
+    LaunchConfig,
+    ThreadCoord,
+    assign_blocks_to_cores,
+    resident_waves,
+)
+
+
+class TestDim3:
+    def test_defaults(self):
+        d = Dim3()
+        assert (d.x, d.y, d.z) == (1, 1, 1)
+        assert d.count == 1
+
+    def test_count(self):
+        assert Dim3(4, 3, 2).count == 24
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            Dim3(0)
+        with pytest.raises(ValueError):
+            Dim3(1, -1)
+
+    def test_linearize_x_major(self):
+        """CUDA G.1: tid = x + y*Dx + z*Dx*Dy."""
+        d = Dim3(4, 3, 2)
+        assert d.linearize(0, 0, 0) == 0
+        assert d.linearize(3, 0, 0) == 3
+        assert d.linearize(0, 1, 0) == 4
+        assert d.linearize(0, 0, 1) == 12
+        assert d.linearize(3, 2, 1) == 23
+
+    def test_linearize_bounds(self):
+        with pytest.raises(ValueError):
+            Dim3(2, 2).linearize(2, 0)
+
+    def test_delinearize_inverse(self):
+        d = Dim3(5, 4, 3)
+        for linear in range(d.count):
+            assert d.linearize(*d.delinearize(linear)) == linear
+
+    def test_delinearize_bounds(self):
+        with pytest.raises(ValueError):
+            Dim3(2).delinearize(2)
+
+    def test_of_coercions(self):
+        assert Dim3.of(7) == Dim3(7)
+        assert Dim3.of((2, 3)) == Dim3(2, 3)
+        assert Dim3.of(Dim3(1, 2, 3)) == Dim3(1, 2, 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 16), st.integers(1, 8), st.integers(1, 4))
+    def test_linearize_bijective(self, x, y, z):
+        d = Dim3(x, y, z)
+        seen = {d.linearize(*d.delinearize(i)) for i in range(d.count)}
+        assert seen == set(range(d.count))
+
+
+class TestThreadCoord:
+    def test_global_tid(self):
+        coord = ThreadCoord(block=2, tid_in_block=5)
+        assert coord.global_tid(Dim3(64)) == 133
+
+    def test_warp_and_lane(self):
+        coord = ThreadCoord(block=0, tid_in_block=70)
+        assert coord.warp_in_block() == 2
+        assert coord.lane() == 6
+
+
+class TestLaunchConfig:
+    def test_basic_counts(self):
+        launch = LaunchConfig(grid_dim=4, block_dim=256)
+        assert launch.total_threads == 1024
+        assert launch.warps_per_block == 8
+        assert launch.total_warps == 32
+
+    def test_partial_warp_rounding(self):
+        """A 48-thread block still occupies 2 warps (G.1)."""
+        launch = LaunchConfig(grid_dim=1, block_dim=48)
+        assert launch.warps_per_block == 2
+        assert len(launch.threads_in_warp(0)) == WARP_SIZE
+        assert len(launch.threads_in_warp(1)) == 16
+
+    def test_warp_of_thread(self):
+        launch = LaunchConfig(grid_dim=2, block_dim=64)
+        assert launch.warp_of_thread(0) == 0
+        assert launch.warp_of_thread(32) == 1
+        assert launch.warp_of_thread(64) == 2  # first thread of block 1
+        assert launch.warp_of_thread(127) == 3
+
+    def test_lane_and_block_of_thread(self):
+        launch = LaunchConfig(grid_dim=2, block_dim=64)
+        assert launch.lane_of_thread(33) == 1
+        assert launch.block_of_thread(64) == 1
+
+    def test_threads_in_warp_consistent(self):
+        launch = LaunchConfig(grid_dim=3, block_dim=96)
+        for warp in launch.iter_warps():
+            for tid in launch.threads_in_warp(warp):
+                assert launch.warp_of_thread(tid) == warp
+
+    def test_warps_in_block(self):
+        launch = LaunchConfig(grid_dim=2, block_dim=96)
+        assert launch.warps_in_block(1) == [3, 4, 5]
+
+    def test_block_of_warp(self):
+        launch = LaunchConfig(grid_dim=2, block_dim=96)
+        assert launch.block_of_warp(2) == 0
+        assert launch.block_of_warp(3) == 1
+
+    def test_out_of_range_rejected(self):
+        launch = LaunchConfig(grid_dim=1, block_dim=32)
+        with pytest.raises(ValueError):
+            launch.warp_of_thread(32)
+        with pytest.raises(ValueError):
+            launch.threads_in_warp(1)
+        with pytest.raises(ValueError):
+            launch.warps_in_block(1)
+
+    def test_multidimensional_dims(self):
+        launch = LaunchConfig(grid_dim=(2, 2), block_dim=(16, 8))
+        assert launch.num_blocks == 4
+        assert launch.threads_per_block == 128
+        assert launch.warps_per_block == 4
+
+    def test_equality(self):
+        assert LaunchConfig(2, 64) == LaunchConfig(2, 64)
+        assert LaunchConfig(2, 64) != LaunchConfig(2, 32)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 8), st.integers(1, 300))
+    def test_warp_partition_covers_all_threads(self, blocks, block_size):
+        launch = LaunchConfig(grid_dim=blocks, block_dim=block_size)
+        seen = []
+        for warp in launch.iter_warps():
+            seen.extend(launch.threads_in_warp(warp))
+        assert sorted(seen) == list(range(launch.total_threads))
+
+
+class TestBlockPlacement:
+    def test_round_robin(self):
+        cores = assign_blocks_to_cores(num_blocks=7, num_cores=3)
+        assert cores == [[0, 3, 6], [1, 4], [2, 5]]
+
+    def test_every_block_placed_once(self):
+        cores = assign_blocks_to_cores(20, 6)
+        placed = sorted(b for core in cores for b in core)
+        assert placed == list(range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            assign_blocks_to_cores(4, 0)
+        with pytest.raises(ValueError):
+            assign_blocks_to_cores(-1, 2)
+        with pytest.raises(ValueError):
+            assign_blocks_to_cores(4, 2, max_blocks_per_core=0)
+
+    def test_resident_waves(self):
+        waves = resident_waves([0, 3, 6, 9, 12], max_blocks_per_core=2)
+        assert waves == [[0, 3], [6, 9], [12]]
+
+    def test_resident_waves_validation(self):
+        with pytest.raises(ValueError):
+            resident_waves([1], max_blocks_per_core=0)
+
+    def test_empty_core(self):
+        cores = assign_blocks_to_cores(2, 4)
+        assert cores[2] == [] and cores[3] == []

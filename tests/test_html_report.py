@@ -1,0 +1,101 @@
+"""Tests for the self-contained HTML report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation.html_report import HtmlReport, experiment_html_report
+from repro.validation.metrics import SweepComparison
+
+
+def comparisons():
+    return [
+        SweepComparison("kmeans", "l1_miss_rate", [0.10, 0.20], [0.11, 0.19]),
+        SweepComparison("hotspot", "l1_miss_rate", [0.50, 0.60], [0.40, 0.75]),
+    ]
+
+
+class TestHtmlReport:
+    def test_document_structure(self):
+        report = HtmlReport("G-MAP results")
+        report.add_heading("Section")
+        report.add_paragraph("hello world")
+        doc = report.render()
+        assert doc.startswith("<!DOCTYPE html>")
+        assert "<title>G-MAP results</title>" in doc
+        assert "<h2>Section</h2>" in doc
+        assert "hello world" in doc
+        assert doc.endswith("</body></html>")
+
+    def test_escaping(self):
+        report = HtmlReport("<script>alert(1)</script>")
+        report.add_paragraph("a < b & c > d")
+        doc = report.render()
+        assert "<script>alert" not in doc
+        assert "&lt;script&gt;" in doc
+        assert "a &lt; b &amp; c &gt; d" in doc
+
+    def test_table_formatting(self):
+        report = HtmlReport("t")
+        report.add_table(["name", "value"], [["x", 0.123456], ["y", 7]])
+        doc = report.render()
+        assert "<th>name</th>" in doc
+        assert "<td>0.1235</td>" in doc
+        assert "<td>7</td>" in doc
+
+    def test_grouped_bars_svg(self):
+        report = HtmlReport("t")
+        report.add_grouped_bars(
+            ["a", "b"], {"original": [0.5, 1.0], "proxy": [0.4, 0.9]}
+        )
+        doc = report.render()
+        assert "<svg" in doc and "</svg>" in doc
+        assert doc.count("<rect") >= 4 + 2  # 4 bars + 2 legend swatches
+        assert "original" in doc and "proxy" in doc
+
+    def test_grouped_bars_length_mismatch(self):
+        report = HtmlReport("t")
+        with pytest.raises(ValueError, match="values for"):
+            report.add_grouped_bars(["a"], {"s": [1.0, 2.0]})
+
+    def test_comparison_section(self):
+        report = HtmlReport("t")
+        report.add_comparison_section(
+            "Figure 6a", comparisons(), paper_note="paper: 5.1% / 0.91"
+        )
+        doc = report.render()
+        assert "Figure 6a" in doc
+        assert "paper: 5.1%" in doc
+        assert "kmeans" in doc and "hotspot" in doc
+        assert "AVERAGE" in doc
+
+    def test_empty_section(self):
+        report = HtmlReport("t")
+        report.add_comparison_section("empty", [])
+        assert "(no data)" in report.render()
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "r.html"
+        report = HtmlReport("t")
+        report.add_paragraph("x")
+        report.save(path)
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_convenience_wrapper(self, tmp_path):
+        path = tmp_path / "exp.html"
+        doc = experiment_html_report("Fig", comparisons(), "note", path)
+        assert path.read_text() == doc
+
+
+class TestCliHtml:
+    def test_validate_html_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "fig.html"
+        assert main(["validate", "fig6a", "--benchmarks", "vectoradd",
+                     "--scale", "tiny", "--cores", "4",
+                     "--html", str(path)]) == 0
+        doc = path.read_text()
+        assert "vectoradd" in doc
+        assert "<svg" in doc
+        assert "5.1%" in doc  # the paper note

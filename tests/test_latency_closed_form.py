@@ -1,0 +1,133 @@
+"""Closed-form latency checks: single accesses against hand-computed values.
+
+The timing model is only trustworthy if isolated accesses cost exactly what
+docs/architecture.md §4 says they cost.  Every test here computes the
+expected latency by hand from the configuration constants and asserts the
+simulator agrees to the cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu import memspace
+from repro.memsim.config import (
+    CacheConfig,
+    DramConfig,
+    DramTimings,
+    SimConfig,
+)
+from repro.memsim.hierarchy import MemoryHierarchy
+
+#: Quiet DRAM: no refresh/faw/wtr so single-access math is exact.
+QUIET_TIMINGS = DramTimings(t_rcd=10, t_cas=5, t_rp=8, t_ras=20,
+                            t_faw=0, t_wtr=0, t_refi=0)
+
+
+def quiet_config(**overrides) -> SimConfig:
+    defaults = dict(
+        num_cores=1,
+        core_clock_mhz=1000.0,           # clock ratio 1000/500 = 2.0 exactly
+        l1=CacheConfig(size=8 * 1024, assoc=4, line_size=128, hit_latency=2),
+        l2=CacheConfig(size=256 * 1024, assoc=8, line_size=128,
+                       hit_latency=30, banks=4),
+        dram=DramConfig(channels=2, clock_mhz=500.0, bus_width=8,
+                        timings=QUIET_TIMINGS),
+        noc_latency=10.0,
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+#: Derived constants for the quiet config (DRAM cycles x ratio 2.0).
+RATIO = 2.0
+T_CAS = 5 * RATIO
+T_RCD = 10 * RATIO
+T_RP = 8 * RATIO
+BURST = (128 / (2 * 8)) * RATIO          # 8 DRAM cycles x 2.0 = 16
+
+
+class TestSingleAccessLatencies:
+    def test_l1_hit(self):
+        h = MemoryHierarchy(quiet_config())
+        h.access(0, 0.0, 1, 0x1000, 128, False)
+        assert h.access(0, 500.0, 1, 0x1000, 128, False) == pytest.approx(2.0)
+
+    def test_cold_miss_latency_decomposition(self):
+        """L1 hit-lat + NoC + L2 hit-lat + DRAM(row empty) + burst."""
+        h = MemoryHierarchy(quiet_config())
+        latency = h.access(0, 0.0, 1, 0x40_0000, 128, False)
+        expected = 2 + 10 + 30 + (T_RCD + T_CAS + BURST)
+        assert latency == pytest.approx(expected)
+
+    def test_l2_hit_latency(self):
+        """A second core's miss that hits in L2: hit-lat + NoC + L2-lat."""
+        config = quiet_config(num_cores=2)
+        h = MemoryHierarchy(config)
+        h.access(0, 0.0, 1, 0x40_0000, 128, False)       # fills L2
+        latency = h.access(1, 500.0, 1, 0x40_0000, 128, False)
+        assert latency == pytest.approx(2 + 10 + 30)
+
+    def test_dram_row_hit_vs_empty_difference(self):
+        """Same bank, same row, far apart in time: second miss saves tRCD."""
+        h = MemoryHierarchy(quiet_config(
+            l2=CacheConfig(size=256 * 1024, assoc=8, line_size=128,
+                           hit_latency=30, banks=4),
+        ))
+        first = h.access(0, 0.0, 1, 0x40_0000, 128, False)
+        # Evict nothing; touch the adjacent line (same DRAM row under
+        # ChRaBaRoCo-free default mapping the next column, same row) — pick
+        # an address 128B away: same row, different L1/L2 line.
+        second = h.access(0, 5000.0, 1, 0x40_0000 + 2 * 128 * 2, 128, False)
+        # Both miss L1+L2; the second access's DRAM part is tCAS not
+        # tRCD+tCAS *if* it lands in the same open row.  Under RoBaRaCoCh
+        # adjacent lines change channel, so force the same channel by using
+        # a stride of channels*txn = 2*128.
+        assert first - second == pytest.approx(T_RCD)
+
+    def test_shared_memory_latency(self):
+        config = quiet_config(shared_latency=3.0)
+        h = MemoryHierarchy(config)
+        latency = h.access(0, 0.0, 1, memspace.SHARED_BASE + 256, 4, False)
+        assert latency == pytest.approx(3.0)
+
+    def test_constant_cache_hit_and_miss(self):
+        config = quiet_config()
+        h = MemoryHierarchy(config)
+        address = memspace.CONSTANT_BASE + 512
+        cold = h.access(0, 0.0, 1, address, 4, False)
+        const_lat = config.constant_cache.hit_latency
+        expected_cold = const_lat + 10 + 30 + (T_RCD + T_CAS + BURST)
+        assert cold == pytest.approx(expected_cold)
+        warm = h.access(0, 500.0, 1, address, 4, False)
+        assert warm == pytest.approx(const_lat)
+
+    def test_mshr_merge_latency_is_remaining_time(self):
+        """A second miss to an in-flight line waits only the residue."""
+        h = MemoryHierarchy(quiet_config(
+            l1=CacheConfig(size=8 * 1024, assoc=4, line_size=64, hit_latency=2),
+        ))
+        first = h.access(0, 0.0, 1, 0x40_0000, 64, False)
+        # Same L1 line, 10 cycles later, before the fill returns: the L1
+        # filled synchronously in this model, so force the merge via the
+        # MSHR table directly.
+        mshr = h.l1_mshrs[0]
+        assert mshr.lookup(0x40_0000 >> 6 << 6, 5.0) == pytest.approx(first)
+
+    def test_noc_disabled(self):
+        h = MemoryHierarchy(quiet_config(noc_latency=0.0))
+        latency = h.access(0, 0.0, 1, 0x40_0000, 128, False)
+        assert latency == pytest.approx(2 + 30 + (T_RCD + T_CAS + BURST))
+
+    def test_wide_transaction_parallel_sectors(self):
+        """A 128B transaction over 32B L1 lines costs max, not sum."""
+        config = quiet_config(
+            l1=CacheConfig(size=8 * 1024, assoc=4, line_size=32, hit_latency=2),
+        )
+        h = MemoryHierarchy(config)
+        latency = h.access(0, 0.0, 1, 0x40_0000, 128, False)
+        single = MemoryHierarchy(config).access(0, 0.0, 1, 0x40_0000, 32, False)
+        # All four sectors hit the same L2 line; the slowest sector decides,
+        # within one L2-bank queueing round (4 sectors x 30-cycle occupancy).
+        assert latency < 4 * single
+        assert latency >= single

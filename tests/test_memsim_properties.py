@@ -1,0 +1,141 @@
+"""Property-based tests over the memory-system models."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.scheduler import (
+    GtoScheduler,
+    LrrScheduler,
+    TwoLevelScheduler,
+    make_scheduler,
+)
+from repro.memsim.address_mapping import AddressMapping
+from repro.memsim.cache import SetAssociativeCache
+from repro.memsim.config import CacheConfig, DramConfig
+from repro.memsim.dram import DramModel
+
+addresses = st.lists(
+    st.integers(min_value=0, max_value=(1 << 30) - 1), min_size=1, max_size=300
+)
+
+
+class TestCacheProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(addresses, st.sampled_from([1, 2, 4]), st.sampled_from([64, 128]))
+    def test_counter_consistency(self, trace, assoc, line):
+        cache = SetAssociativeCache(
+            CacheConfig(size=16 * line * assoc, assoc=assoc, line_size=line)
+        )
+        for address in trace:
+            cache.access(address)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(trace)
+        assert cache.occupied_lines <= 16 * assoc
+        assert stats.evictions == stats.misses - cache.occupied_lines
+
+    @settings(max_examples=40, deadline=None)
+    @given(addresses)
+    def test_immediate_rereference_always_hits(self, trace):
+        cache = SetAssociativeCache(
+            CacheConfig(size=1024, assoc=2, line_size=64)
+        )
+        for address in trace:
+            cache.access(address)
+            hit, _ = cache.access(address)
+            assert hit
+
+    @settings(max_examples=30, deadline=None)
+    @given(addresses, st.sampled_from(["lru", "fifo", "random"]))
+    def test_replacement_policies_share_cold_misses(self, trace, policy):
+        """Compulsory misses are policy-independent."""
+        line = 64
+        unique_lines = len({a // line for a in trace})
+        cache = SetAssociativeCache(
+            CacheConfig(size=1 << 20, assoc=16, line_size=line,
+                        replacement=policy)
+        )
+        for address in trace:
+            cache.access(address)
+        # Cache far larger than the trace: misses == cold misses exactly.
+        assert cache.stats.misses == unique_lines
+
+
+class TestDramProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(addresses, st.sampled_from(["RoBaRaCoCh", "ChRaBaRoCo"]))
+    def test_latency_positive_and_counters_consistent(self, trace, mapping):
+        dram = DramModel(DramConfig(mapping=mapping), txn_size=128)
+        now = 1000.0
+        for address in trace:
+            latency = dram.access(now, address)
+            assert latency > 0
+            now += 7.0
+        stats = dram.stats
+        assert stats.reads == len(trace)
+        assert stats.row_hits + stats.row_empties + stats.row_conflicts == \
+            stats.reads
+
+    @settings(max_examples=25, deadline=None)
+    @given(addresses)
+    def test_mapping_decomposition_total(self, trace):
+        mapping = AddressMapping(DramConfig(), txn_size=128)
+        for address in trace:
+            coord = mapping.decompose(address)
+            assert 0 <= coord.channel < 8
+            assert 0 <= coord.bank < 8
+            assert coord.row >= 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1 << 28))
+    def test_same_address_becomes_row_hit(self, address):
+        dram = DramModel(DramConfig(), txn_size=128)
+        dram.access(1000.0, address)
+        before = dram.stats.row_hits
+        dram.access(20000.0 % 3000 + 3000.0, address)
+        assert dram.stats.row_hits == before + 1
+
+
+ready_sets = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=16,
+    unique=True,
+).map(sorted)
+
+
+class TestSchedulerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(ready_sets, st.integers(min_value=0, max_value=63) | st.none(),
+           st.sampled_from(["lrr", "gto", "twolevel"]))
+    def test_selection_always_from_ready_set(self, ready, last, policy):
+        scheduler = make_scheduler(policy)
+        assert scheduler.select(ready, last) in ready
+
+    @settings(max_examples=40, deadline=None)
+    @given(ready_sets)
+    def test_lrr_is_fair(self, ready):
+        """Over len(ready) consecutive picks, LRR visits every warp once."""
+        scheduler = LrrScheduler()
+        last = None
+        seen = []
+        for _ in range(len(ready)):
+            last = scheduler.select(ready, last)
+            seen.append(last)
+        assert sorted(seen) == list(ready)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ready_sets)
+    def test_gto_is_sticky(self, ready):
+        scheduler = GtoScheduler()
+        first = scheduler.select(ready, None)
+        assert scheduler.select(ready, first) == first
+
+    @settings(max_examples=40, deadline=None)
+    @given(ready_sets, st.sampled_from([1, 2, 4, 8]))
+    def test_twolevel_group_stability(self, ready, group_size):
+        """While the active group has ready warps, picks stay inside it."""
+        scheduler = TwoLevelScheduler(group_size=group_size)
+        first = scheduler.select(ready, None)
+        group = first // group_size
+        second = scheduler.select(ready, first)
+        assert second // group_size == group

@@ -1,0 +1,85 @@
+"""Tests for proxy miniaturization and scale-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generator import ProxyGenerator
+from repro.core.miniaturize import miniaturize_profile, scale_up_threads
+
+
+class TestMiniaturize:
+    def test_factor_validation(self, kmeans_profile):
+        with pytest.raises(ValueError):
+            miniaturize_profile(kmeans_profile, 0)
+        with pytest.raises(ValueError):
+            miniaturize_profile(kmeans_profile, -2)
+
+    def test_sequences_truncated(self, kmeans_profile):
+        scaled = miniaturize_profile(kmeans_profile, 4)
+        for original, small in zip(kmeans_profile.pi_profiles, scaled.pi_profiles):
+            assert len(small.sequence) == max(1, len(original.sequence) // 4)
+            assert small.sequence == original.sequence[: len(small.sequence)]
+
+    def test_total_transactions_scaled(self, kmeans_profile):
+        scaled = miniaturize_profile(kmeans_profile, 8)
+        assert scaled.total_transactions == kmeans_profile.total_transactions // 8
+
+    def test_scale_factor_recorded_and_composes(self, kmeans_profile):
+        scaled = miniaturize_profile(miniaturize_profile(kmeans_profile, 2), 2)
+        assert scaled.scale_factor == pytest.approx(4.0)
+
+    def test_original_untouched(self, kmeans_profile):
+        before = len(kmeans_profile.pi_profiles[0].sequence)
+        miniaturize_profile(kmeans_profile, 8)
+        assert len(kmeans_profile.pi_profiles[0].sequence) == before
+
+    def test_reuse_lookbacks_capped_to_sequence(self, kmeans_profile):
+        scaled = miniaturize_profile(kmeans_profile, 8)
+        for pi in scaled.pi_profiles:
+            if not pi.reuse.empty:
+                assert max(pi.reuse.support()) <= max(1, len(pi.sequence))
+
+    def test_thin_statistics_optional(self, kmeans_profile):
+        kept = miniaturize_profile(kmeans_profile, 4, thin_statistics=False)
+        instr = kept.instructions[0xE8]
+        assert instr.intra_stride == kmeans_profile.instructions[0xE8].intra_stride
+
+    def test_generated_clone_is_smaller(self, kmeans_profile):
+        full = ProxyGenerator(kmeans_profile, seed=1).generate_warp_traces()
+        small_profile = miniaturize_profile(kmeans_profile, 4)
+        small = ProxyGenerator(small_profile, seed=1).generate_warp_traces()
+        full_txns = sum(len(t) for t in full)
+        small_txns = sum(len(t) for t in small)
+        assert small_txns <= full_txns / 3
+
+    def test_extreme_factor_keeps_one_instruction(self, kmeans_profile):
+        scaled = miniaturize_profile(kmeans_profile, 10_000)
+        assert all(len(p.sequence) == 1 for p in scaled.pi_profiles)
+        assert scaled.total_transactions >= 1
+
+
+class TestScaleUp:
+    def test_fractional_factor_tiles_sequence(self, kmeans_profile):
+        scaled = miniaturize_profile(kmeans_profile, 0.5)
+        for original, big in zip(kmeans_profile.pi_profiles, scaled.pi_profiles):
+            assert len(big.sequence) == len(original.sequence) * 2
+            n = len(original.sequence)
+            assert big.sequence[:n] == original.sequence
+            assert big.sequence[n:] == original.sequence
+
+    def test_scale_up_threads(self, kmeans_profile):
+        bigger = scale_up_threads(kmeans_profile, 4)
+        assert bigger.grid_dim == (kmeans_profile.grid_dim[0] * 4,
+                                   *kmeans_profile.grid_dim[1:])
+        assert bigger.total_transactions == kmeans_profile.total_transactions * 4
+
+    def test_scale_up_threads_generates_more_warps(self, kmeans_profile):
+        bigger = scale_up_threads(kmeans_profile, 2)
+        traces = ProxyGenerator(bigger, seed=1).generate_warp_traces()
+        base = ProxyGenerator(kmeans_profile, seed=1).generate_warp_traces()
+        assert len(traces) == 2 * len(base)
+
+    def test_scale_up_validation(self, kmeans_profile):
+        with pytest.raises(ValueError):
+            scale_up_threads(kmeans_profile, 0)

@@ -1,0 +1,57 @@
+"""Tests for the MSHR file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim.mshr import MshrFile
+
+
+class TestMshr:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MshrFile(0)
+
+    def test_lookup_miss(self):
+        mshr = MshrFile(4)
+        assert mshr.lookup(0x10, now=0.0) is None
+
+    def test_allocate_and_merge(self):
+        mshr = MshrFile(4)
+        stall, completion = mshr.allocate(0x10, now=0.0, service_latency=100.0)
+        assert stall == 0.0
+        assert completion == 100.0
+        assert mshr.lookup(0x10, now=50.0) == 100.0
+
+    def test_entry_retires_after_completion(self):
+        mshr = MshrFile(4)
+        mshr.allocate(0x10, now=0.0, service_latency=100.0)
+        assert mshr.lookup(0x10, now=100.0) is None
+        assert mshr.outstanding == 0
+
+    def test_full_file_stalls(self):
+        mshr = MshrFile(2)
+        mshr.allocate(1, now=0.0, service_latency=50.0)
+        mshr.allocate(2, now=0.0, service_latency=80.0)
+        stall, completion = mshr.allocate(3, now=10.0, service_latency=100.0)
+        assert stall == pytest.approx(40.0)  # waits for line 1 at t=50
+        assert completion == pytest.approx(150.0)
+
+    def test_no_stall_when_entry_already_free(self):
+        mshr = MshrFile(1)
+        mshr.allocate(1, now=0.0, service_latency=10.0)
+        stall, _ = mshr.allocate(2, now=20.0, service_latency=10.0)
+        assert stall == 0.0
+
+    def test_outstanding_count(self):
+        mshr = MshrFile(8)
+        mshr.allocate(1, 0.0, 100.0)
+        mshr.allocate(2, 0.0, 100.0)
+        mshr.lookup(3, now=0.0)
+        assert mshr.outstanding == 2
+
+    def test_reallocation_of_same_line_overwrites(self):
+        mshr = MshrFile(4)
+        mshr.allocate(1, 0.0, 10.0)
+        mshr.allocate(1, 20.0, 30.0)
+        assert mshr.lookup(1, 25.0) == pytest.approx(50.0)

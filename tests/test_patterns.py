@@ -1,0 +1,128 @@
+"""Tests for the address-pattern primitives."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.patterns import (
+    grid2d,
+    hash_scatter,
+    linear,
+    splitmix64,
+    stencil_offsets_2d,
+    triangular_row_start,
+    zipf_index,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_distinct_for_consecutive_keys(self):
+        values = {splitmix64(i) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_64_bit_range(self):
+        for key in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(key) < 2**64
+
+    def test_avalanche(self):
+        """A single-bit input change should flip many output bits."""
+        a, b = splitmix64(0), splitmix64(1)
+        assert bin(a ^ b).count("1") > 16
+
+
+class TestLinearHelpers:
+    def test_linear(self):
+        assert linear(0x1000, 5, 4) == 0x1014
+
+    def test_grid2d(self):
+        assert grid2d(0, row=2, col=3, row_bytes=512, elem_size=4) == 1036
+
+
+class TestHashScatter:
+    def test_within_footprint(self):
+        for key in range(200):
+            address = hash_scatter(0x1000, key, footprint_bytes=4096)
+            assert 0x1000 <= address < 0x1000 + 4096
+
+    def test_alignment(self):
+        for key in range(100):
+            assert hash_scatter(0, key, 1 << 16, align=8) % 8 == 0
+
+    def test_deterministic(self):
+        assert hash_scatter(0, 7, 1024) == hash_scatter(0, 7, 1024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hash_scatter(0, 1, 0)
+        with pytest.raises(ValueError):
+            hash_scatter(0, 1, 64, align=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 2**32), st.integers(64, 1 << 20))
+    def test_property_in_range(self, key, footprint):
+        address = hash_scatter(0x4000, key, footprint)
+        assert 0x4000 <= address < 0x4000 + footprint
+
+
+class TestZipfIndex:
+    def test_in_range(self):
+        for key in range(500):
+            assert 0 <= zipf_index(key, 256) < 256
+
+    def test_skew_favours_head(self):
+        head_hits = sum(1 for key in range(2000) if zipf_index(key, 1024) < 32)
+        assert head_hits > 800  # heavily skewed toward small indices
+
+    def test_higher_skew_more_concentrated(self):
+        mild = sum(zipf_index(k, 1024, skew=1.05) for k in range(2000))
+        strong = sum(zipf_index(k, 1024, skew=2.0) for k in range(2000))
+        assert strong < mild
+
+    def test_skew_one_special_case(self):
+        for key in range(100):
+            assert 0 <= zipf_index(key, 64, skew=1.0) < 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_index(0, 0)
+        with pytest.raises(ValueError):
+            zipf_index(0, 8, skew=0)
+
+    def test_n_one_always_zero(self):
+        assert all(zipf_index(k, 1) == 0 for k in range(50))
+
+
+class TestStencil:
+    def test_radius_zero(self):
+        assert stencil_offsets_2d(0, 64) == [0]
+
+    def test_radius_one(self):
+        assert stencil_offsets_2d(1, 64) == [0, -1, 1, -64, 64]
+
+    def test_radius_two_count(self):
+        assert len(stencil_offsets_2d(2, 100)) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stencil_offsets_2d(-1, 8)
+
+
+class TestTriangular:
+    def test_known_values(self):
+        assert [triangular_row_start(r) for r in range(5)] == [0, 1, 3, 6, 10]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            triangular_row_start(-1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_row_lengths(self, row):
+        assert (
+            triangular_row_start(row + 1) - triangular_row_start(row) == row + 1
+        )

@@ -1,0 +1,134 @@
+"""Tests for π-profile similarity and clustering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pi_profile import (
+    DEFAULT_SIMILARITY_THRESHOLD,
+    PiClusterer,
+    sequence_similarity,
+)
+
+
+class TestSequenceSimilarity:
+    def test_identical(self):
+        assert sequence_similarity([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_disjoint(self):
+        assert sequence_similarity([1, 1], [2, 2]) == 0.0
+
+    def test_partial(self):
+        assert sequence_similarity([1, 2, 3, 4], [1, 2, 9, 4]) == 0.75
+
+    def test_length_mismatch_normalised_by_longer(self):
+        assert sequence_similarity([1, 2], [1, 2, 3, 4]) == 0.5
+
+    def test_empty_pair(self):
+        assert sequence_similarity([], []) == 1.0
+
+    def test_one_empty(self):
+        assert sequence_similarity([], [1]) == 0.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 5), max_size=30),
+           st.lists(st.integers(0, 5), max_size=30))
+    def test_symmetric_and_bounded(self, a, b):
+        s = sequence_similarity(a, b)
+        assert s == sequence_similarity(b, a)
+        assert 0.0 <= s <= 1.0
+
+
+class TestPiClusterer:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PiClusterer(threshold=0.0)
+        with pytest.raises(ValueError):
+            PiClusterer(threshold=1.1)
+
+    def test_identical_profiles_one_cluster(self):
+        c = PiClusterer()
+        for unit in range(10):
+            c.add([1, 2, 3], unit)
+        assert len(c.clusters) == 1
+        assert c.clusters[0].members == 10
+        assert c.clusters[0].member_units == list(range(10))
+
+    def test_paper_figure3b_two_profiles(self):
+        """Divergence yields two dominant π profiles with frequencies."""
+        c = PiClusterer()
+        path_a = [0x10, 0x20, 0x30] * 10
+        path_b = [0x10, 0x30] * 10
+        for unit in range(8):
+            c.add(path_a if unit % 2 else path_b, unit)
+        assert len(c.clusters) == 2
+        assert c.probabilities() == [0.5, 0.5]
+
+    def test_near_identical_merge_above_threshold(self):
+        c = PiClusterer(threshold=0.9)
+        base = list(range(100))
+        variant = base.copy()
+        variant[50] = 999  # 99% similar
+        c.add(base, 0)
+        c.add(variant, 1)
+        assert len(c.clusters) == 1
+
+    def test_below_threshold_splits(self):
+        c = PiClusterer(threshold=0.9)
+        c.add([1] * 10, 0)
+        c.add([1] * 8 + [2] * 2, 1)  # 80% similar
+        assert len(c.clusters) == 2
+
+    def test_representative_is_first_member(self):
+        c = PiClusterer(threshold=0.5)
+        c.add([1, 2, 3, 4], 0)
+        c.add([1, 2, 3, 9], 1)
+        assert c.clusters[0].representative == (1, 2, 3, 4)
+
+    def test_probabilities_sum_to_one(self):
+        c = PiClusterer(threshold=0.95)
+        for unit in range(7):
+            c.add([unit] * 5, unit)
+        assert sum(c.probabilities()) == pytest.approx(1.0)
+
+    def test_dominant(self):
+        c = PiClusterer()
+        for unit in range(3):
+            c.add([1, 2], unit)
+        c.add([9, 9, 9, 9, 9], 3)
+        assert c.dominant().representative == (1, 2)
+
+    def test_dominant_empty_raises(self):
+        with pytest.raises(ValueError):
+            PiClusterer().dominant()
+
+    def test_exact_cache_fast_path(self):
+        c = PiClusterer()
+        idx0 = c.add([5, 6], 0)
+        idx1 = c.add([5, 6], 1)
+        assert idx0 == idx1 == 0
+
+    def test_total_units(self):
+        c = PiClusterer()
+        c.add([1], 0)
+        c.add([2], 1)
+        assert c.total_units == 2
+
+    def test_empty_probabilities(self):
+        assert PiClusterer().probabilities() == []
+
+    def test_default_threshold_is_paper_value(self):
+        assert DEFAULT_SIMILARITY_THRESHOLD == 0.9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.lists(st.integers(0, 3), min_size=1, max_size=20),
+                    min_size=1, max_size=20))
+    def test_every_unit_lands_in_exactly_one_cluster(self, profiles):
+        c = PiClusterer()
+        for unit, profile in enumerate(profiles):
+            c.add(profile, unit)
+        members = sorted(u for cl in c.clusters for u in cl.member_units)
+        assert members == list(range(len(profiles)))
+        assert sum(c.probabilities()) == pytest.approx(1.0)

@@ -1,0 +1,143 @@
+"""Tests for the GmapProfile artifact (serialisation, obfuscation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distributions import Histogram
+from repro.core.profile import GmapProfile, InstructionStats, PiProfileStats
+
+
+def make_profile() -> GmapProfile:
+    instr = InstructionStats(
+        pc=0x900,
+        base_address=0x1000_0000,
+        inter_stride=Histogram({128: 31}),
+        intra_stride=Histogram({64: 100, -128: 10}),
+        txns_per_access=Histogram({1: 90, 2: 10}),
+        size=128,
+        is_store=False,
+        dynamic_count=100,
+    )
+    pi = PiProfileStats(
+        sequence=(0x900, 0x900, 0x4A0),
+        probability=1.0,
+        reuse=Histogram({0: 50, 7: 10}),
+        reuse_fraction=0.8,
+    )
+    return GmapProfile(
+        name="demo",
+        grid_dim=(4, 1, 1),
+        block_dim=(256, 1, 1),
+        unit="warp",
+        segment_size=128,
+        pi_profiles=[pi],
+        instructions={0x900: instr},
+        sched_p_self=0.1,
+        total_transactions=3200,
+    )
+
+
+class TestProfileBasics:
+    def test_counts(self):
+        profile = make_profile()
+        assert profile.num_profiles == 1
+        assert profile.num_instructions == 1
+        assert profile.q == [1.0]
+
+    def test_unit_validation(self):
+        with pytest.raises(ValueError, match="unit"):
+            GmapProfile(name="x", grid_dim=(1, 1, 1), block_dim=(32, 1, 1),
+                        unit="banana", segment_size=128)
+
+    def test_dominant_profile(self):
+        profile = make_profile()
+        profile.pi_profiles.append(
+            PiProfileStats(sequence=(1,), probability=0.0)
+        )
+        assert profile.dominant_profile().sequence == (0x900, 0x900, 0x4A0)
+
+    def test_dominant_profile_empty_raises(self):
+        profile = make_profile()
+        profile.pi_profiles = []
+        with pytest.raises(ValueError):
+            profile.dominant_profile()
+
+    def test_instruction_lookup(self):
+        assert make_profile().instruction(0x900).dynamic_count == 100
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        profile = make_profile()
+        restored = GmapProfile.from_dict(profile.to_dict())
+        assert restored.name == profile.name
+        assert restored.grid_dim == profile.grid_dim
+        assert restored.block_dim == profile.block_dim
+        assert restored.unit == profile.unit
+        assert restored.sched_p_self == profile.sched_p_self
+        assert restored.total_transactions == profile.total_transactions
+        assert restored.instructions[0x900].intra_stride == \
+            profile.instructions[0x900].intra_stride
+        assert restored.pi_profiles[0].sequence == profile.pi_profiles[0].sequence
+        assert restored.pi_profiles[0].reuse == profile.pi_profiles[0].reuse
+
+    def test_copy_is_deep(self):
+        profile = make_profile()
+        clone = profile.copy()
+        clone.instructions[0x900].base_address = 0
+        assert profile.instructions[0x900].base_address == 0x1000_0000
+
+    def test_schema_version_enforced(self):
+        data = make_profile().to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            GmapProfile.from_dict(data)
+
+    def test_pc_keys_are_ints_after_round_trip(self):
+        restored = GmapProfile.from_dict(make_profile().to_dict())
+        assert set(restored.instructions) == {0x900}
+
+
+class TestObfuscation:
+    def test_bases_change_stats_survive(self):
+        profile = make_profile()
+        hidden = profile.obfuscated()
+        original_stats = profile.instructions[0x900]
+        hidden_stats = hidden.instructions[0x900]
+        assert hidden_stats.base_address != original_stats.base_address
+        assert hidden_stats.intra_stride == original_stats.intra_stride
+        assert hidden_stats.inter_stride == original_stats.inter_stride
+        assert hidden.pi_profiles[0].reuse == profile.pi_profiles[0].reuse
+
+    def test_original_untouched(self):
+        profile = make_profile()
+        profile.obfuscated()
+        assert profile.instructions[0x900].base_address == 0x1000_0000
+
+    def test_same_region_instructions_keep_relative_offset(self):
+        """Two PCs 64B apart touch one array: the clone must too, or
+        cross-PC line sharing would vanish from the proxy."""
+        profile = make_profile()
+        profile.instructions[0x4A0] = InstructionStats(
+            pc=0x4A0, base_address=0x1000_0000 + 64
+        )
+        hidden = profile.obfuscated()
+        delta = (hidden.instructions[0x4A0].base_address
+                 - hidden.instructions[0x900].base_address)
+        assert delta == 64
+
+    def test_distant_regions_stay_disjoint(self):
+        profile = make_profile()
+        profile.instructions[0x4A0] = InstructionStats(
+            pc=0x4A0, base_address=0x1000_0000 + (1 << 27)  # a far array
+        )
+        hidden = profile.obfuscated()
+        bases = sorted(s.base_address for s in hidden.instructions.values())
+        assert bases[1] - bases[0] >= 1 << 24
+
+    def test_deterministic_given_seed(self):
+        a = make_profile().obfuscated(base_seed=5)
+        b = make_profile().obfuscated(base_seed=5)
+        assert a.instructions[0x900].base_address == \
+            b.instructions[0x900].base_address

@@ -1,0 +1,99 @@
+"""Tests for profile merging and profile-distance tooling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.generator import ProxyGenerator
+from repro.core.profile import merge_profiles, profile_distance
+from repro.core.profiler import GmapProfiler
+from repro.workloads import suite
+from repro.workloads.base import WorkloadScale
+
+
+def profile_of(name, scale="tiny"):
+    return GmapProfiler().profile(suite.make(name, scale))
+
+
+class TestProfileDistance:
+    def test_self_distance_zero(self, kmeans_profile):
+        d = profile_distance(kmeans_profile, kmeans_profile)
+        assert d["inter_stride"] == pytest.approx(0.0)
+        assert d["intra_stride"] == pytest.approx(0.0)
+        assert d["reuse"] == pytest.approx(0.0)
+        assert d["only_in_a"] == 0 and d["only_in_b"] == 0
+
+    def test_different_kernels_far_apart(self, kmeans_profile):
+        other = profile_of("srad")
+        d = profile_distance(kmeans_profile, other)
+        assert d["shared_pcs"] == 0
+        assert d["only_in_a"] > 0 and d["only_in_b"] > 0
+
+    def test_clone_profile_close(self, tiny_kmeans, kmeans_profile):
+        from repro.core.profiler import unit_streams_from_warp_traces
+
+        traces = ProxyGenerator(kmeans_profile, seed=4).generate_warp_traces()
+        units = unit_streams_from_warp_traces(traces)
+        clone_profile = GmapProfiler().profile_unit_streams(
+            units, "warp", name="clone",
+            grid_dim=kmeans_profile.grid_dim,
+            block_dim=kmeans_profile.block_dim,
+        )
+        d = profile_distance(kmeans_profile, clone_profile)
+        assert d["inter_stride"] < 0.1
+        assert d["txns_per_access"] < 0.1
+        assert d["pi_count_delta"] == 0
+
+    def test_obfuscation_invisible_to_distance(self, kmeans_profile):
+        """Distance is over distributions, not addresses: obfuscation
+        changes nothing."""
+        d = profile_distance(kmeans_profile, kmeans_profile.obfuscated())
+        assert d["inter_stride"] == pytest.approx(0.0)
+        assert d["reuse"] == pytest.approx(0.0)
+
+
+class TestMergeProfiles:
+    def test_needs_input(self):
+        with pytest.raises(ValueError):
+            merge_profiles([])
+
+    def test_geometry_must_agree(self, kmeans_profile):
+        other = GmapProfiler().profile(
+            suite.make("kmeans", WorkloadScale(blocks=1, iters_factor=0.25))
+        )
+        with pytest.raises(ValueError, match="launch geometry"):
+            merge_profiles([kmeans_profile, other])
+
+    def test_merge_with_self_preserves_shape(self, kmeans_profile):
+        merged = merge_profiles([kmeans_profile, kmeans_profile], name="x2")
+        assert merged.name == "x2"
+        assert merged.total_transactions == 2 * kmeans_profile.total_transactions
+        # Distribution shapes unchanged (counts doubled).
+        d = profile_distance(kmeans_profile, merged)
+        assert d["inter_stride"] == pytest.approx(0.0)
+        assert d["intra_stride"] == pytest.approx(0.0)
+
+    def test_pi_probabilities_pool_to_one(self, kmeans_profile):
+        merged = merge_profiles([kmeans_profile, kmeans_profile])
+        assert sum(p.probability for p in merged.pi_profiles) == \
+            pytest.approx(1.0)
+
+    def test_merged_profile_generates(self, kmeans_profile):
+        merged = merge_profiles([kmeans_profile, kmeans_profile])
+        traces = ProxyGenerator(merged, seed=7).generate_warp_traces()
+        assert traces
+
+    def test_disjoint_instruction_sets_union(self, kmeans_profile):
+        other = kmeans_profile.copy()
+        stats = other.instructions.pop(0xF0)
+        stats_dict = stats.to_dict()
+        stats_dict["pc"] = 0x999
+        from repro.core.profile import InstructionStats
+        other.instructions[0x999] = InstructionStats.from_dict(stats_dict)
+        merged = merge_profiles([kmeans_profile, other])
+        assert {0xE8, 0xF0, 0x999} <= set(merged.instructions)
+
+    def test_original_inputs_untouched(self, kmeans_profile):
+        before = kmeans_profile.instructions[0xE8].dynamic_count
+        merge_profiles([kmeans_profile, kmeans_profile])
+        assert kmeans_profile.instructions[0xE8].dynamic_count == before

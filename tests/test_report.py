@@ -1,0 +1,112 @@
+"""Tests for CSV reports and ASCII figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.validation.metrics import SweepComparison
+from repro.validation.report import (
+    ascii_bar,
+    read_comparison_csv,
+    render_error_chart,
+    render_normalized_series,
+    render_two_series_chart,
+    write_comparison_csv,
+)
+
+
+def comparisons():
+    return [
+        SweepComparison("kmeans", "l1_miss_rate",
+                        [0.10, 0.20], [0.11, 0.19]),
+        SweepComparison("hotspot", "l1_miss_rate",
+                        [0.50, 0.60], [0.40, 0.75]),
+    ]
+
+
+class TestCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "fig6a.csv"
+        original = comparisons()
+        write_comparison_csv(original, path)
+        restored = read_comparison_csv(path)
+        assert len(restored) == 2
+        assert restored[0].benchmark == "kmeans"
+        assert restored[0].originals == pytest.approx(original[0].originals)
+        assert restored[1].proxies == pytest.approx(original[1].proxies)
+
+    def test_csv_has_header_and_rows(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_comparison_csv(comparisons(), path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "benchmark,metric,config_index,original,proxy"
+        assert len(lines) == 1 + 4
+
+    def test_metrics_survive_round_trip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        original = comparisons()
+        write_comparison_csv(original, path)
+        restored = read_comparison_csv(path)
+        assert restored[1].mean_abs_error == pytest.approx(
+            original[1].mean_abs_error
+        )
+
+
+class TestAsciiBar:
+    def test_full_bar(self):
+        assert ascii_bar(1.0, 1.0, width=10) == "#" * 10
+
+    def test_half_bar(self):
+        assert ascii_bar(0.5, 1.0, width=10) == "#" * 5
+
+    def test_zero_maximum(self):
+        assert ascii_bar(0.5, 0.0) == ""
+
+    def test_clamped_at_maximum(self):
+        assert ascii_bar(5.0, 1.0, width=8) == "#" * 8
+
+
+class TestErrorChart:
+    def test_contains_benchmarks_and_average(self):
+        chart = render_error_chart(comparisons())
+        assert "kmeans" in chart
+        assert "hotspot" in chart
+        assert "AVERAGE" in chart
+
+    def test_bar_lengths_ordered_by_error(self):
+        chart = render_error_chart(comparisons())
+        kmeans_line = next(l for l in chart.splitlines() if "kmeans" in l)
+        hotspot_line = next(l for l in chart.splitlines() if "hotspot" in l)
+        assert hotspot_line.count("#") > kmeans_line.count("#")
+
+    def test_empty(self):
+        assert "(no data)" in render_error_chart([])
+
+
+class TestTwoSeriesChart:
+    def test_rows_per_point(self):
+        chart = render_two_series_chart(
+            [1, 2, 4], [0.99, 0.95, 0.90], [1.0, 1.9, 3.7]
+        )
+        assert len(chart.splitlines()) == 4  # header + 3 points
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_two_series_chart([1], [0.5], [])
+
+    def test_empty(self):
+        assert render_two_series_chart([], [], []) == "(no data)"
+
+
+class TestNormalizedSeries:
+    def test_normalises_to_baseline(self):
+        chart = render_normalized_series(
+            {"aes": (0.5, 0.45), "kmeans": (1.0, 0.9)}, baseline="aes"
+        )
+        assert "normalised to aes" in chart
+        # kmeans original = 1.0 / 0.5 = 2.0 relative to aes.
+        assert "2.000" in chart
+
+    def test_unknown_baseline(self):
+        with pytest.raises(ValueError, match="baseline"):
+            render_normalized_series({"a": (1, 1)}, baseline="zzz")

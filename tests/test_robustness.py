@@ -1,0 +1,145 @@
+"""Robustness: degraded, hand-edited, or adversarial profiles.
+
+A vendor consumes profiles it did not produce — the pipeline must fail
+loudly on malformed input and degrade gracefully on merely *thin* input
+(empty histograms, missing statistics), never crash or hang.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.distributions import Histogram
+from repro.core.generator import ProxyGenerator
+from repro.core.profile import GmapProfile, InstructionStats, PiProfileStats
+from repro.memsim.config import PAPER_BASELINE
+from repro.memsim.simulator import simulate
+
+
+def minimal_profile(**overrides) -> GmapProfile:
+    fields = dict(
+        name="thin",
+        grid_dim=(1, 1, 1),
+        block_dim=(64, 1, 1),
+        unit="warp",
+        segment_size=128,
+        pi_profiles=[
+            PiProfileStats(sequence=(0x10,) * 6, probability=1.0)
+        ],
+        instructions={
+            0x10: InstructionStats(pc=0x10, base_address=0x1000_0000)
+        },
+        total_transactions=12,
+    )
+    fields.update(overrides)
+    return GmapProfile(**fields)
+
+
+class TestThinProfiles:
+    def test_all_histograms_empty_still_generates(self):
+        profile = minimal_profile()
+        traces = ProxyGenerator(profile, seed=0).generate_warp_traces()
+        assert len(traces) == 2  # 64 threads -> 2 warps
+        for trace in traces:
+            assert len(trace.transactions) == 6
+
+    def test_thin_profile_simulates(self):
+        profile = minimal_profile()
+        result = simulate(
+            ProxyGenerator(profile, seed=0).generate(2), PAPER_BASELINE
+        )
+        assert result.requests_issued == 12
+
+    def test_reuse_histogram_without_intra_strides(self):
+        """Reuse sampled but supp(P_A) empty: every check fails, stride 0."""
+        profile = minimal_profile()
+        profile.pi_profiles[0].reuse = Histogram({0: 5})
+        traces = ProxyGenerator(profile, seed=1).generate_warp_traces()
+        addresses = {a for t in traces for _, a, _, _ in t.transactions}
+        assert len(addresses) <= 2  # pinned at (possibly offset) base
+
+    def test_pi_sequence_with_unknown_pcs(self):
+        profile = minimal_profile()
+        profile.pi_profiles[0] = PiProfileStats(
+            sequence=(0x10, 0xDEAD, 0x10), probability=1.0
+        )
+        traces = ProxyGenerator(profile, seed=0).generate_warp_traces()
+        pcs = {pc for t in traces for pc, _ in t.instructions}
+        assert pcs == {0x10}
+
+    def test_zero_probability_tail_profile(self):
+        profile = minimal_profile()
+        profile.pi_profiles.append(
+            PiProfileStats(sequence=(0x10,), probability=0.0)
+        )
+        traces = ProxyGenerator(profile, seed=3).generate_warp_traces()
+        assert all(len(t.instructions) == 6 for t in traces)
+
+    def test_probabilities_not_normalised(self):
+        """Q summing to < 1: the last profile absorbs the remainder."""
+        profile = minimal_profile()
+        profile.pi_profiles = [
+            PiProfileStats(sequence=(0x10,) * 2, probability=0.3),
+            PiProfileStats(sequence=(0x10,) * 4, probability=0.3),
+        ]
+        traces = ProxyGenerator(profile, seed=5).generate_warp_traces()
+        lengths = {len(t.instructions) for t in traces}
+        assert lengths <= {2, 4}
+
+
+class TestMalformedProfiles:
+    def test_bad_unit_rejected(self):
+        with pytest.raises(ValueError):
+            minimal_profile(unit="block")
+
+    def test_missing_required_field_raises(self):
+        data = minimal_profile().to_dict()
+        del data["instructions"]
+        with pytest.raises(KeyError):
+            GmapProfile.from_dict(data)
+
+    def test_corrupt_histogram_counts(self):
+        data = minimal_profile().to_dict()
+        data["instructions"]["16"]["intra_stride"] = {"4": -5}
+        with pytest.raises(ValueError, match="negative count"):
+            GmapProfile.from_dict(data)
+
+    def test_non_integer_pc_keys(self):
+        data = minimal_profile().to_dict()
+        data["instructions"]["xyz"] = data["instructions"].pop("16")
+        with pytest.raises(ValueError):
+            GmapProfile.from_dict(data)
+
+
+class TestExtremeInputs:
+    def test_single_thread_kernel(self):
+        profile = minimal_profile(block_dim=(1, 1, 1))
+        traces = ProxyGenerator(profile, seed=0).generate_warp_traces()
+        assert len(traces) == 1
+
+    def test_huge_reuse_distances_capped(self):
+        profile = minimal_profile()
+        profile.pi_profiles[0].reuse = Histogram({10**9: 3})
+        profile.instructions[0x10].intra_stride = Histogram({128: 1})
+        # Lookback is never satisfiable; must not crash or hang.
+        traces = ProxyGenerator(profile, seed=0).generate_warp_traces()
+        assert traces
+
+    def test_gigantic_stride_values(self):
+        profile = minimal_profile()
+        profile.instructions[0x10].intra_stride = Histogram({1 << 45: 1})
+        traces = ProxyGenerator(profile, seed=0).generate_warp_traces()
+        for trace in traces:
+            for _, address, _, _ in trace.transactions:
+                assert 0 <= address < 1 << 62  # wrapped into the window
+
+    def test_many_pi_profiles(self):
+        profile = minimal_profile()
+        profile.pi_profiles = [
+            PiProfileStats(sequence=(0x10,) * (i + 1), probability=1 / 64)
+            for i in range(64)
+        ]
+        rng_traces = ProxyGenerator(profile, seed=9).generate_warp_traces()
+        assert len(rng_traces) == 2

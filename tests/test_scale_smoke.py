@@ -1,0 +1,49 @@
+"""Scale smoke tests: the pipeline at larger-than-test sizes.
+
+One default-scale benchmark runs the complete pipeline to guard against
+size cliffs (quadratic blowups, recursion limits, overflow) that tiny-scale
+tests cannot see.  Kept to a single representative app so the suite stays
+fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim.config import PAPER_BASELINE
+from repro.validation.harness import build_pipeline, simulate_pair
+from repro.workloads import suite
+
+
+@pytest.mark.parametrize("name,tolerance", [
+    ("cp", 0.02),
+    ("srad", 0.02),
+    # kmeans' +4B/instance sub-segment drift is invisible to the
+    # post-coalescing statistics until it crosses a segment, so at long
+    # iteration counts the clone misses the original's slow set-pressure
+    # evolution (DESIGN.md §7, known limitations) — the error stays within
+    # the paper's per-app worst-case band.
+    ("kmeans", 0.15),
+])
+def test_default_scale_end_to_end(name, tolerance):
+    kernel = suite.make(name, "default")  # 8 blocks x 256 threads
+    pipeline = build_pipeline(kernel, num_cores=PAPER_BASELINE.num_cores,
+                              seed=99)
+    assert pipeline.profile.total_transactions > 100_000
+    pair = simulate_pair(pipeline, PAPER_BASELINE)
+    assert pair.original.requests_issued == pipeline.profile.total_transactions
+    err = abs(pair.original.l1_miss_rate - pair.proxy.l1_miss_rate)
+    assert err < tolerance
+
+
+def test_scale_up_clone_runs():
+    """A 4x-scaled-up clone (futuristic workload) simulates cleanly."""
+    from repro import ProxyGenerator, scale_up_threads, simulate
+
+    kernel = suite.make("cp", "small")
+    pipeline = build_pipeline(kernel, num_cores=15, seed=3)
+    big = scale_up_threads(pipeline.profile, block_multiplier=4)
+    result = simulate(
+        ProxyGenerator(big, seed=3).generate(15), PAPER_BASELINE
+    )
+    assert result.requests_issued > 3 * pipeline.profile.total_transactions

@@ -1,0 +1,206 @@
+"""Tests for warp scheduling policies and the warp queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.scheduler import (
+    GtoScheduler,
+    LrrScheduler,
+    SchedPselfScheduler,
+    TwoLevelScheduler,
+    WarpQueue,
+    make_scheduler,
+    measure_p_self,
+)
+
+
+class TestLrr:
+    def test_starts_with_first(self):
+        assert LrrScheduler().select([3, 5, 9], last=None) == 3
+
+    def test_advances_past_last(self):
+        assert LrrScheduler().select([1, 4, 7], last=4) == 7
+
+    def test_wraps_around(self):
+        assert LrrScheduler().select([1, 4, 7], last=7) == 1
+
+    def test_last_not_in_ready(self):
+        assert LrrScheduler().select([2, 6], last=4) == 6
+
+    def test_full_rotation_visits_everyone(self):
+        sched = LrrScheduler()
+        ready = [0, 1, 2, 3]
+        last = None
+        seen = []
+        for _ in range(8):
+            last = sched.select(ready, last)
+            seen.append(last)
+        assert seen == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestGto:
+    def test_greedy_sticks_to_last(self):
+        assert GtoScheduler().select([1, 4, 7], last=4) == 4
+
+    def test_falls_back_to_oldest(self):
+        assert GtoScheduler().select([2, 5], last=9) == 2
+
+    def test_initial_pick_oldest(self):
+        assert GtoScheduler().select([3, 8], last=None) == 3
+
+
+class TestSchedPself:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchedPselfScheduler(p_self=1.5)
+
+    def test_p_one_always_sticks(self):
+        sched = SchedPselfScheduler(p_self=1.0, seed=3)
+        assert all(sched.select([1, 2, 3], last=2) == 2 for _ in range(20))
+
+    def test_p_zero_behaves_like_lrr(self):
+        sched = SchedPselfScheduler(p_self=0.0, seed=3)
+        assert sched.select([1, 2, 3], last=2) == 3
+
+    def test_intermediate_probability(self):
+        sched = SchedPselfScheduler(p_self=0.7, seed=11)
+        same = sum(1 for _ in range(2000) if sched.select([1, 2], last=1) == 1)
+        assert 0.62 < same / 2000 < 0.78
+
+    def test_clone_is_independent_and_reproducible(self):
+        a = SchedPselfScheduler(p_self=0.5, seed=7)
+        b = a.clone()
+        picks_a = [a.select([1, 2], 1) for _ in range(50)]
+        picks_b = [b.select([1, 2], 1) for _ in range(50)]
+        assert picks_a == picks_b
+
+
+class TestTwoLevel:
+    def test_group_size_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelScheduler(group_size=0)
+
+    def test_stays_within_active_group(self):
+        sched = TwoLevelScheduler(group_size=4)
+        ready = [0, 1, 2, 3, 4, 5, 6, 7]  # groups {0, 1}
+        picks = []
+        last = None
+        for _ in range(8):
+            last = sched.select(ready, last)
+            picks.append(last)
+        # Only group 0 issues while all of it stays ready.
+        assert set(picks) == {0, 1, 2, 3}
+
+    def test_switches_when_group_stalls(self):
+        sched = TwoLevelScheduler(group_size=4)
+        sched.select([0, 1, 2, 3, 4, 5], None)  # activates group 0
+        pick = sched.select([4, 5], 0)          # group 0 all stalled
+        assert pick in (4, 5)
+
+    def test_wraps_to_first_group(self):
+        sched = TwoLevelScheduler(group_size=4)
+        sched.select([4, 5], None)   # activates group 1
+        assert sched.select([0, 1], 5) in (0, 1)
+
+    def test_clone_preserves_group_size(self):
+        assert TwoLevelScheduler(group_size=16).clone().group_size == 16
+
+    def test_end_to_end_simulation(self, small_config):
+        from repro.gpu.executor import execute_kernel
+        from repro.memsim.simulator import SimtSimulator
+        from repro.workloads import suite
+        kernel = suite.make("aes", "tiny")
+        assignments = execute_kernel(kernel, small_config.num_cores)
+        result = SimtSimulator(
+            small_config.with_(scheduler="twolevel")
+        ).run(assignments)
+        assert result.requests_issued > 0
+        # Intra-group round robin keeps SchedP_self low, like LRR.
+        assert result.measured_p_self < 0.5
+
+
+class TestFactory:
+    def test_known_policies(self):
+        assert isinstance(make_scheduler("lrr"), LrrScheduler)
+        assert isinstance(make_scheduler("GTO"), GtoScheduler)
+        assert isinstance(make_scheduler("schedpself", 0.3), SchedPselfScheduler)
+        assert isinstance(make_scheduler("two-level"), TwoLevelScheduler)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_scheduler("fifo")
+
+
+class TestMeasurePself:
+    def test_alternating_is_zero(self):
+        assert measure_p_self([1, 2, 1, 2, 1]) == 0.0
+
+    def test_constant_is_one(self):
+        assert measure_p_self([3, 3, 3, 3]) == 1.0
+
+    def test_mixed(self):
+        assert measure_p_self([1, 1, 2, 2, 3]) == pytest.approx(0.5)
+
+    def test_short_sequences(self):
+        assert measure_p_self([]) == 0.0
+        assert measure_p_self([5]) == 0.0
+
+    def test_lrr_vs_gto_signature(self):
+        """GTO produces a much higher SchedP_self than LRR (section 4.5)."""
+        lrr, gto = LrrScheduler(), GtoScheduler()
+        ready = [0, 1, 2, 3]
+        seq_lrr, seq_gto = [], []
+        last_l = last_g = None
+        for _ in range(100):
+            last_l = lrr.select(ready, last_l)
+            last_g = gto.select(ready, last_g)
+            seq_lrr.append(last_l)
+            seq_gto.append(last_g)
+        assert measure_p_self(seq_gto) > 0.9
+        assert measure_p_self(seq_lrr) < 0.1
+
+
+class TestWarpQueue:
+    def test_add_and_ready(self):
+        q = WarpQueue()
+        q.add(3)
+        q.add(1)
+        assert q.ready_at(0.0) == [1, 3]
+
+    def test_duplicate_add_rejected(self):
+        q = WarpQueue()
+        q.add(1)
+        with pytest.raises(ValueError):
+            q.add(1)
+
+    def test_delay_hides_warp(self):
+        q = WarpQueue()
+        q.add(1)
+        q.delay(1, until=10.0)
+        assert q.ready_at(5.0) == []
+        assert q.ready_at(10.0) == [1]
+
+    def test_delay_unknown_warp(self):
+        with pytest.raises(KeyError):
+            WarpQueue().delay(4, 1.0)
+
+    def test_retire(self):
+        q = WarpQueue()
+        q.add(2)
+        q.retire(2)
+        assert len(q) == 0
+        q.retire(2)  # idempotent
+
+    def test_next_event(self):
+        q = WarpQueue()
+        assert q.next_event() is None
+        q.add(1, time=4.0)
+        q.add(2, time=2.0)
+        assert q.next_event() == 2.0
+
+    def test_contains(self):
+        q = WarpQueue()
+        q.add(9)
+        assert 9 in q
+        assert 3 not in q

@@ -1,0 +1,117 @@
+"""Tests for the paper's configuration sweeps and Table 2 baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memsim.config import PAPER_BASELINE
+from repro.validation import sweeps
+
+
+class TestPaperBaseline:
+    """Table 2: the profiled system configuration."""
+
+    def test_core_config(self):
+        assert PAPER_BASELINE.num_cores == 15
+        assert PAPER_BASELINE.core_clock_mhz == 1400.0
+
+    def test_l1(self):
+        l1 = PAPER_BASELINE.l1
+        assert (l1.size, l1.assoc, l1.line_size) == (16 * 1024, 4, 128)
+        assert l1.hit_latency == 1
+        assert l1.mshrs == 64
+
+    def test_l2(self):
+        l2 = PAPER_BASELINE.l2
+        assert (l2.size, l2.assoc, l2.line_size) == (1024 * 1024, 8, 128)
+        assert l2.banks == 8
+
+    def test_dram(self):
+        dram = PAPER_BASELINE.dram
+        assert dram.channels == 8
+        assert dram.ranks == 1
+        assert dram.banks == 8
+        assert dram.clock_mhz == 924.0
+        t = dram.timings
+        assert (t.t_rcd, t.t_cas, t.t_rp, t.t_ras) == (11, 11, 11, 28)
+
+    def test_scheduler(self):
+        assert PAPER_BASELINE.scheduler == "lrr"
+
+
+class TestSweepSizes:
+    def test_l1_sweep_is_30(self):
+        assert len(sweeps.l1_sweep()) == 30
+
+    def test_l2_sweep_is_30(self):
+        assert len(sweeps.l2_sweep()) == 30
+
+    def test_l1_prefetcher_sweep_is_72(self):
+        assert len(sweeps.l1_prefetcher_sweep()) == 72
+
+    def test_l2_prefetcher_sweep_is_96(self):
+        assert len(sweeps.l2_prefetcher_sweep()) == 96
+
+    def test_dram_sweep_is_11(self):
+        assert len(sweeps.dram_sweep()) == 11
+
+    def test_scheduling_sweep(self):
+        policies = [c.scheduler for c in sweeps.scheduling_sweep()]
+        assert policies == ["lrr", "gto"]
+
+    def test_miniaturization_factors(self):
+        factors = sweeps.miniaturization_factors()
+        assert factors[0] == 1.0
+        assert 8.0 in factors
+
+
+class TestSweepRanges:
+    def test_l1_parameter_ranges(self):
+        configs = sweeps.l1_sweep()
+        sizes = {c.l1.size for c in configs}
+        assert min(sizes) == 8 * 1024 and max(sizes) == 128 * 1024
+        assert {c.l1.assoc for c in configs} >= {1, 16}
+        assert {c.l1.line_size for c in configs} == {32, 64, 128}
+
+    def test_l1_sweep_keeps_l2_fixed(self):
+        assert all(c.l2 == PAPER_BASELINE.l2 for c in sweeps.l1_sweep())
+
+    def test_l2_parameter_ranges(self):
+        configs = sweeps.l2_sweep()
+        sizes = {c.l2.size for c in configs}
+        assert min(sizes) == 128 * 1024 and max(sizes) == 4 * 1024 * 1024
+        assert {c.l2.line_size for c in configs} == {64, 128}
+        assert all(c.l1 == PAPER_BASELINE.l1 for c in configs)
+
+    def test_prefetcher_degrees(self):
+        degrees = {c.l1_prefetcher.degree for c in sweeps.l1_prefetcher_sweep()}
+        assert degrees == {1, 2, 4, 8}
+
+    def test_stream_windows(self):
+        windows = {c.l2_prefetcher.stream_window
+                   for c in sweeps.l2_prefetcher_sweep()}
+        assert windows == {8, 16, 32}
+
+    def test_dram_sweep_covers_both_mappings(self):
+        mappings = {c.dram.mapping for c in sweeps.dram_sweep()}
+        assert mappings == {"RoBaRaCoCh", "ChRaBaRoCo"}
+
+    def test_dram_sweep_varies_bus_and_channels(self):
+        configs = sweeps.dram_sweep()
+        assert {c.dram.bus_width for c in configs} == {4, 8, 16}
+        assert len({c.dram.channels for c in configs}) >= 3
+
+
+class TestReducedSweeps:
+    def test_reduced_preserves_extremes(self):
+        full = sweeps.l1_sweep()
+        reduced = sweeps.l1_sweep(reduced=True, keep=6)
+        assert len(reduced) == 6
+        assert reduced[0] == full[0]
+        assert reduced[-1] == full[-1]
+
+    def test_reduced_noop_when_small(self):
+        assert len(sweeps.dram_sweep(reduced=True, keep=20)) == 11
+
+    def test_keep_one(self):
+        assert len(sweeps.l1_sweep(reduced=True, keep=1)) == 1
