@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Performance benchmark for the sweep engine: writes BENCH_sweep.json.
+
+Times a reduced Figure-6a (L1) sweep three ways and records the trajectory
+so every PR can be checked against the previous one:
+
+1. **sequential cold** — ``SweepRunner(jobs=1)``, no artifact cache: the
+   historical baseline path (per-benchmark pipeline build + per-config
+   original/proxy simulation, all in one process);
+2. **parallel cold** — ``--jobs N`` workers with an empty cache directory:
+   measures pool fan-out plus the cost of populating the cache;
+3. **parallel warm** — the same run again: pipelines and result pairs come
+   from the content-addressed cache.
+
+The three runs must be bit-identical (the script verifies this); the
+headline number is ``sequential_cold / parallel_warm``, which the repo's
+perf gate requires to be >= 3x.
+
+Usage:
+    python scripts/bench_perf.py [--jobs 4] [--smoke] [--out BENCH_sweep.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.validation import sweeps                      # noqa: E402
+from repro.validation.parallel import SweepRunner        # noqa: E402
+from repro.workloads import suite                        # noqa: E402
+
+SCHEMA_VERSION = 1
+TARGET_SPEEDUP = 3.0
+
+DEFAULT_BENCHMARKS = ("kmeans", "backprop", "srad", "blackscholes")
+SMOKE_BENCHMARKS = ("vectoradd", "kmeans")
+
+
+def _metric_matrix(sweeps_list, metric: str):
+    """Nested metric lists [(benchmark, [original...], [proxy...])]."""
+    return [
+        (
+            sweep.benchmark,
+            [pair.original.metric(metric) for pair in sweep.pairs],
+            [pair.proxy.metric(metric) for pair in sweep.pairs],
+        )
+        for sweep in sweeps_list
+    ]
+
+
+def validate_schema(payload: dict) -> None:
+    """Assert the BENCH_sweep.json layout downstream tooling relies on."""
+    required = {
+        "schema_version": int,
+        "experiment": str,
+        "generated_at": str,
+        "jobs": int,
+        "scale": str,
+        "num_cores": int,
+        "benchmarks": list,
+        "num_configs": int,
+        "timings": dict,
+        "speedup_parallel_warm": float,
+        "target_speedup": float,
+        "meets_target": bool,
+        "results_match": bool,
+    }
+    for key, kind in required.items():
+        if key not in payload:
+            raise AssertionError(f"BENCH_sweep.json missing key {key!r}")
+        if not isinstance(payload[key], kind):
+            raise AssertionError(
+                f"BENCH_sweep.json key {key!r}: expected {kind.__name__}, "
+                f"got {type(payload[key]).__name__}"
+            )
+    for key in ("sequential_cold_s", "parallel_cold_s", "parallel_warm_s"):
+        if not isinstance(payload["timings"].get(key), float):
+            raise AssertionError(f"timings missing float key {key!r}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel runs")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grid for CI: checks the parallel path and "
+                             "the JSON schema, skips the speedup gate")
+    parser.add_argument("--out", default=str(REPO / "BENCH_sweep.json"),
+                        help="output JSON path")
+    parser.add_argument("--scale", default="tiny",
+                        help="workload scale preset for the benchmark kernels")
+    parser.add_argument("--cores", type=int, default=8,
+                        help="simulated SM count")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="benchmark subset to sweep")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="report the speedup but never fail on it")
+    args = parser.parse_args()
+
+    names = args.benchmarks or list(
+        SMOKE_BENCHMARKS if args.smoke else DEFAULT_BENCHMARKS
+    )
+    kernels = [suite.make(name, scale=args.scale) for name in names]
+    configs = sweeps.l1_sweep(reduced=True)
+    if args.smoke:
+        configs = configs[:3]
+    metric = "l1_miss_rate"
+
+    cache_dir = tempfile.mkdtemp(prefix="gmap-bench-cache-")
+    try:
+        print(f"bench: reduced fig6a sweep, {len(names)} benchmarks x "
+              f"{len(configs)} configs, scale={args.scale}, "
+              f"cores={args.cores}, jobs={args.jobs}")
+
+        t0 = time.perf_counter()
+        seq = SweepRunner(jobs=1, use_cache=False).run(
+            kernels, configs, num_cores=args.cores)
+        t1 = time.perf_counter()
+        par_cold = SweepRunner(jobs=args.jobs, use_cache=True,
+                               cache_dir=cache_dir).run(
+            kernels, configs, num_cores=args.cores)
+        t2 = time.perf_counter()
+        par_warm = SweepRunner(jobs=args.jobs, use_cache=True,
+                               cache_dir=cache_dir).run(
+            kernels, configs, num_cores=args.cores)
+        t3 = time.perf_counter()
+
+        sequential_cold = t1 - t0
+        parallel_cold = t2 - t1
+        parallel_warm = t3 - t2
+
+        results_match = (
+            _metric_matrix(seq, metric)
+            == _metric_matrix(par_cold, metric)
+            == _metric_matrix(par_warm, metric)
+        )
+        speedup = (sequential_cold / parallel_warm
+                   if parallel_warm > 0 else float("inf"))
+        cache_entries = sum(
+            1 for p in Path(cache_dir).rglob("*.json.gz") if p.is_file()
+        )
+
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "experiment": "fig6a-reduced",
+            "generated_at": _dt.datetime.now(_dt.timezone.utc).isoformat(),
+            "jobs": args.jobs,
+            "scale": args.scale,
+            "num_cores": args.cores,
+            "benchmarks": names,
+            "num_configs": len(configs),
+            "timings": {
+                "sequential_cold_s": round(sequential_cold, 4),
+                "parallel_cold_s": round(parallel_cold, 4),
+                "parallel_warm_s": round(parallel_warm, 4),
+            },
+            "speedup_parallel_warm": round(speedup, 2),
+            "target_speedup": TARGET_SPEEDUP,
+            "meets_target": bool(speedup >= TARGET_SPEEDUP),
+            "results_match": bool(results_match),
+            "cache_entries": cache_entries,
+            "smoke": bool(args.smoke),
+        }
+        validate_schema(payload)
+        out = Path(args.out)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+        print(f"  sequential cold : {sequential_cold:8.2f}s")
+        print(f"  parallel   cold : {parallel_cold:8.2f}s  (jobs={args.jobs}, "
+              f"cache populated: {cache_entries} entries)")
+        print(f"  parallel   warm : {parallel_warm:8.2f}s")
+        print(f"  speedup (warm)  : {speedup:8.2f}x  (target "
+              f">= {TARGET_SPEEDUP}x)")
+        print(f"  results match   : {results_match}")
+        print(f"wrote {out}")
+
+        if not results_match:
+            print("FAIL: parallel/cached results differ from sequential")
+            return 1
+        if args.smoke:
+            print("smoke OK: parallel path completed, schema valid")
+            return 0
+        if not payload["meets_target"] and not args.no_gate:
+            print(f"FAIL: speedup {speedup:.2f}x below target "
+                  f"{TARGET_SPEEDUP}x")
+            return 1
+        return 0
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

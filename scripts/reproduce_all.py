@@ -53,6 +53,11 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--full", action="store_true",
                         help="paper-sized sweeps (GMAP_FULL=1); much slower")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="sweep-engine worker processes for the validate "
+                             "stages (default: all CPUs)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the artifact cache for validate stages")
     parser.add_argument("--skip-tests", action="store_true")
     parser.add_argument("--skip-examples", action="store_true")
     args = parser.parse_args()
@@ -81,12 +86,17 @@ def main() -> int:
                    outdir / f"example_{example}.log"):
                 failures.append(f"examples/{example}")
 
-    # Self-contained HTML reports, one per paper figure.
-    workers = str(os.cpu_count() or 2)
+    # Self-contained HTML reports, one per paper figure.  The parallel sweep
+    # engine fans each figure's (benchmark, config) grid over worker
+    # processes; the artifact cache makes later figures reuse the pipelines
+    # profiled for earlier ones.
+    jobs = str(args.jobs if args.jobs else (os.cpu_count() or 2))
     for figure in ("fig6a", "fig6b", "fig6c", "fig6d", "fig7"):
         cmd = [sys.executable, "-m", "repro.cli", "validate", figure,
-               "--workers", workers, "--html", str(outdir / f"{figure}.html"),
+               "--jobs", jobs, "--html", str(outdir / f"{figure}.html"),
                "--csv", str(outdir / f"{figure}.csv")]
+        if args.no_cache:
+            cmd.append("--no-cache")
         if args.full:
             cmd.append("--full")
         if run(cmd, outdir / f"validate_{figure}.log"):

@@ -100,8 +100,17 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="render an ASCII error chart of the results")
     p.add_argument("--html", default=None,
                    help="write a self-contained HTML report to this path")
-    p.add_argument("--workers", type=int, default=1,
-                   help="parallel worker processes (1 = serial)")
+    p.add_argument("-j", "--jobs", type=int, default=None,
+                   help="parallel worker processes for the sweep engine "
+                        "(default: 1 = serial)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="deprecated alias for --jobs")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the on-disk artifact cache "
+                        "(see GMAP_CACHE_DIR)")
+    p.add_argument("--cache-dir", default=None,
+                   help="artifact cache location (default: $GMAP_CACHE_DIR "
+                        "or ~/.cache/gmap)")
     _add_common(p)
 
     return parser
@@ -305,12 +314,14 @@ def _cmd_validate(args) -> int:
     metric = spec.metric
     names = args.benchmarks or list(suite.PAPER_SUITE)
     kernels = [suite.make(name, scale=args.scale) for name in names]
+    jobs = args.jobs if args.jobs is not None else (args.workers or 1)
     report = run_experiment(
         kernels, configs, metric, seed=args.seed, num_cores=args.cores,
-        workers=args.workers,
+        jobs=jobs, use_cache=not args.no_cache, cache_dir=args.cache_dir,
     )
     print(f"{spec.figure} ({spec.description}): metric={metric}, "
-          f"{len(configs)} configs x {len(kernels)} benchmarks")
+          f"{len(configs)} configs x {len(kernels)} benchmarks, "
+          f"jobs={jobs}, cache={'off' if args.no_cache else 'on'}")
     print(f"paper reports: error {spec.paper_error}, "
           f"correlation {spec.paper_correlation}")
     print(report.format_table())

@@ -1,0 +1,363 @@
+"""Content-addressed on-disk artifact cache for sweep pipelines.
+
+Profiling a kernel and generating its proxy are configuration-independent
+("profiling is a one-time cost", paper section 5), yet every sweep re-pays
+them per benchmark.  This cache memoizes the expensive halves of
+:func:`repro.validation.harness.build_pipeline` — the G-MAP profile, the
+original's coalesced warp traces, and the generated proxy traces — plus,
+one level up, whole per-configuration simulation result pairs, so repeated
+and overlapping sweeps skip straight to the parts that actually changed.
+
+Entries are content-addressed: the key is a SHA-256 over every input that
+influences the artifact (kernel fingerprint, generation seed, scale factor,
+stride model, core count, residency bound, profiling granularity — and, for
+result pairs, the full simulator configuration).  Any input change produces
+a different key, so the cache never needs invalidation, only garbage
+collection.  A corrupted or truncated entry is treated as a miss and
+recomputed; writes are atomic (temp file + rename) so concurrent sweep
+workers can share one cache directory.
+
+The cache directory resolves, in order: an explicit ``cache_dir`` argument,
+the ``GMAP_CACHE_DIR`` environment variable, ``~/.cache/gmap``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import gzip
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.core.profile import GmapProfile
+from repro.gpu.executor import CoreAssignment, WarpTrace
+from repro.memsim.config import SimConfig
+from repro.memsim.stats import CacheStats, DramStats, SimResult
+
+PathLike = Union[str, Path]
+
+#: Bump whenever the payload layout changes; stale entries then simply miss.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+ENV_CACHE_DIR = "GMAP_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$GMAP_CACHE_DIR`` if set, else ``~/.cache/gmap``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "gmap"
+
+
+def kernel_fingerprint(kernel) -> str:
+    """Deterministic content hash of a kernel model instance.
+
+    Combines the class identity, the repr (name + launch geometry), and the
+    pickled attribute state, so two kernels built with the same factory and
+    scale collide while any parameter difference separates them.  Kernels
+    that cannot pickle still get a (weaker) class+repr identity.
+    """
+    digest = hashlib.sha256()
+    digest.update(type(kernel).__qualname__.encode())
+    digest.update(repr(kernel).encode())
+    try:
+        digest.update(pickle.dumps(kernel, protocol=4))
+    except Exception:
+        pass
+    return digest.hexdigest()
+
+
+def config_fingerprint(config: SimConfig) -> str:
+    """Content hash of a simulator configuration.
+
+    ``SimConfig`` is a frozen dataclass tree, so its repr enumerates every
+    field deterministically.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()
+
+
+def _hash_fields(fields: Dict[str, Any]) -> str:
+    blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# Payload (de)serialisation — lossless JSON round-trips for every artifact.
+
+def _warp_trace_to_dict(trace: WarpTrace) -> dict:
+    return {
+        "warp_id": trace.warp_id,
+        "block": trace.block,
+        "transactions": [list(t) for t in trace.transactions],
+        "instructions": [list(t) for t in trace.instructions],
+        "active_lanes": trace.active_lanes,
+    }
+
+
+def _warp_trace_from_dict(data: dict) -> WarpTrace:
+    return WarpTrace(
+        warp_id=data["warp_id"],
+        block=data["block"],
+        transactions=[tuple(t) for t in data["transactions"]],
+        instructions=[tuple(t) for t in data["instructions"]],
+        active_lanes=data["active_lanes"],
+    )
+
+
+def assignments_to_payload(assignments: List[CoreAssignment]) -> list:
+    """JSON-ready form of a core-assignment list (inverse of ``*_from_payload``)."""
+    return [
+        {
+            "core_id": a.core_id,
+            "waves": [[_warp_trace_to_dict(t) for t in wave] for wave in a.waves],
+        }
+        for a in assignments
+    ]
+
+
+def assignments_from_payload(payload: list) -> List[CoreAssignment]:
+    """Rebuild ``CoreAssignment`` objects from their cached JSON form."""
+    return [
+        CoreAssignment(
+            core_id=a["core_id"],
+            waves=[[_warp_trace_from_dict(t) for t in wave] for wave in a["waves"]],
+        )
+        for a in payload
+    ]
+
+
+def _cache_stats_to_payload(stats: CacheStats) -> dict:
+    return {name: getattr(stats, name) for name in CacheStats._FIELDS}
+
+
+def _dram_stats_to_payload(stats: DramStats) -> dict:
+    return {name: getattr(stats, name) for name in DramStats._FIELDS}
+
+
+def sim_result_to_payload(result: SimResult) -> dict:
+    """Full-fidelity SimResult serialisation (JSON floats round-trip exactly)."""
+    return {
+        "l1": _cache_stats_to_payload(result.l1),
+        "l2": _cache_stats_to_payload(result.l2),
+        "dram": _dram_stats_to_payload(result.dram),
+        "texture": _cache_stats_to_payload(result.texture),
+        "constant": _cache_stats_to_payload(result.constant),
+        "shared_accesses": result.shared_accesses,
+        "requests_issued": result.requests_issued,
+        "cycles": result.cycles,
+        "measured_p_self": result.measured_p_self,
+        "barriers_crossed": result.barriers_crossed,
+        "per_core_l1": [_cache_stats_to_payload(s) for s in result.per_core_l1],
+    }
+
+
+def sim_result_from_payload(data: dict) -> SimResult:
+    """Rebuild a full-fidelity ``SimResult`` from its cached JSON form."""
+    return SimResult(
+        l1=CacheStats(**data["l1"]),
+        l2=CacheStats(**data["l2"]),
+        dram=DramStats(**data["dram"]),
+        texture=CacheStats(**data["texture"]),
+        constant=CacheStats(**data["constant"]),
+        shared_accesses=data["shared_accesses"],
+        requests_issued=data["requests_issued"],
+        cycles=data["cycles"],
+        measured_p_self=data["measured_p_self"],
+        barriers_crossed=data["barriers_crossed"],
+        per_core_l1=[CacheStats(**s) for s in data["per_core_l1"]],
+    )
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss accounting, surfaced by the bench harness and ``--jobs`` runs."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "stores": self.stores, "errors": self.errors,
+        }
+
+
+class ArtifactCache:
+    """Content-addressed cache over pipeline artifacts and result pairs.
+
+    Two entry kinds live under distinct subdirectories:
+
+    * ``pipeline/`` — profile + original/proxy warp traces of one
+      ``build_pipeline`` invocation;
+    * ``pair/`` — the original+proxy :class:`SimResult` of one
+      (pipeline, configuration) sweep point.
+
+    Both are gzipped JSON, fanned out by the first two key characters so
+    directories stay small at scale.
+    """
+
+    def __init__(self, cache_dir: Optional[PathLike] = None) -> None:
+        self.root = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.counters = CacheCounters()
+
+    # -- keys ---------------------------------------------------------------
+
+    def pipeline_key(
+        self,
+        kernel,
+        *,
+        seed: int,
+        scale_factor: float,
+        stride_model: str,
+        num_cores: int,
+        max_blocks_per_core: int,
+        coalescing: bool = True,
+    ) -> str:
+        return _hash_fields({
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": "pipeline",
+            "kernel": kernel_fingerprint(kernel),
+            "seed": seed,
+            "scale_factor": scale_factor,
+            "stride_model": stride_model,
+            "num_cores": num_cores,
+            "max_blocks_per_core": max_blocks_per_core,
+            "coalescing": coalescing,
+        })
+
+    def pair_key(
+        self, pipeline_key: str, config: SimConfig, track_scheduling: bool = True
+    ) -> str:
+        return _hash_fields({
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": "pair",
+            "pipeline": pipeline_key,
+            "config": config_fingerprint(config),
+            "track_scheduling": track_scheduling,
+        })
+
+    # -- raw entry IO -------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.json.gz"
+
+    def _load(self, kind: str, key: str) -> Optional[dict]:
+        path = self._path(kind, key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                self.counters.misses += 1
+                return None
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        except Exception:
+            # Corrupted/truncated entry: treat as a miss, recompute.
+            self.counters.errors += 1
+            return None
+        self.counters.hits += 1
+        return payload
+
+    def _store(self, kind: str, key: str, payload: dict) -> None:
+        path = self._path(kind, key)
+        payload = dict(payload, schema=CACHE_SCHEMA_VERSION)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as raw:
+                    with gzip.open(raw, "wt", encoding="utf-8") as fh:
+                        json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only or full cache directory must never fail the sweep.
+            self.counters.errors += 1
+            return
+        self.counters.stores += 1
+
+    # -- pipeline artifacts -------------------------------------------------
+
+    def load_pipeline(
+        self, key: str
+    ) -> Optional[Tuple[GmapProfile, List[CoreAssignment], List[CoreAssignment], dict]]:
+        """Returns (profile, original, proxy, meta) or None on miss."""
+        payload = self._load("pipeline", key)
+        if payload is None:
+            return None
+        try:
+            profile = GmapProfile.from_dict(payload["profile"])
+            original = assignments_from_payload(payload["original"])
+            proxy = assignments_from_payload(payload["proxy"])
+            meta = payload["meta"]
+        except Exception:
+            self.counters.errors += 1
+            return None
+        return profile, original, proxy, meta
+
+
+    def store_pipeline(
+        self,
+        key: str,
+        profile: GmapProfile,
+        original: List[CoreAssignment],
+        proxy: List[CoreAssignment],
+        meta: dict,
+    ) -> None:
+        self._store("pipeline", key, {
+            "profile": profile.to_dict(),
+            "original": assignments_to_payload(original),
+            "proxy": assignments_to_payload(proxy),
+            "meta": meta,
+        })
+
+    # -- simulation result pairs --------------------------------------------
+
+    def load_pair(self, key: str) -> Optional[Tuple[SimResult, SimResult]]:
+        payload = self._load("pair", key)
+        if payload is None:
+            return None
+        try:
+            return (
+                sim_result_from_payload(payload["original"]),
+                sim_result_from_payload(payload["proxy"]),
+            )
+        except Exception:
+            self.counters.errors += 1
+            return None
+
+    def store_pair(self, key: str, original: SimResult, proxy: SimResult) -> None:
+        self._store("pair", key, {
+            "original": sim_result_to_payload(original),
+            "proxy": sim_result_to_payload(proxy),
+        })
+
+
+def resolve_cache(
+    cache: Union[None, bool, ArtifactCache],
+    cache_dir: Optional[PathLike] = None,
+) -> Optional[ArtifactCache]:
+    """Normalise the ``cache`` argument convention used across the stack.
+
+    ``None``/``False`` disable caching; ``True`` opens the default (or
+    ``cache_dir``) location; an :class:`ArtifactCache` passes through.
+    """
+    if isinstance(cache, ArtifactCache):
+        return cache
+    if cache:
+        return ArtifactCache(cache_dir)
+    return None

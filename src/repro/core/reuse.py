@@ -52,13 +52,28 @@ class _FenwickTree:
         while new_size < needed:
             new_size *= 2
         # Rebuild: Fenwick trees cannot be resized in place cheaply, but a
-        # rebuild from prefix sums is O(n) and happens O(log n) times.
-        old_values = [self.range_sum(i, i) for i in range(self._size)]
+        # rebuild from point values is O(n) and happens O(log n) times.
+        # Node i covers positions (i - lowbit(i), i], so peeling off the
+        # sibling subtotals below it leaves the point value at i; the inner
+        # loop runs lowbit-length steps, which sums to O(n) over all i.
+        old = self._tree
+        values = [0] * (new_size + 1)
+        for i in range(1, self._size + 1):
+            v = old[i]
+            j = i - 1
+            stop = i - (i & (-i))
+            while j > stop:
+                v -= old[j]
+                j -= j & (-j)
+            values[i] = v
+        # Classic O(n) construction: each node pushes its subtotal up to
+        # its parent once.
+        for i in range(1, new_size + 1):
+            parent = i + (i & (-i))
+            if parent <= new_size:
+                values[parent] += values[i]
         self._size = new_size
-        self._tree = [0] * (new_size + 1)
-        for i, v in enumerate(old_values):
-            if v:
-                self.add(i, v)
+        self._tree = values
 
     def add(self, pos: int, delta: int) -> None:
         """Add ``delta`` at 0-based position ``pos``."""

@@ -13,6 +13,7 @@ just lists of :class:`~repro.gpu.executor.CoreAssignment`.
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Sequence
 
 from repro.gpu.executor import CoreAssignment, WarpTrace
@@ -173,7 +174,12 @@ class SimtSimulator:
         """Simulate until every warp drains (or ``max_requests`` issue).
 
         Cores interleave in global time order so the shared L2/DRAM sees a
-        realistic merged request stream.
+        realistic merged request stream.  The interleave is driven by an
+        event heap keyed on ``(now, core index)``: the earliest core issues
+        a burst of transactions until the next core's timestamp overtakes
+        it, then re-enters the heap.  Ties on ``now`` resolve to the lowest
+        core index — the same order the previous ``min()`` scan produced —
+        so results are bit-identical to the linear-scan implementation.
         """
         scheduler_proto = make_scheduler(
             self.config.scheduler,
@@ -184,17 +190,26 @@ class SimtSimulator:
             _CoreState(a.core_id, a.waves, scheduler_proto.clone())
             for a in assignments
         ]
-        active = [c for c in cores if c.active]
         issued_total = 0
         budget = max_requests if max_requests is not None else float("inf")
         hierarchy = self.hierarchy
-        while active and issued_total < budget:
-            core = min(active, key=lambda c: c.now)
-            before = core.issued
-            alive = core.step(hierarchy)
-            issued_total += core.issued - before
-            if not alive or not core.active:
-                active = [c for c in active if c.active]
+        heap = [(core.now, index) for index, core in enumerate(cores)
+                if core.active]
+        heapq.heapify(heap)
+        while heap and issued_total < budget:
+            _, index = heapq.heappop(heap)
+            core = cores[index]
+            while True:
+                before = core.issued
+                alive = core.step(hierarchy)
+                issued_total += core.issued - before
+                if not alive or not core.active:
+                    break  # drained: the core leaves the event heap
+                if issued_total >= budget:
+                    break
+                if heap and heap[0] < (core.now, index):
+                    heapq.heappush(heap, (core.now, index))
+                    break
 
         result = SimResult(
             l1=hierarchy.l1_stats(),
@@ -230,26 +245,39 @@ def simulate_flat_trace(
 
     Used for trace-file replay and for the fixed-order interleavings that
     Algorithm 2's simplest round-robin drain produces.
+
+    Cores merge in global time order via the same ``(clock, core index)``
+    event heap as :meth:`SimtSimulator.run`.  SYNC records (``pc < 0``)
+    carry no memory semantics here, but they still consume one issue slot:
+    the core's clock advances past them, so a barrier-heavy core does not
+    unfairly win every interleaving tie against cores doing real work.
     """
     hierarchy = MemoryHierarchy(config)
     clocks = [0.0] * len(per_core_traces)
     cursors = [0] * len(per_core_traces)
     issued = 0
-    remaining = sum(len(t) for t in per_core_traces)
-    while remaining:
-        core = min(
-            (c for c in range(len(per_core_traces))
-             if cursors[c] < len(per_core_traces[c])),
-            key=lambda c: clocks[c],
-        )
-        pc, address, size, is_store = per_core_traces[core][cursors[core]]
-        cursors[core] += 1
-        remaining -= 1
-        if pc < 0:  # SYNC_PC records carry no memory semantics here
-            continue
-        hierarchy.access(core, clocks[core], pc, address, size, bool(is_store))
-        clocks[core] += 1.0
-        issued += 1
+    heap = [(0.0, core) for core, trace in enumerate(per_core_traces) if trace]
+    heapq.heapify(heap)
+    while heap:
+        _, core = heapq.heappop(heap)
+        trace = per_core_traces[core]
+        length = len(trace)
+        cursor = cursors[core]
+        clock = clocks[core]
+        while True:
+            pc, address, size, is_store = trace[cursor]
+            cursor += 1
+            if pc >= 0:
+                hierarchy.access(core, clock, pc, address, size, bool(is_store))
+                issued += 1
+            clock += 1.0
+            if cursor >= length:
+                break
+            if heap and heap[0] < (clock, core):
+                heapq.heappush(heap, (clock, core))
+                break
+        cursors[core] = cursor
+        clocks[core] = clock
     return SimResult(
         l1=hierarchy.l1_stats(),
         l2=hierarchy.l2_stats(),

@@ -9,7 +9,7 @@ draw from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence
 
 from repro.memsim.config import SimConfig
 from repro.validation import sweeps
@@ -28,6 +28,32 @@ class ExperimentSpec:
 
     def configs(self, reduced: bool = True) -> List[SimConfig]:
         return self.sweep(reduced=reduced)
+
+    def run(
+        self,
+        kernels: Sequence,
+        *,
+        reduced: bool = True,
+        jobs: int = 1,
+        seed: int = 1234,
+        num_cores: int = 15,
+        use_cache: bool = False,
+        cache_dir=None,
+    ):
+        """Evaluate this experiment's sweep over ``kernels``.
+
+        ``jobs`` > 1 fans sweep points over the parallel sweep engine
+        (:class:`~repro.validation.parallel.SweepRunner`); ``use_cache``
+        enables the on-disk artifact cache.  Returns an
+        :class:`~repro.validation.harness.ExperimentReport`.
+        """
+        from repro.validation.parallel import SweepRunner
+
+        runner = SweepRunner(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
+        return runner.run_experiment(
+            kernels, self.configs(reduced=reduced), self.metric,
+            seed=seed, num_cores=num_cores,
+        )
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {

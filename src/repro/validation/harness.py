@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+from repro.core.cache import ArtifactCache, resolve_cache
 from repro.core.generator import ProxyGenerator
 from repro.core.miniaturize import miniaturize_profile
 from repro.core.profile import GmapProfile
@@ -34,6 +35,10 @@ class BenchmarkPipeline:
     The original's warp traces and the proxy's generated warp traces do not
     depend on cache/prefetcher/DRAM parameters (only on core count and
     residency), so they are built once and re-simulated per configuration.
+
+    ``cache_key`` identifies the pipeline in the artifact cache (set
+    whenever ``build_pipeline`` ran with a cache); ``from_cache`` records
+    whether this instance was rehydrated rather than computed.
     """
 
     kernel: KernelModel
@@ -42,6 +47,8 @@ class BenchmarkPipeline:
     proxy_assignments: List[CoreAssignment]
     profiling_seconds: float
     generation_seconds: float
+    cache_key: Optional[str] = None
+    from_cache: bool = False
 
     @property
     def name(self) -> str:
@@ -56,14 +63,45 @@ def build_pipeline(
     scale_factor: float = 1.0,
     profiler: Optional[GmapProfiler] = None,
     stride_model: str = "iid",
+    cache: Union[None, bool, ArtifactCache] = None,
 ) -> BenchmarkPipeline:
     """Profile a kernel and generate its proxy, ready for simulation.
 
     ``scale_factor`` miniaturizes the proxy (Figure 8); 1.0 keeps the clone
     the same size as the original.  ``stride_model`` selects the paper's IID
     stride sampling or the first-order Markov refinement.
+
+    ``cache`` (None/False off, True for the default location, or an
+    :class:`~repro.core.cache.ArtifactCache`) memoizes the profile and both
+    warp-trace sets on disk: a warm hit skips profiling, original execution
+    and proxy generation entirely.
     """
     profiler = profiler or GmapProfiler()
+    cache = resolve_cache(cache)
+    key = None
+    if cache is not None:
+        key = cache.pipeline_key(
+            kernel,
+            seed=seed,
+            scale_factor=scale_factor,
+            stride_model=stride_model,
+            num_cores=num_cores,
+            max_blocks_per_core=max_blocks_per_core,
+            coalescing=getattr(profiler, "coalescing", True),
+        )
+        cached = cache.load_pipeline(key)
+        if cached is not None:
+            profile, original, proxy, meta = cached
+            return BenchmarkPipeline(
+                kernel=kernel,
+                profile=profile,
+                original_assignments=original,
+                proxy_assignments=proxy,
+                profiling_seconds=meta.get("profiling_seconds", 0.0),
+                generation_seconds=meta.get("generation_seconds", 0.0),
+                cache_key=key,
+                from_cache=True,
+            )
     t0 = time.perf_counter()
     profile = profiler.profile(kernel)
     t1 = time.perf_counter()
@@ -77,14 +115,25 @@ def build_pipeline(
     )
     proxy = generator.generate(num_cores, max_blocks_per_core=max_blocks_per_core)
     t2 = time.perf_counter()
-    return BenchmarkPipeline(
+    pipeline = BenchmarkPipeline(
         kernel=kernel,
         profile=profile,
         original_assignments=original,
         proxy_assignments=proxy,
         profiling_seconds=t1 - t0,
         generation_seconds=t2 - t1,
+        cache_key=key,
     )
+    if cache is not None and key is not None:
+        cache.store_pipeline(
+            key, profile, original, proxy,
+            meta={
+                "benchmark": kernel.name,
+                "profiling_seconds": pipeline.profiling_seconds,
+                "generation_seconds": pipeline.generation_seconds,
+            },
+        )
+    return pipeline
 
 
 @dataclass
@@ -97,7 +146,10 @@ class RunPair:
 
 
 def simulate_pair(
-    pipeline: BenchmarkPipeline, config: SimConfig, track_scheduling: bool = True
+    pipeline: BenchmarkPipeline,
+    config: SimConfig,
+    track_scheduling: bool = True,
+    cache: Union[None, bool, ArtifactCache] = None,
 ) -> RunPair:
     """Simulate original and proxy under one configuration.
 
@@ -106,7 +158,19 @@ def simulate_pair(
     is simulated under the real policy, its empirical probability of
     back-to-back same-warp issue is measured, and the proxy is scheduled
     with that probability.
+
+    With a ``cache`` and a pipeline that carries a ``cache_key``, the whole
+    result pair is memoized per configuration — a warm sweep point costs one
+    cache read instead of two simulations.
     """
+    cache = resolve_cache(cache)
+    pair_key = None
+    if cache is not None and pipeline.cache_key is not None:
+        pair_key = cache.pair_key(pipeline.cache_key, config, track_scheduling)
+        cached = cache.load_pair(pair_key)
+        if cached is not None:
+            original, proxy = cached
+            return RunPair(config=config, original=original, proxy=proxy)
     original = SimtSimulator(config).run(pipeline.original_assignments)
     proxy_config = config
     if track_scheduling and config.scheduler.lower() not in ("lrr",):
@@ -114,6 +178,8 @@ def simulate_pair(
             scheduler="schedpself", sched_p_self=original.measured_p_self
         )
     proxy = SimtSimulator(proxy_config).run(pipeline.proxy_assignments)
+    if cache is not None and pair_key is not None:
+        cache.store_pair(pair_key, original, proxy)
     return RunPair(config=config, original=original, proxy=proxy)
 
 
@@ -134,12 +200,15 @@ class SweepResult:
 
 
 def run_sweep(
-    pipeline: BenchmarkPipeline, configs: Sequence[SimConfig]
+    pipeline: BenchmarkPipeline,
+    configs: Sequence[SimConfig],
+    cache: Union[None, bool, ArtifactCache] = None,
 ) -> SweepResult:
     """Simulate one benchmark's original and proxy across a sweep."""
+    cache = resolve_cache(cache)
     result = SweepResult(benchmark=pipeline.name)
     for config in configs:
-        result.pairs.append(simulate_pair(pipeline, config))
+        result.pairs.append(simulate_pair(pipeline, config, cache=cache))
     return result
 
 
@@ -176,13 +245,6 @@ class ExperimentReport:
         return "\n".join(lines)
 
 
-def _one_benchmark_comparison(args):
-    """Worker body: pipeline + sweep for one benchmark (picklable)."""
-    kernel, configs, metric, seed, num_cores = args
-    pipeline = build_pipeline(kernel, num_cores=num_cores, seed=seed)
-    return run_sweep(pipeline, configs).comparison(metric)
-
-
 def run_experiment(
     kernels: Sequence[KernelModel],
     configs: Sequence[SimConfig],
@@ -190,20 +252,25 @@ def run_experiment(
     seed: int = 1234,
     num_cores: int = 15,
     workers: Optional[int] = None,
+    jobs: Optional[int] = None,
+    use_cache: bool = False,
+    cache_dir=None,
 ) -> ExperimentReport:
     """The full per-figure evaluation loop: all benchmarks x all configs.
 
-    ``workers`` > 1 distributes benchmarks over a process pool — results
-    are bit-identical to the serial run (each benchmark's pipeline is
-    self-contained and seeded).
+    ``jobs`` > 1 fans (benchmark, config-chunk) sweep points over a process
+    pool via :class:`~repro.validation.parallel.SweepRunner` — results are
+    bit-identical to the serial run (each sweep point is self-contained and
+    seeded).  ``workers`` is the historical alias for ``jobs`` and is used
+    when ``jobs`` is not given.  ``use_cache`` enables the on-disk artifact
+    cache (``cache_dir`` overrides its location).
     """
-    tasks = [(kernel, list(configs), metric, seed, num_cores)
-             for kernel in kernels]
-    if workers and workers > 1 and len(tasks) > 1:
-        import multiprocessing
+    from repro.validation.parallel import SweepRunner
 
-        with multiprocessing.Pool(processes=workers) as pool:
-            comparisons = pool.map(_one_benchmark_comparison, tasks)
-    else:
-        comparisons = [_one_benchmark_comparison(task) for task in tasks]
-    return ExperimentReport(metric=metric, comparisons=comparisons)
+    effective_jobs = jobs if jobs is not None else (workers or 1)
+    runner = SweepRunner(
+        jobs=effective_jobs, use_cache=use_cache, cache_dir=cache_dir
+    )
+    return runner.run_experiment(
+        kernels, configs, metric, seed=seed, num_cores=num_cores
+    )

@@ -1,0 +1,251 @@
+"""Parallel sweep engine: fan (benchmark, config) points over processes.
+
+Every G-MAP evaluation (Figures 6a-6e, 7, 8) is a configuration sweep —
+tens of :class:`~repro.memsim.config.SimConfig` points, each simulating the
+original and the proxy stream.  The points are mutually independent and
+deterministic, which makes the sweep embarrassingly parallel *as long as the
+expensive per-benchmark pipeline is not rebuilt per point*.
+
+:class:`SweepRunner` therefore chunks each benchmark's config list into
+contiguous slices and ships (benchmark, config-slice) tasks to a
+``concurrent.futures.ProcessPoolExecutor``.  Each worker process memoizes
+the deserialized :class:`~repro.validation.harness.BenchmarkPipeline` per
+benchmark, so every chunk after the first reuses it; with the artifact
+cache enabled (``use_cache=True``) even the first build in each worker is a
+disk read.  Results are reassembled in submission order, so a ``jobs=N``
+run is bit-identical to ``jobs=1``.
+
+A same-process fallback covers ``jobs=1``, single-task runs, and platforms
+where process pools fail (pickling restrictions, missing semaphores): the
+engine degrades to a plain loop with identical results.
+"""
+
+from __future__ import annotations
+
+import pickle
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cache import ArtifactCache, resolve_cache
+from repro.memsim.config import SimConfig
+from repro.validation.harness import (
+    BenchmarkPipeline,
+    ExperimentReport,
+    RunPair,
+    SweepResult,
+    build_pipeline,
+    simulate_pair,
+)
+from repro.workloads.base import KernelModel
+
+
+@dataclass(frozen=True)
+class _SweepChunk:
+    """One worker unit: a contiguous config slice of one benchmark's sweep."""
+
+    run_token: str
+    kernel_index: int
+    config_offset: int
+    kernel: KernelModel
+    configs: Tuple[SimConfig, ...]
+    seed: int
+    num_cores: int
+    max_blocks_per_core: int
+    scale_factor: float
+    stride_model: str
+    track_scheduling: bool
+    use_cache: bool
+    cache_dir: Optional[str]
+
+
+#: Per-worker-process pipeline memo, keyed by (run token, kernel index) and
+#: LRU-bounded so long multi-benchmark sweeps don't hold every trace set.
+_WORKER_PIPELINES: "OrderedDict[Tuple[str, int], BenchmarkPipeline]" = OrderedDict()
+_WORKER_PIPELINE_CAP = 8
+
+
+def _chunk_cache(chunk: _SweepChunk) -> Optional[ArtifactCache]:
+    return ArtifactCache(chunk.cache_dir) if chunk.use_cache else None
+
+
+def _run_chunk(chunk: _SweepChunk) -> Tuple[int, int, List[RunPair]]:
+    """Worker body: build (or reuse) the pipeline, simulate the slice."""
+    memo_key = (chunk.run_token, chunk.kernel_index)
+    pipeline = _WORKER_PIPELINES.get(memo_key)
+    if pipeline is None:
+        pipeline = build_pipeline(
+            chunk.kernel,
+            num_cores=chunk.num_cores,
+            max_blocks_per_core=chunk.max_blocks_per_core,
+            seed=chunk.seed,
+            scale_factor=chunk.scale_factor,
+            stride_model=chunk.stride_model,
+            cache=_chunk_cache(chunk),
+        )
+        _WORKER_PIPELINES[memo_key] = pipeline
+        while len(_WORKER_PIPELINES) > _WORKER_PIPELINE_CAP:
+            _WORKER_PIPELINES.popitem(last=False)
+    else:
+        _WORKER_PIPELINES.move_to_end(memo_key)
+    cache = _chunk_cache(chunk)
+    pairs = [
+        simulate_pair(
+            pipeline, config,
+            track_scheduling=chunk.track_scheduling, cache=cache,
+        )
+        for config in chunk.configs
+    ]
+    return chunk.kernel_index, chunk.config_offset, pairs
+
+
+class SweepRunner:
+    """Runs original-vs-proxy sweeps, optionally over a process pool.
+
+    ``jobs`` is the worker-process count (1 = in-process, no pool).
+    ``chunk_size`` overrides the per-task config slice length; by default
+    the runner targets ~2 tasks per worker so stragglers even out while
+    each worker still amortizes its pipeline across many configs.
+    ``use_cache``/``cache_dir`` enable the content-addressed artifact cache
+    for pipelines and per-configuration result pairs.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunk_size: Optional[int] = None,
+        use_cache: bool = False,
+        cache_dir=None,
+        track_scheduling: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.jobs = jobs
+        self.chunk_size = chunk_size
+        self.use_cache = use_cache
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.track_scheduling = track_scheduling
+
+    # -- task construction --------------------------------------------------
+
+    def _effective_chunk_size(self, num_kernels: int, num_configs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if self.jobs == 1:
+            return num_configs or 1
+        # Aim for ~2 tasks per worker across the whole sweep, but never
+        # split one benchmark into more chunks than it has configs.
+        total_target = self.jobs * 2
+        per_kernel = max(1, -(-total_target // max(1, num_kernels)))
+        return max(1, -(-num_configs // per_kernel))
+
+    def _build_chunks(
+        self,
+        kernels: Sequence[KernelModel],
+        configs: Sequence[SimConfig],
+        seed: int,
+        num_cores: int,
+        max_blocks_per_core: int,
+        scale_factor: float,
+        stride_model: str,
+    ) -> List[_SweepChunk]:
+        run_token = uuid.uuid4().hex
+        chunk_size = self._effective_chunk_size(len(kernels), len(configs))
+        configs = tuple(configs)
+        chunks = []
+        for kernel_index, kernel in enumerate(kernels):
+            for offset in range(0, len(configs), chunk_size):
+                chunks.append(_SweepChunk(
+                    run_token=run_token,
+                    kernel_index=kernel_index,
+                    config_offset=offset,
+                    kernel=kernel,
+                    configs=configs[offset:offset + chunk_size],
+                    seed=seed,
+                    num_cores=num_cores,
+                    max_blocks_per_core=max_blocks_per_core,
+                    scale_factor=scale_factor,
+                    stride_model=stride_model,
+                    track_scheduling=self.track_scheduling,
+                    use_cache=self.use_cache,
+                    cache_dir=self.cache_dir,
+                ))
+        return chunks
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(self, chunks: List[_SweepChunk]) -> List[Tuple[int, int, List[RunPair]]]:
+        if self.jobs == 1 or len(chunks) <= 1:
+            return [_run_chunk(chunk) for chunk in chunks]
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+                return [future.result() for future in futures]
+        except (pickle.PicklingError, BrokenProcessPool, OSError):
+            # Pickling restrictions or missing process primitives: degrade
+            # to the same-process path, which is result-identical.
+            return [_run_chunk(chunk) for chunk in chunks]
+
+    def run(
+        self,
+        kernels: Sequence[KernelModel],
+        configs: Sequence[SimConfig],
+        *,
+        seed: int = 1234,
+        num_cores: int = 15,
+        max_blocks_per_core: int = 8,
+        scale_factor: float = 1.0,
+        stride_model: str = "iid",
+    ) -> List[SweepResult]:
+        """All benchmarks x all configs; one ordered SweepResult per kernel.
+
+        Results are reassembled by (kernel, config) position, so they do not
+        depend on worker scheduling: ``jobs=N`` equals ``jobs=1`` exactly.
+        """
+        chunks = self._build_chunks(
+            kernels, configs, seed, num_cores, max_blocks_per_core,
+            scale_factor, stride_model,
+        )
+        outputs = self._execute(chunks)
+        by_kernel: Dict[int, List[Tuple[int, List[RunPair]]]] = {}
+        for kernel_index, offset, pairs in outputs:
+            by_kernel.setdefault(kernel_index, []).append((offset, pairs))
+        sweeps = []
+        for kernel_index, kernel in enumerate(kernels):
+            pieces = sorted(by_kernel.get(kernel_index, []))
+            pairs = [pair for _, chunk_pairs in pieces for pair in chunk_pairs]
+            sweeps.append(SweepResult(benchmark=kernel.name, pairs=pairs))
+        return sweeps
+
+    def run_experiment(
+        self,
+        kernels: Sequence[KernelModel],
+        configs: Sequence[SimConfig],
+        metric: str,
+        *,
+        seed: int = 1234,
+        num_cores: int = 15,
+        max_blocks_per_core: int = 8,
+        scale_factor: float = 1.0,
+        stride_model: str = "iid",
+    ) -> ExperimentReport:
+        """Sweep every benchmark and aggregate one metric into a report."""
+        sweeps = self.run(
+            kernels, configs,
+            seed=seed, num_cores=num_cores,
+            max_blocks_per_core=max_blocks_per_core,
+            scale_factor=scale_factor, stride_model=stride_model,
+        )
+        return ExperimentReport(
+            metric=metric,
+            comparisons=[sweep.comparison(metric) for sweep in sweeps],
+        )
+
+    def cache(self) -> Optional[ArtifactCache]:
+        """The runner's cache handle (None when caching is disabled)."""
+        return resolve_cache(self.use_cache, self.cache_dir)

@@ -58,6 +58,33 @@ class TestFenwickTree:
         tree.add(0, 1)
         assert tree.prefix_sum(-1) == 0
 
+    def test_growth_across_several_doublings(self):
+        """The O(n) rebuild preserves every point value through 2->256."""
+        tree = _FenwickTree(2)
+        reference = {}
+        rng = random.Random(42)
+        # Interleave updates with growth triggers at ever-larger positions.
+        for pos in (0, 1, 3, 5, 9, 17, 40, 77, 130, 255):
+            for _ in range(3):
+                p = rng.randrange(pos + 1)
+                delta = rng.randrange(-2, 5)
+                tree.add(p, delta)
+                reference[p] = reference.get(p, 0) + delta
+        prefix = 0
+        for i in range(256):
+            prefix += reference.get(i, 0)
+            assert tree.prefix_sum(i) == prefix
+            assert tree.range_sum(i, i) == reference.get(i, 0)
+
+    def test_growth_rebuild_matches_fresh_tree(self):
+        grown = _FenwickTree(1)
+        fresh = _FenwickTree(1024)
+        for i in range(0, 600, 7):
+            grown.add(i, i % 5 + 1)
+            fresh.add(i, i % 5 + 1)
+        for lo, hi in ((0, 599), (3, 3), (100, 400), (590, 599)):
+            assert grown.range_sum(lo, hi) == fresh.range_sum(lo, hi)
+
 
 class TestStackDistanceTracker:
     def test_first_touch_is_cold(self):
