@@ -11,10 +11,15 @@ so every PR can be checked against the previous one:
    measures pool fan-out plus the cost of populating the cache;
 3. **parallel warm** — the same run again: pipelines and result pairs come
    from the content-addressed cache.
+4. **resilient sequential** — ``jobs=1`` again but with the full resilience
+   machinery armed (run journal, per-chunk timeout watchdog, retry budget):
+   measures the happy-path overhead of checkpointing, which the perf gate
+   requires to stay under 5% of the plain sequential run (with a small
+   absolute floor so sub-second runs aren't judged on timer noise).
 
-The three runs must be bit-identical (the script verifies this); the
-headline number is ``sequential_cold / parallel_warm``, which the repo's
-perf gate requires to be >= 3x.
+All runs must be bit-identical (the script verifies this); the headline
+number is ``sequential_cold / parallel_warm``, which the repo's perf gate
+requires to be >= 3x.
 
 Usage:
     python scripts/bench_perf.py [--jobs 4] [--smoke] [--out BENCH_sweep.json]
@@ -38,8 +43,12 @@ from repro.validation import sweeps                      # noqa: E402
 from repro.validation.parallel import SweepRunner        # noqa: E402
 from repro.workloads import suite                        # noqa: E402
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 TARGET_SPEEDUP = 3.0
+#: Max fractional happy-path cost of journal + watchdog + retry accounting.
+RESILIENCE_OVERHEAD_TARGET = 0.05
+#: Absolute noise floor: overhead under this many seconds always passes.
+RESILIENCE_OVERHEAD_FLOOR_S = 0.25
 
 DEFAULT_BENCHMARKS = ("kmeans", "backprop", "srad", "blackscholes")
 SMOKE_BENCHMARKS = ("vectoradd", "kmeans")
@@ -73,6 +82,9 @@ def validate_schema(payload: dict) -> None:
         "target_speedup": float,
         "meets_target": bool,
         "results_match": bool,
+        "resilience_overhead": float,
+        "resilience_overhead_target": float,
+        "meets_resilience_target": bool,
     }
     for key, kind in required.items():
         if key not in payload:
@@ -82,7 +94,8 @@ def validate_schema(payload: dict) -> None:
                 f"BENCH_sweep.json key {key!r}: expected {kind.__name__}, "
                 f"got {type(payload[key]).__name__}"
             )
-    for key in ("sequential_cold_s", "parallel_cold_s", "parallel_warm_s"):
+    for key in ("sequential_cold_s", "parallel_cold_s", "parallel_warm_s",
+                "resilient_sequential_s"):
         if not isinstance(payload["timings"].get(key), float):
             raise AssertionError(f"timings missing float key {key!r}")
 
@@ -133,15 +146,36 @@ def main() -> int:
                                cache_dir=cache_dir).run(
             kernels, configs, num_cores=args.cores)
         t3 = time.perf_counter()
+        journal_dir = tempfile.mkdtemp(prefix="gmap-bench-journal-")
+        try:
+            t4 = time.perf_counter()
+            resilient = SweepRunner(
+                jobs=1, use_cache=False, journal=True,
+                journal_dir=journal_dir, timeout=600.0, retries=2,
+            ).run(kernels, configs, num_cores=args.cores)
+            t5 = time.perf_counter()
+        finally:
+            shutil.rmtree(journal_dir, ignore_errors=True)
 
         sequential_cold = t1 - t0
         parallel_cold = t2 - t1
         parallel_warm = t3 - t2
+        resilient_sequential = t5 - t4
+        overhead = (
+            (resilient_sequential - sequential_cold) / sequential_cold
+            if sequential_cold > 0 else 0.0
+        )
+        meets_resilience = (
+            overhead <= RESILIENCE_OVERHEAD_TARGET
+            or resilient_sequential - sequential_cold
+            <= RESILIENCE_OVERHEAD_FLOOR_S
+        )
 
         results_match = (
             _metric_matrix(seq, metric)
             == _metric_matrix(par_cold, metric)
             == _metric_matrix(par_warm, metric)
+            == _metric_matrix(resilient, metric)
         )
         speedup = (sequential_cold / parallel_warm
                    if parallel_warm > 0 else float("inf"))
@@ -162,11 +196,15 @@ def main() -> int:
                 "sequential_cold_s": round(sequential_cold, 4),
                 "parallel_cold_s": round(parallel_cold, 4),
                 "parallel_warm_s": round(parallel_warm, 4),
+                "resilient_sequential_s": round(resilient_sequential, 4),
             },
             "speedup_parallel_warm": round(speedup, 2),
             "target_speedup": TARGET_SPEEDUP,
             "meets_target": bool(speedup >= TARGET_SPEEDUP),
             "results_match": bool(results_match),
+            "resilience_overhead": round(overhead, 4),
+            "resilience_overhead_target": RESILIENCE_OVERHEAD_TARGET,
+            "meets_resilience_target": bool(meets_resilience),
             "cache_entries": cache_entries,
             "smoke": bool(args.smoke),
         }
@@ -178,13 +216,19 @@ def main() -> int:
         print(f"  parallel   cold : {parallel_cold:8.2f}s  (jobs={args.jobs}, "
               f"cache populated: {cache_entries} entries)")
         print(f"  parallel   warm : {parallel_warm:8.2f}s")
+        print(f"  resilient  seq  : {resilient_sequential:8.2f}s  "
+              f"(journal + watchdog + retries armed)")
         print(f"  speedup (warm)  : {speedup:8.2f}x  (target "
               f">= {TARGET_SPEEDUP}x)")
+        print(f"  resilience cost : {overhead * 100:7.2f}%  (target "
+              f"<= {RESILIENCE_OVERHEAD_TARGET * 100:.0f}% or "
+              f"<= {RESILIENCE_OVERHEAD_FLOOR_S}s absolute)")
         print(f"  results match   : {results_match}")
         print(f"wrote {out}")
 
         if not results_match:
-            print("FAIL: parallel/cached results differ from sequential")
+            print("FAIL: parallel/cached/resilient results differ from "
+                  "sequential")
             return 1
         if args.smoke:
             print("smoke OK: parallel path completed, schema valid")
@@ -192,6 +236,10 @@ def main() -> int:
         if not payload["meets_target"] and not args.no_gate:
             print(f"FAIL: speedup {speedup:.2f}x below target "
                   f"{TARGET_SPEEDUP}x")
+            return 1
+        if not meets_resilience and not args.no_gate:
+            print(f"FAIL: resilience overhead {overhead * 100:.2f}% exceeds "
+                  f"{RESILIENCE_OVERHEAD_TARGET * 100:.0f}% target")
             return 1
         return 0
     finally:

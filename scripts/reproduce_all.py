@@ -58,6 +58,15 @@ def main() -> int:
                              "stages (default: all CPUs)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the artifact cache for validate stages")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume interrupted validate stages from their "
+                             "run journals (skips completed sweep chunks)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-chunk watchdog (seconds) for the validate "
+                             "stages")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="retries per failing sweep chunk before it is "
+                             "quarantined")
     parser.add_argument("--skip-tests", action="store_true")
     parser.add_argument("--skip-examples", action="store_true")
     args = parser.parse_args()
@@ -89,7 +98,10 @@ def main() -> int:
     # Self-contained HTML reports, one per paper figure.  The parallel sweep
     # engine fans each figure's (benchmark, config) grid over worker
     # processes; the artifact cache makes later figures reuse the pipelines
-    # profiled for earlier ones.
+    # profiled for earlier ones.  Each figure journals its sweep chunks, so
+    # an interrupted campaign restarts with --resume instead of from zero;
+    # a figure whose report is partial (quarantined chunks) exits nonzero
+    # and is recorded as a failed stage.
     jobs = str(args.jobs if args.jobs else (os.cpu_count() or 2))
     for figure in ("fig6a", "fig6b", "fig6c", "fig6d", "fig7"):
         cmd = [sys.executable, "-m", "repro.cli", "validate", figure,
@@ -97,6 +109,12 @@ def main() -> int:
                "--csv", str(outdir / f"{figure}.csv")]
         if args.no_cache:
             cmd.append("--no-cache")
+        if args.resume:
+            cmd.append("--resume")
+        if args.timeout is not None:
+            cmd.extend(["--timeout", str(args.timeout)])
+        if args.retries is not None:
+            cmd.extend(["--retries", str(args.retries)])
         if args.full:
             cmd.append("--full")
         if run(cmd, outdir / f"validate_{figure}.log"):

@@ -111,6 +111,25 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="artifact cache location (default: $GMAP_CACHE_DIR "
                         "or ~/.cache/gmap)")
+    p.add_argument("--resume", nargs="?", const="auto", default=None,
+                   metavar="RUN_ID",
+                   help="resume an interrupted run from its journal; with "
+                        "no value, resume the run id derived from these "
+                        "inputs")
+    p.add_argument("--run-id", default=None,
+                   help="journal this run under an explicit id (default: "
+                        "derived from the sweep inputs)")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable the checkpoint/resume run journal")
+    p.add_argument("--journal-dir", default=None,
+                   help="run journal location (default: $GMAP_JOURNAL_DIR "
+                        "or <cache-dir>/journal)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-chunk watchdog for parallel sweeps; a hung "
+                        "chunk is torn down and retried")
+    p.add_argument("--retries", type=int, default=2,
+                   help="retries per failing chunk before it is quarantined "
+                        "as a ChunkFailure (default: 2)")
     _add_common(p)
 
     return parser
@@ -315,13 +334,24 @@ def _cmd_validate(args) -> int:
     names = args.benchmarks or list(suite.PAPER_SUITE)
     kernels = [suite.make(name, scale=args.scale) for name in names]
     jobs = args.jobs if args.jobs is not None else (args.workers or 1)
+    resume = args.resume is not None
+    run_id = args.resume if resume and args.resume != "auto" else args.run_id
+    use_journal = not args.no_journal
+    if args.no_journal and resume:
+        raise SystemExit("--resume requires the journal; drop --no-journal")
     report = run_experiment(
         kernels, configs, metric, seed=args.seed, num_cores=args.cores,
         jobs=jobs, use_cache=not args.no_cache, cache_dir=args.cache_dir,
+        timeout=args.timeout, retries=args.retries,
+        journal=use_journal, journal_dir=args.journal_dir,
+        run_id=run_id, resume=resume,
     )
     print(f"{spec.figure} ({spec.description}): metric={metric}, "
           f"{len(configs)} configs x {len(kernels)} benchmarks, "
           f"jobs={jobs}, cache={'off' if args.no_cache else 'on'}")
+    if report.run_id:
+        print(f"run id: {report.run_id} "
+              f"(resume an interrupted run with --resume {report.run_id})")
     print(f"paper reports: error {spec.paper_error}, "
           f"correlation {spec.paper_correlation}")
     print(report.format_table())
@@ -342,8 +372,14 @@ def _cmd_validate(args) -> int:
                         f"avg correlation {spec.paper_correlation} on this "
                         f"experiment."),
             path=args.html,
+            failures=report.failures,
         )
         print(f"wrote {args.html}")
+    if report.is_partial:
+        from repro.validation.report import render_failure_summary
+        print(render_failure_summary(report.failures, len(configs),
+                                     len(kernels)))
+        return 3
     return 0
 
 

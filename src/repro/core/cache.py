@@ -13,9 +13,12 @@ influences the artifact (kernel fingerprint, generation seed, scale factor,
 stride model, core count, residency bound, profiling granularity — and, for
 result pairs, the full simulator configuration).  Any input change produces
 a different key, so the cache never needs invalidation, only garbage
-collection.  A corrupted or truncated entry is treated as a miss and
-recomputed; writes are atomic (temp file + rename) so concurrent sweep
-workers can share one cache directory.
+collection.  Every entry additionally embeds a checksum over its payload; a
+corrupted, truncated, or checksum-failing entry is *quarantined* (moved to
+``quarantine/`` for post-mortem) and treated as a miss, so the artifact is
+rebuilt from source rather than crashing the sweep or poisoning it with a
+silently-wrong value.  Writes are atomic (temp file + rename) so concurrent
+sweep workers can share one cache directory.
 
 The cache directory resolves, in order: an explicit ``cache_dir`` argument,
 the ``GMAP_CACHE_DIR`` environment variable, ``~/.cache/gmap``.
@@ -33,6 +36,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.core.integrity import (
+    payload_checksum,
+    quarantine_file,
+    verify_payload,
+)
 from repro.core.profile import GmapProfile
 from repro.gpu.executor import CoreAssignment, WarpTrace
 from repro.memsim.config import SimConfig
@@ -41,7 +49,8 @@ from repro.memsim.stats import CacheStats, DramStats, SimResult
 PathLike = Union[str, Path]
 
 #: Bump whenever the payload layout changes; stale entries then simply miss.
-CACHE_SCHEMA_VERSION = 1
+#: v2 added the embedded payload checksum.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache location.
 ENV_CACHE_DIR = "GMAP_CACHE_DIR"
@@ -182,11 +191,13 @@ class CacheCounters:
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    quarantined: int = 0
 
     def to_dict(self) -> dict:
         return {
             "hits": self.hits, "misses": self.misses,
             "stores": self.stores, "errors": self.errors,
+            "quarantined": self.quarantined,
         }
 
 
@@ -249,6 +260,11 @@ class ArtifactCache:
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:2] / f"{key}.json.gz"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry aside so it is rebuilt, not re-tripped-over."""
+        quarantine_file(path, self.root / "quarantine")
+        self.counters.quarantined += 1
+
     def _load(self, kind: str, key: str) -> Optional[dict]:
         path = self._path(kind, key)
         try:
@@ -261,8 +277,15 @@ class ArtifactCache:
             self.counters.misses += 1
             return None
         except Exception:
-            # Corrupted/truncated entry: treat as a miss, recompute.
+            # Corrupted/truncated entry: quarantine, treat as a miss.
             self.counters.errors += 1
+            self._quarantine(path)
+            return None
+        if not verify_payload(payload):
+            # Well-formed JSON whose content was tampered with or bit-rotted
+            # — the dangerous case: without the checksum it would be served.
+            self.counters.errors += 1
+            self._quarantine(path)
             return None
         self.counters.hits += 1
         return payload
@@ -270,6 +293,7 @@ class ArtifactCache:
     def _store(self, kind: str, key: str, payload: dict) -> None:
         path = self._path(kind, key)
         payload = dict(payload, schema=CACHE_SCHEMA_VERSION)
+        payload["checksum"] = payload_checksum(payload)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")

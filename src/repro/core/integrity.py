@@ -1,0 +1,82 @@
+"""Artifact integrity primitives: checksums and corrupt-file quarantine.
+
+Long sweep campaigns read and write many on-disk artifacts — traces,
+profiles, cache entries, run-journal chunks.  On an unreliable fleet machine
+any of them can be truncated or bit-flipped, and a silently-wrong artifact
+is worse than a missing one.  Every artifact therefore carries a SHA-256
+checksum over its canonical content; a reader that finds a mismatch either
+raises :class:`CorruptArtifactError` (for user-supplied inputs, which have
+no source to rebuild from) or quarantines the file and recomputes (for
+derived artifacts such as cache and journal entries).
+
+Quarantined files are *moved*, not deleted, so a corruption incident leaves
+evidence for post-mortem inspection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class CorruptArtifactError(ValueError):
+    """An on-disk artifact failed its integrity check.
+
+    Raised for inputs that cannot be rebuilt (externally supplied traces and
+    profiles); derived artifacts are quarantined and recomputed instead.
+    """
+
+
+def payload_checksum(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical (sorted, compact) JSON form of a payload.
+
+    Any ``checksum`` key already present is excluded, so the digest can be
+    verified against a payload that embeds its own checksum.
+    """
+    scrubbed = {k: v for k, v in payload.items() if k not in ("checksum", "_checksum")}
+    blob = json.dumps(scrubbed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def text_checksum(text: str) -> str:
+    """SHA-256 over a text artifact's body."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def verify_payload(payload: Dict[str, Any], *, key: str = "checksum") -> bool:
+    """True iff the payload's embedded checksum matches its content.
+
+    Payloads without an embedded checksum pass (legacy artifacts predate
+    checksumming); a present-but-wrong checksum fails.
+    """
+    stored = payload.get(key)
+    if stored is None:
+        return True
+    return stored == payload_checksum(payload)
+
+
+def quarantine_file(path: PathLike, quarantine_dir: PathLike) -> Optional[Path]:
+    """Move a corrupt file into ``quarantine_dir``; best-effort, never raises.
+
+    Returns the quarantined path, or None when the move failed (read-only
+    filesystem, concurrent removal) — callers treat both outcomes as "the
+    bad file is out of the way".
+    """
+    path = Path(path)
+    quarantine_dir = Path(quarantine_dir)
+    try:
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = quarantine_dir / path.name
+        os.replace(path, target)
+        return target
+    except OSError:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None

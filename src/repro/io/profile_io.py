@@ -4,6 +4,12 @@ A :class:`~repro.core.profile.GmapProfile` round-trips through JSON (human
 auditable: the owner can verify no raw addresses beyond the — optionally
 obfuscated — base addresses leave the building).  Files may be gzipped by
 giving the path a ``.gz`` suffix.
+
+Saved files embed a ``_checksum`` field (SHA-256 over the canonical payload)
+so a profile damaged in transit fails loudly at load with
+:class:`~repro.core.integrity.CorruptArtifactError` instead of feeding the
+generator corrupted statistics; files without the field (written before
+checksumming existed, or hand-edited deliberately) still load.
 """
 
 from __future__ import annotations
@@ -13,20 +19,30 @@ import json
 from pathlib import Path
 from typing import Union
 
+from repro.core.integrity import (
+    CorruptArtifactError,
+    payload_checksum,
+    verify_payload,
+)
 from repro.core.profile import GmapProfile
 
 PathLike = Union[str, Path]
 
 
-def save_profile(profile: GmapProfile, path: PathLike, indent: int = 2) -> None:
-    """Write a profile to a JSON (or .gz) file."""
-    path = Path(path)
-    payload = json.dumps(profile.to_dict(), indent=indent, sort_keys=True)
+def _write_json(payload: dict, path: Path, indent: int) -> None:
+    payload = dict(payload)
+    payload["_checksum"] = payload_checksum(payload)
+    text = json.dumps(payload, indent=indent, sort_keys=True)
     if path.suffix == ".gz":
         with gzip.open(path, "wt", encoding="utf-8") as fh:
-            fh.write(payload)
+            fh.write(text)
     else:
-        path.write_text(payload, encoding="utf-8")
+        path.write_text(text, encoding="utf-8")
+
+
+def save_profile(profile: GmapProfile, path: PathLike, indent: int = 2) -> None:
+    """Write a profile to a JSON (or .gz) file."""
+    _write_json(profile.to_dict(), Path(path), indent)
 
 
 def load_profile(path: PathLike) -> GmapProfile:
@@ -36,13 +52,7 @@ def load_profile(path: PathLike) -> GmapProfile:
 
 def save_application_profile(profile, path: PathLike, indent: int = 2) -> None:
     """Write a multi-kernel :class:`ApplicationProfile` to JSON (or .gz)."""
-    path = Path(path)
-    payload = json.dumps(profile.to_dict(), indent=indent, sort_keys=True)
-    if path.suffix == ".gz":
-        with gzip.open(path, "wt", encoding="utf-8") as fh:
-            fh.write(payload)
-    else:
-        path.write_text(payload, encoding="utf-8")
+    _write_json(profile.to_dict(), Path(path), indent)
 
 
 def load_application_profile(path: PathLike):
@@ -57,5 +67,14 @@ def _read_json(path: PathLike) -> dict:
     path = Path(path)
     if path.suffix == ".gz":
         with gzip.open(path, "rt", encoding="utf-8") as fh:
-            return json.load(fh)
-    return json.loads(path.read_text(encoding="utf-8"))
+            payload = json.load(fh)
+    else:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    if not verify_payload(payload, key="_checksum"):
+        raise CorruptArtifactError(
+            f"{path}: profile checksum mismatch — file is truncated or "
+            f"corrupted; re-export it from its source (delete the "
+            f"'_checksum' field to load a deliberately edited profile)"
+        )
+    payload.pop("_checksum", None)
+    return payload

@@ -18,6 +18,11 @@ Format (``gmap-ttrace v1``)::
   multi-dimensional launches are linearised by the producer);
 * lines may appear in any order; per-thread order is preserved as given;
 * ``<tid> SYNC`` records a barrier for that thread.
+
+Files written by :func:`save_thread_traces` end with a ``# sha256``
+trailer verified at load (files without it — e.g. from external producers
+— still load), raising
+:class:`~repro.core.integrity.CorruptArtifactError` on a mismatch.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
 from repro.core.coalescing import CoalescingModel
+from repro.core.integrity import CorruptArtifactError, text_checksum
 from repro.gpu.executor import WarpTrace, lockstep_warp_trace
 from repro.gpu.hierarchy import LaunchConfig
 from repro.gpu.instructions import AccessTuple, pack, sync_marker
@@ -35,6 +41,7 @@ from repro.gpu.instructions import AccessTuple, pack, sync_marker
 PathLike = Union[str, Path]
 
 _MAGIC = re.compile(r"^# gmap-ttrace v1 grid=(\d+) block=(\d+)\s*$")
+_CHECKSUM_PREFIX = "# sha256 "
 
 
 def save_thread_traces(
@@ -52,7 +59,8 @@ def save_thread_traces(
             else:
                 rw = "W" if is_store else "R"
                 lines.append(f"{tid} {pc:#x} {address:#x} {size} {rw}")
-    payload = "\n".join(lines) + "\n"
+    body = "\n".join(lines) + "\n"
+    payload = body + f"{_CHECKSUM_PREFIX}{text_checksum(body)}\n"
     path = Path(path)
     if path.suffix == ".gz":
         with gzip.open(path, "wt", encoding="utf-8") as fh:
@@ -81,6 +89,7 @@ def load_thread_traces(
         )
     launch = LaunchConfig(grid_dim=int(header.group(1)),
                           block_dim=int(header.group(2)))
+    _verify_checksum(path, lines)
     traces: Dict[int, List[AccessTuple]] = {}
     for lineno, line in enumerate(lines[1:], start=2):
         line = line.strip()
@@ -107,6 +116,26 @@ def load_thread_traces(
         [traces.get(tid, []) for tid in range(launch.total_threads)],
         launch,
     )
+
+
+def _verify_checksum(path: Path, lines: List[str]) -> None:
+    """Check the ``# sha256`` trailer, if the file carries one."""
+    trailer = None
+    for index in range(len(lines) - 1, 0, -1):
+        if lines[index].startswith(_CHECKSUM_PREFIX):
+            trailer = index
+            break
+        if lines[index].strip():
+            return  # data after the last comment: external file, no trailer
+    if trailer is None:
+        return
+    stored = lines[trailer][len(_CHECKSUM_PREFIX):].strip()
+    body = "\n".join(lines[:trailer]) + "\n"
+    if text_checksum(body) != stored:
+        raise CorruptArtifactError(
+            f"{path}: thread-trace checksum mismatch — file is truncated "
+            f"or corrupted; re-export it from its source"
+        )
 
 
 def warp_traces_from_thread_file(

@@ -16,6 +16,13 @@ Format (one file per kernel)::
 ``W`` starts a warp, ``I`` records one dynamic instruction (PC and its
 coalescing degree), ``T`` one transaction.  ``I`` lines are optional — when
 absent, each transaction is treated as its own instruction instance.
+
+Files written by :func:`save_warp_traces` end with a ``# sha256 <digest>``
+trailer over everything before it; :func:`load_warp_traces` verifies it
+when present (older files without the trailer still load), raising
+:class:`~repro.core.integrity.CorruptArtifactError` on a mismatch — a
+truncated or bit-flipped trace must fail loudly, not feed the profiler
+silently-wrong statistics.
 """
 
 from __future__ import annotations
@@ -24,11 +31,13 @@ import gzip
 from pathlib import Path
 from typing import List, Union
 
+from repro.core.integrity import CorruptArtifactError, text_checksum
 from repro.gpu.executor import WarpTrace
 
 PathLike = Union[str, Path]
 
 _MAGIC = "# gmap-trace v1"
+_CHECKSUM_PREFIX = "# sha256 "
 
 
 def save_warp_traces(traces: List[WarpTrace], path: PathLike) -> None:
@@ -41,7 +50,8 @@ def save_warp_traces(traces: List[WarpTrace], path: PathLike) -> None:
         for pc, address, size, is_store in trace.transactions:
             rw = "W" if is_store else "R"
             lines.append(f"T {pc:#x} {address:#x} {size} {rw}")
-    payload = "\n".join(lines) + "\n"
+    body = "\n".join(lines) + "\n"
+    payload = body + f"{_CHECKSUM_PREFIX}{text_checksum(body)}\n"
     path = Path(path)
     if path.suffix == ".gz":
         with gzip.open(path, "wt", encoding="utf-8") as fh:
@@ -61,6 +71,7 @@ def load_warp_traces(path: PathLike) -> List[WarpTrace]:
     lines = text.splitlines()
     if not lines or lines[0].strip() != _MAGIC:
         raise ValueError(f"{path}: not a gmap-trace v1 file")
+    _verify_trace_checksum(path, lines)
     traces: List[WarpTrace] = []
     current: WarpTrace | None = None
     for lineno, line in enumerate(lines[1:], start=2):
@@ -95,3 +106,23 @@ def load_warp_traces(path: PathLike) -> List[WarpTrace]:
                 (pc, 1) for pc, *_ in trace.transactions
             ]
     return traces
+
+
+def _verify_trace_checksum(path: Path, lines: List[str]) -> None:
+    """Check the ``# sha256`` trailer, if the file carries one."""
+    trailer = None
+    for index in range(len(lines) - 1, 0, -1):
+        if lines[index].startswith(_CHECKSUM_PREFIX):
+            trailer = index
+            break
+        if lines[index].strip():
+            return  # data after the last comment: legacy file, no trailer
+    if trailer is None:
+        return
+    stored = lines[trailer][len(_CHECKSUM_PREFIX):].strip()
+    body = "\n".join(lines[:trailer]) + "\n"
+    if text_checksum(body) != stored:
+        raise CorruptArtifactError(
+            f"{path}: trace checksum mismatch — file is truncated or "
+            f"corrupted; re-export it from its source"
+        )

@@ -39,21 +39,37 @@ class ExperimentSpec:
         num_cores: int = 15,
         use_cache: bool = False,
         cache_dir=None,
+        timeout=None,
+        retries: int = 2,
+        journal=None,
+        journal_dir=None,
+        run_id=None,
+        resume: bool = False,
     ):
         """Evaluate this experiment's sweep over ``kernels``.
 
         ``jobs`` > 1 fans sweep points over the parallel sweep engine
         (:class:`~repro.validation.parallel.SweepRunner`); ``use_cache``
-        enables the on-disk artifact cache.  Returns an
-        :class:`~repro.validation.harness.ExperimentReport`.
+        enables the on-disk artifact cache.  The resilience knobs
+        (``timeout``, ``retries``, ``journal``/``run_id``/``journal_dir``,
+        ``resume``) are forwarded to the runner.  Returns an
+        :class:`~repro.validation.harness.ExperimentReport` (possibly
+        partial — check ``report.is_partial``).
         """
         from repro.validation.parallel import SweepRunner
 
-        runner = SweepRunner(jobs=jobs, use_cache=use_cache, cache_dir=cache_dir)
-        return runner.run_experiment(
+        runner = SweepRunner(
+            jobs=jobs, use_cache=use_cache, cache_dir=cache_dir,
+            timeout=timeout, retries=retries,
+            journal=journal, journal_dir=journal_dir, run_id=run_id,
+            resume=resume,
+        )
+        report = runner.run_experiment(
             kernels, self.configs(reduced=reduced), self.metric,
             seed=seed, num_cores=num_cores,
         )
+        report.run_id = runner.last_run_id
+        return report
 
 
 EXPERIMENTS: Dict[str, ExperimentSpec] = {

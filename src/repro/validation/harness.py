@@ -25,6 +25,7 @@ from repro.memsim.config import SimConfig
 from repro.memsim.simulator import SimtSimulator
 from repro.memsim.stats import SimResult
 from repro.validation.metrics import SweepComparison
+from repro.validation.resilience import ChunkFailure
 from repro.workloads.base import KernelModel
 
 
@@ -185,10 +186,20 @@ def simulate_pair(
 
 @dataclass
 class SweepResult:
-    """All per-configuration pairs of one benchmark's sweep."""
+    """All per-configuration pairs of one benchmark's sweep.
+
+    ``failures`` records chunks that exhausted their retries under the
+    resilient sweep engine — the sweep is then *partial*: ``pairs`` holds
+    only the configurations that completed.
+    """
 
     benchmark: str
     pairs: List[RunPair] = field(default_factory=list)
+    failures: List[ChunkFailure] = field(default_factory=list)
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.failures)
 
     def comparison(self, metric: str) -> SweepComparison:
         return SweepComparison(
@@ -214,10 +225,21 @@ def run_sweep(
 
 @dataclass
 class ExperimentReport:
-    """Aggregated per-benchmark and overall statistics for one experiment."""
+    """Aggregated per-benchmark and overall statistics for one experiment.
+
+    ``failures`` carries every quarantined chunk of the underlying sweeps;
+    a report with failures is *partial* and must not be presented as a
+    complete campaign (``gmap validate`` exits nonzero on it).
+    """
 
     metric: str
     comparisons: List[SweepComparison]
+    failures: List[ChunkFailure] = field(default_factory=list)
+    run_id: Optional[str] = None
+
+    @property
+    def is_partial(self) -> bool:
+        return bool(self.failures)
 
     @property
     def mean_error(self) -> float:
@@ -255,6 +277,12 @@ def run_experiment(
     jobs: Optional[int] = None,
     use_cache: bool = False,
     cache_dir=None,
+    timeout: Optional[float] = None,
+    retries: int = 2,
+    journal=None,
+    journal_dir=None,
+    run_id: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentReport:
     """The full per-figure evaluation loop: all benchmarks x all configs.
 
@@ -264,13 +292,24 @@ def run_experiment(
     seeded).  ``workers`` is the historical alias for ``jobs`` and is used
     when ``jobs`` is not given.  ``use_cache`` enables the on-disk artifact
     cache (``cache_dir`` overrides its location).
+
+    The resilience knobs (``timeout``, ``retries``, ``journal``/``run_id``/
+    ``journal_dir``, ``resume``) are forwarded to the sweep engine — see
+    :class:`~repro.validation.parallel.SweepRunner`.  The resolved run id is
+    available afterwards on the returned report as ``report.run_id`` when
+    journaling was active.
     """
     from repro.validation.parallel import SweepRunner
 
     effective_jobs = jobs if jobs is not None else (workers or 1)
     runner = SweepRunner(
-        jobs=effective_jobs, use_cache=use_cache, cache_dir=cache_dir
+        jobs=effective_jobs, use_cache=use_cache, cache_dir=cache_dir,
+        timeout=timeout, retries=retries,
+        journal=journal, journal_dir=journal_dir, run_id=run_id,
+        resume=resume,
     )
-    return runner.run_experiment(
+    report = runner.run_experiment(
         kernels, configs, metric, seed=seed, num_cores=num_cores
     )
+    report.run_id = runner.last_run_id
+    return report

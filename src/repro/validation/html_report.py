@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.validation.metrics import SweepComparison
+from repro.validation.resilience import ChunkFailure, summarize_failures
 
 PathLike = Union[str, Path]
 
@@ -30,6 +31,9 @@ td:first-child, th:first-child { text-align: left; }
 .note { color: #4a4e69; font-size: .88rem; }
 .paper { background: #eef3f8; border-left: 4px solid #4a6fa5;
          padding: .5rem .9rem; margin: .8rem 0; font-size: .9rem; }
+.partial { background: #fdf0ed; border-left: 4px solid #c0392b;
+           padding: .5rem .9rem; margin: .8rem 0; font-size: .9rem;
+           color: #7b241c; }
 svg { margin: .6rem 0; }
 """
 
@@ -63,6 +67,36 @@ class HtmlReport:
     def add_paper_note(self, text: str) -> None:
         """Add a highlighted 'the paper reports ...' callout."""
         self._body.append(f'<div class="paper">{_escape(text)}</div>')
+
+    def add_failure_section(
+        self, failures: Sequence[ChunkFailure]
+    ) -> None:
+        """A loud PARTIAL-RESULT callout plus a per-chunk failure table.
+
+        Added whenever the resilient sweep engine quarantined chunks, so an
+        HTML report can never present partial data as a complete campaign.
+        """
+        if not failures:
+            return
+        self._body.append(
+            '<div class="partial">PARTIAL RESULT: '
+            f"{len(failures)} sweep chunk(s) were quarantined "
+            f"({_escape(summarize_failures(failures))}); the tables and "
+            "charts above are missing those configurations.</div>"
+        )
+        self.add_table(
+            ["benchmark", "configs", "failure kind", "attempts", "error"],
+            [
+                [
+                    f.benchmark,
+                    f"[{f.config_offset}:{f.config_offset + f.num_configs}]",
+                    f.kind,
+                    f.attempts,
+                    f.message,
+                ]
+                for f in failures
+            ],
+        )
 
     def add_table(self, headers: Sequence[str], rows: Sequence[Sequence]) -> None:
         """Add a table; cells are escaped, floats formatted to 4 digits."""
@@ -211,10 +245,13 @@ def experiment_html_report(
     comparisons: Sequence[SweepComparison],
     paper_note: str = "",
     path: Optional[PathLike] = None,
+    failures: Optional[Sequence[ChunkFailure]] = None,
 ) -> str:
     """Convenience: one-experiment report; optionally saved to ``path``."""
     report = HtmlReport(title)
     report.add_comparison_section(title, comparisons, paper_note)
+    if failures:
+        report.add_failure_section(failures)
     document = report.render()
     if path is not None:
         Path(path).write_text(document, encoding="utf-8")

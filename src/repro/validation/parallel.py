@@ -15,6 +15,18 @@ cache enabled (``use_cache=True``) even the first build in each worker is a
 disk read.  Results are reassembled in submission order, so a ``jobs=N``
 run is bit-identical to ``jobs=1``.
 
+Long campaigns treat partial failure as the common case, so execution is
+wrapped in a resilience layer (:mod:`repro.validation.resilience`):
+
+* completed chunks are journaled to disk (``journal=``/``run_id=``) and a
+  ``resume=True`` run skips them, reassembling bit-identical results;
+* each chunk gets a watchdog ``timeout`` and up to ``retries`` retries with
+  exponential backoff; a crashed worker (broken pool) only re-runs the
+  chunks that had not finished, never the completed ones;
+* a chunk that fails every retry becomes a structured
+  :class:`~repro.validation.resilience.ChunkFailure` attached to the sweep
+  results instead of an unhandled exception aborting the campaign.
+
 A same-process fallback covers ``jobs=1``, single-task runs, and platforms
 where process pools fail (pickling restrictions, missing semaphores): the
 engine degrades to a plain loop with identical results.
@@ -23,14 +35,24 @@ engine degrades to a plain loop with identical results.
 from __future__ import annotations
 
 import pickle
+import time
 import uuid
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.cache import ArtifactCache, resolve_cache
+from repro.core.cache import (
+    ArtifactCache,
+    config_fingerprint,
+    kernel_fingerprint,
+    resolve_cache,
+    sim_result_from_payload,
+    sim_result_to_payload,
+)
+from repro.core.integrity import CorruptArtifactError
 from repro.memsim.config import SimConfig
 from repro.validation.harness import (
     BenchmarkPipeline,
@@ -40,7 +62,23 @@ from repro.validation.harness import (
     build_pipeline,
     simulate_pair,
 )
+from repro.validation.resilience import (
+    FAILURE_CORRUPT_ARTIFACT,
+    FAILURE_SIMULATION_ERROR,
+    FAILURE_TIMEOUT,
+    FAILURE_WORKER_CRASH,
+    ChunkExecutionError,
+    ChunkFailure,
+    RunJournal,
+    derive_run_id,
+    maybe_corrupt_artifact,
+    maybe_inject_worker_fault,
+)
 from repro.workloads.base import KernelModel
+
+#: Broken process pools are rebuilt at most this many times before the
+#: engine falls back to in-process execution for the remaining chunks.
+MAX_POOL_REBUILDS = 3
 
 
 @dataclass(frozen=True)
@@ -62,6 +100,10 @@ class _SweepChunk:
     cache_dir: Optional[str]
 
 
+def _chunk_id(chunk: _SweepChunk) -> Tuple[int, int]:
+    return chunk.kernel_index, chunk.config_offset
+
+
 #: Per-worker-process pipeline memo, keyed by (run token, kernel index) and
 #: LRU-bounded so long multi-benchmark sweeps don't hold every trace set.
 _WORKER_PIPELINES: "OrderedDict[Tuple[str, int], BenchmarkPipeline]" = OrderedDict()
@@ -73,33 +115,76 @@ def _chunk_cache(chunk: _SweepChunk) -> Optional[ArtifactCache]:
 
 
 def _run_chunk(chunk: _SweepChunk) -> Tuple[int, int, List[RunPair]]:
-    """Worker body: build (or reuse) the pipeline, simulate the slice."""
-    memo_key = (chunk.run_token, chunk.kernel_index)
-    pipeline = _WORKER_PIPELINES.get(memo_key)
-    if pipeline is None:
-        pipeline = build_pipeline(
-            chunk.kernel,
-            num_cores=chunk.num_cores,
-            max_blocks_per_core=chunk.max_blocks_per_core,
-            seed=chunk.seed,
-            scale_factor=chunk.scale_factor,
-            stride_model=chunk.stride_model,
-            cache=_chunk_cache(chunk),
-        )
-        _WORKER_PIPELINES[memo_key] = pipeline
-        while len(_WORKER_PIPELINES) > _WORKER_PIPELINE_CAP:
-            _WORKER_PIPELINES.popitem(last=False)
-    else:
-        _WORKER_PIPELINES.move_to_end(memo_key)
-    cache = _chunk_cache(chunk)
-    pairs = [
-        simulate_pair(
-            pipeline, config,
-            track_scheduling=chunk.track_scheduling, cache=cache,
-        )
-        for config in chunk.configs
+    """Worker body: build (or reuse) the pipeline, simulate the slice.
+
+    Any exception is re-raised as a :class:`ChunkExecutionError` carrying
+    the benchmark name, config offset, and seed, so a failure deep inside a
+    worker is attributable without scraping pool tracebacks.
+    """
+    try:
+        maybe_inject_worker_fault(chunk.kernel_index, chunk.config_offset)
+        memo_key = (chunk.run_token, chunk.kernel_index)
+        pipeline = _WORKER_PIPELINES.get(memo_key)
+        if pipeline is None:
+            pipeline = build_pipeline(
+                chunk.kernel,
+                num_cores=chunk.num_cores,
+                max_blocks_per_core=chunk.max_blocks_per_core,
+                seed=chunk.seed,
+                scale_factor=chunk.scale_factor,
+                stride_model=chunk.stride_model,
+                cache=_chunk_cache(chunk),
+            )
+            _WORKER_PIPELINES[memo_key] = pipeline
+            while len(_WORKER_PIPELINES) > _WORKER_PIPELINE_CAP:
+                _WORKER_PIPELINES.popitem(last=False)
+        else:
+            _WORKER_PIPELINES.move_to_end(memo_key)
+        cache = _chunk_cache(chunk)
+        pairs = [
+            simulate_pair(
+                pipeline, config,
+                track_scheduling=chunk.track_scheduling, cache=cache,
+            )
+            for config in chunk.configs
+        ]
+        return chunk.kernel_index, chunk.config_offset, pairs
+    except ChunkExecutionError:
+        raise
+    except Exception as exc:
+        kind = (FAILURE_CORRUPT_ARTIFACT
+                if isinstance(exc, CorruptArtifactError)
+                else FAILURE_SIMULATION_ERROR)
+        raise ChunkExecutionError(
+            chunk.kernel.name, chunk.kernel_index, chunk.config_offset,
+            chunk.seed, f"{type(exc).__name__}: {exc}", failure_kind=kind,
+        ) from exc
+
+
+def _pairs_to_entries(pairs: Sequence[RunPair]) -> List[dict]:
+    """Journal form of a chunk's result pairs (inverse of ``_entries_to_pairs``)."""
+    return [
+        {
+            "config": config_fingerprint(pair.config),
+            "original": sim_result_to_payload(pair.original),
+            "proxy": sim_result_to_payload(pair.proxy),
+        }
+        for pair in pairs
     ]
-    return chunk.kernel_index, chunk.config_offset, pairs
+
+
+def _entries_to_pairs(
+    entries: Sequence[dict], configs: Sequence[SimConfig]
+) -> List[RunPair]:
+    """Rebuild RunPairs from journal entries against the live config objects."""
+    return [
+        RunPair(
+            config=config,
+            original=sim_result_from_payload(entry["original"]),
+            proxy=sim_result_from_payload(entry["proxy"]),
+        )
+        for entry, config in zip(entries, configs)
+    ]
 
 
 class SweepRunner:
@@ -111,6 +196,29 @@ class SweepRunner:
     each worker still amortizes its pipeline across many configs.
     ``use_cache``/``cache_dir`` enable the content-addressed artifact cache
     for pipelines and per-configuration result pairs.
+
+    Resilience knobs:
+
+    ``timeout``
+        per-chunk watchdog in seconds (pool mode only); a chunk exceeding
+        it is classified ``timeout``, the hung worker is torn down, and the
+        chunk is retried.  ``None`` disables the watchdog.
+    ``retries``
+        how many times a failing chunk is re-executed before it is
+        quarantined as a :class:`ChunkFailure` (default 2).
+    ``retry_backoff``
+        base of the exponential inter-round backoff, in seconds.
+    ``journal`` / ``journal_dir`` / ``run_id``
+        ``journal=True`` (or a :class:`RunJournal`) checkpoints every
+        completed chunk on disk under ``run_id`` (derived deterministically
+        from the sweep inputs when not given; the resolved id is exposed as
+        ``last_run_id`` after :meth:`run`).
+    ``resume``
+        skip chunks already present in the journal, reassembling results
+        bit-identical to an uninterrupted run.
+    ``fault_injector``
+        test hook: a callable invoked with each chunk before in-process
+        execution; exceptions it raises flow through the retry machinery.
     """
 
     def __init__(
@@ -120,16 +228,38 @@ class SweepRunner:
         use_cache: bool = False,
         cache_dir=None,
         track_scheduling: bool = True,
+        timeout: Optional[float] = None,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
+        journal: Union[None, bool, RunJournal] = None,
+        journal_dir=None,
+        run_id: Optional[str] = None,
+        resume: bool = False,
+        fault_injector: Optional[Callable[[_SweepChunk], None]] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.jobs = jobs
         self.chunk_size = chunk_size
         self.use_cache = use_cache
         self.cache_dir = str(cache_dir) if cache_dir is not None else None
         self.track_scheduling = track_scheduling
+        self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.journal = journal
+        self.journal_dir = journal_dir
+        self.run_id = run_id
+        self.resume = resume
+        self.fault_injector = fault_injector
+        #: Resolved after :meth:`run` when journaling was active.
+        self.last_run_id: Optional[str] = None
 
     # -- task construction --------------------------------------------------
 
@@ -144,6 +274,36 @@ class SweepRunner:
         per_kernel = max(1, -(-total_target // max(1, num_kernels)))
         return max(1, -(-num_configs // per_kernel))
 
+    def _sweep_manifest(
+        self,
+        kernels: Sequence[KernelModel],
+        configs: Sequence[SimConfig],
+        seed: int,
+        num_cores: int,
+        max_blocks_per_core: int,
+        scale_factor: float,
+        stride_model: str,
+    ) -> Dict[str, object]:
+        return {
+            "kernels": [kernel_fingerprint(k) for k in kernels],
+            "benchmarks": [k.name for k in kernels],
+            "configs": [config_fingerprint(c) for c in configs],
+            "seed": seed,
+            "num_cores": num_cores,
+            "max_blocks_per_core": max_blocks_per_core,
+            "scale_factor": scale_factor,
+            "stride_model": stride_model,
+            "track_scheduling": self.track_scheduling,
+        }
+
+    def _resolve_journal(self, manifest: Dict[str, object]) -> Optional[RunJournal]:
+        if isinstance(self.journal, RunJournal):
+            return self.journal
+        if not self.journal and self.run_id is None and not self.resume:
+            return None
+        run_id = self.run_id or derive_run_id(manifest)
+        return RunJournal(run_id, self.journal_dir)
+
     def _build_chunks(
         self,
         kernels: Sequence[KernelModel],
@@ -153,9 +313,12 @@ class SweepRunner:
         max_blocks_per_core: int,
         scale_factor: float,
         stride_model: str,
+        chunk_size: Optional[int] = None,
+        run_token: Optional[str] = None,
     ) -> List[_SweepChunk]:
-        run_token = uuid.uuid4().hex
-        chunk_size = self._effective_chunk_size(len(kernels), len(configs))
+        run_token = run_token or uuid.uuid4().hex
+        if chunk_size is None:
+            chunk_size = self._effective_chunk_size(len(kernels), len(configs))
         configs = tuple(configs)
         chunks = []
         for kernel_index, kernel in enumerate(kernels):
@@ -179,17 +342,180 @@ class SweepRunner:
 
     # -- execution ----------------------------------------------------------
 
-    def _execute(self, chunks: List[_SweepChunk]) -> List[Tuple[int, int, List[RunPair]]]:
-        if self.jobs == 1 or len(chunks) <= 1:
-            return [_run_chunk(chunk) for chunk in chunks]
+    def _backoff(self, round_index: int) -> None:
+        if self.retry_backoff > 0:
+            time.sleep(min(self.retry_backoff * (2 ** round_index), 2.0))
+
+    def _run_chunk_inprocess(self, chunk: _SweepChunk) -> List[RunPair]:
+        if self.fault_injector is not None:
+            self.fault_injector(chunk)
+        return _run_chunk(chunk)[2]
+
+    def _execute_serial(
+        self,
+        chunks: Sequence[_SweepChunk],
+        on_done: Callable[[_SweepChunk, List[RunPair]], None],
+        attempts: Dict[Tuple[int, int], int],
+    ) -> List[ChunkFailure]:
+        """In-process execution with the same retry/quarantine semantics."""
+        failures: List[ChunkFailure] = []
+        for chunk in chunks:
+            while True:
+                try:
+                    on_done(chunk, self._run_chunk_inprocess(chunk))
+                    break
+                except Exception as exc:
+                    cid = _chunk_id(chunk)
+                    attempts[cid] = attempts.get(cid, 0) + 1
+                    if attempts[cid] > self.retries:
+                        failures.append(self._chunk_failure(chunk, exc,
+                                                            attempts[cid]))
+                        break
+                    self._backoff(attempts[cid] - 1)
+        return failures
+
+    def _chunk_failure(
+        self, chunk: _SweepChunk, exc: Union[Exception, str], attempts: int,
+        kind: Optional[str] = None,
+    ) -> ChunkFailure:
+        if kind is None:
+            if isinstance(exc, ChunkExecutionError):
+                kind = exc.failure_kind
+            elif isinstance(exc, CorruptArtifactError):
+                kind = FAILURE_CORRUPT_ARTIFACT
+            elif isinstance(exc, (FuturesTimeoutError, TimeoutError)):
+                kind = FAILURE_TIMEOUT
+            elif isinstance(exc, BrokenProcessPool):
+                kind = FAILURE_WORKER_CRASH
+            else:
+                kind = FAILURE_SIMULATION_ERROR
+        return ChunkFailure(
+            benchmark=chunk.kernel.name,
+            kernel_index=chunk.kernel_index,
+            config_offset=chunk.config_offset,
+            num_configs=len(chunk.configs),
+            kind=kind,
+            message=str(exc) if str(exc) else type(exc).__name__,
+            attempts=attempts,
+            seed=chunk.seed,
+        )
+
+    @staticmethod
+    def _shutdown_pool(pool: ProcessPoolExecutor, force: bool) -> None:
+        """Tear a pool down; ``force`` first terminates hung workers."""
+        if force:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                try:
+                    proc.terminate()
+                except Exception:
+                    pass
         try:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-                return [future.result() for future in futures]
-        except (pickle.PicklingError, BrokenProcessPool, OSError):
-            # Pickling restrictions or missing process primitives: degrade
-            # to the same-process path, which is result-identical.
-            return [_run_chunk(chunk) for chunk in chunks]
+            pool.shutdown(wait=not force, cancel_futures=True)
+        except Exception:
+            pass
+
+    def _execute_pool(
+        self,
+        chunks: Sequence[_SweepChunk],
+        on_done: Callable[[_SweepChunk, List[RunPair]], None],
+        attempts: Dict[Tuple[int, int], int],
+    ) -> List[ChunkFailure]:
+        """Pool execution in rounds: each round submits the still-pending
+        chunks to a (fresh, if the previous one broke) pool, harvests every
+        completed future, and requeues only the incomplete ones — completed
+        work is never thrown away and never re-run.
+        """
+        failures: List[ChunkFailure] = []
+        pending: List[_SweepChunk] = list(chunks)
+        pool_rebuilds = 0
+        round_index = 0
+
+        def note_failure(chunk: _SweepChunk, exc, kind=None) -> None:
+            cid = _chunk_id(chunk)
+            attempts[cid] = attempts.get(cid, 0) + 1
+            if attempts[cid] > self.retries:
+                failures.append(
+                    self._chunk_failure(chunk, exc, attempts[cid], kind=kind))
+            else:
+                requeue.append(chunk)
+
+        while pending:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, len(pending)))
+            except OSError:
+                # Missing process primitives: degrade to the same-process
+                # path, which is result-identical.
+                failures.extend(
+                    self._execute_serial(pending, on_done, attempts))
+                return failures
+            futures = [(pool.submit(_run_chunk, chunk), chunk)
+                       for chunk in pending]
+            requeue: List[_SweepChunk] = []
+            serial_remainder: List[_SweepChunk] = []
+            degraded = False     # pool is unreliable; stop blocking on it
+            force_kill = False   # a worker is hung; terminate, don't join
+            crash_counted = False
+            for future, chunk in futures:
+                if degraded and not future.done():
+                    # Interrupted by the teardown, not at fault: requeue
+                    # without charging an attempt.
+                    requeue.append(chunk)
+                    continue
+                try:
+                    _, _, pairs = future.result(
+                        timeout=0 if degraded else self.timeout)
+                    on_done(chunk, pairs)
+                except FuturesTimeoutError as exc:
+                    degraded = force_kill = True
+                    note_failure(chunk, exc, kind=FAILURE_TIMEOUT)
+                except BrokenProcessPool as exc:
+                    degraded = True
+                    if not crash_counted:
+                        # Only the first broken future is charged an
+                        # attempt: the actual crasher is unknowable, and
+                        # charging every victim would burn innocent chunks'
+                        # retry budgets on one bad worker.
+                        crash_counted = True
+                        note_failure(chunk, exc, kind=FAILURE_WORKER_CRASH)
+                    else:
+                        requeue.append(chunk)
+                except CancelledError:
+                    requeue.append(chunk)
+                except (pickle.PicklingError, TypeError):
+                    # Unpicklable task or result: the pool can never run
+                    # this chunk; execute it in-process instead.
+                    serial_remainder.append(chunk)
+                except ChunkExecutionError as exc:
+                    note_failure(chunk, exc)
+                except Exception as exc:
+                    note_failure(chunk, exc)
+            if degraded:
+                pool_rebuilds += 1
+            self._shutdown_pool(pool, force=force_kill)
+            if serial_remainder:
+                failures.extend(self._execute_serial(
+                    serial_remainder, on_done, attempts))
+            pending = requeue
+            if pending and pool_rebuilds >= MAX_POOL_REBUILDS:
+                # The pool keeps dying; finish in-process (crash isolation).
+                failures.extend(
+                    self._execute_serial(pending, on_done, attempts))
+                return failures
+            if pending:
+                self._backoff(round_index)
+                round_index += 1
+        return failures
+
+    def _execute(
+        self,
+        chunks: Sequence[_SweepChunk],
+        on_done: Callable[[_SweepChunk, List[RunPair]], None],
+    ) -> List[ChunkFailure]:
+        attempts: Dict[Tuple[int, int], int] = {}
+        if self.jobs == 1 or len(chunks) <= 1:
+            return self._execute_serial(chunks, on_done, attempts)
+        return self._execute_pool(chunks, on_done, attempts)
 
     def run(
         self,
@@ -205,21 +531,73 @@ class SweepRunner:
         """All benchmarks x all configs; one ordered SweepResult per kernel.
 
         Results are reassembled by (kernel, config) position, so they do not
-        depend on worker scheduling: ``jobs=N`` equals ``jobs=1`` exactly.
+        depend on worker scheduling: ``jobs=N`` equals ``jobs=1`` exactly —
+        and, with a journal, a resumed run equals an uninterrupted one.
+        Chunks that exhausted their retries surface as ``.failures`` on the
+        affected :class:`SweepResult` instead of raising.
         """
-        chunks = self._build_chunks(
+        manifest = self._sweep_manifest(
             kernels, configs, seed, num_cores, max_blocks_per_core,
             scale_factor, stride_model,
         )
-        outputs = self._execute(chunks)
+        journal = self._resolve_journal(manifest)
+        chunk_size = self._effective_chunk_size(len(kernels), len(configs))
+        run_token = None
+        if journal is not None:
+            self.last_run_id = journal.run_id
+            run_token = journal.run_id
+            manifest["chunk_size"] = chunk_size
+            effective = journal.ensure_manifest(manifest, resume=self.resume)
+            # Adopt the recorded chunk size so offsets line up on resume
+            # regardless of the current --jobs value.
+            chunk_size = int(effective.get("chunk_size", chunk_size))
+        chunks = self._build_chunks(
+            kernels, configs, seed, num_cores, max_blocks_per_core,
+            scale_factor, stride_model,
+            chunk_size=chunk_size, run_token=run_token,
+        )
+
+        results: Dict[Tuple[int, int], List[RunPair]] = {}
+        if journal is not None and self.resume:
+            for chunk in chunks:
+                entries = journal.load_chunk(
+                    chunk.kernel_index, chunk.config_offset,
+                    [config_fingerprint(c) for c in chunk.configs],
+                )
+                if entries is not None:
+                    results[_chunk_id(chunk)] = _entries_to_pairs(
+                        entries, chunk.configs)
+
+        def on_done(chunk: _SweepChunk, pairs: List[RunPair]) -> None:
+            results[_chunk_id(chunk)] = pairs
+            if journal is not None:
+                path = journal.record_chunk(
+                    chunk.kernel_index, chunk.config_offset,
+                    chunk.kernel.name, _pairs_to_entries(pairs),
+                )
+                maybe_corrupt_artifact(
+                    path, chunk.kernel_index, chunk.config_offset)
+
+        pending = [c for c in chunks if _chunk_id(c) not in results]
+        failures = self._execute(pending, on_done)
+
         by_kernel: Dict[int, List[Tuple[int, List[RunPair]]]] = {}
-        for kernel_index, offset, pairs in outputs:
+        for (kernel_index, offset), pairs in results.items():
             by_kernel.setdefault(kernel_index, []).append((offset, pairs))
+        failures_by_kernel: Dict[int, List[ChunkFailure]] = {}
+        for failure in failures:
+            failures_by_kernel.setdefault(failure.kernel_index, []).append(failure)
         sweeps = []
         for kernel_index, kernel in enumerate(kernels):
             pieces = sorted(by_kernel.get(kernel_index, []))
             pairs = [pair for _, chunk_pairs in pieces for pair in chunk_pairs]
-            sweeps.append(SweepResult(benchmark=kernel.name, pairs=pairs))
+            sweeps.append(SweepResult(
+                benchmark=kernel.name, pairs=pairs,
+                failures=sorted(
+                    failures_by_kernel.get(kernel_index, []),
+                    key=lambda f: f.config_offset,
+                ),
+            ))
         return sweeps
 
     def run_experiment(
@@ -244,6 +622,7 @@ class SweepRunner:
         return ExperimentReport(
             metric=metric,
             comparisons=[sweep.comparison(metric) for sweep in sweeps],
+            failures=[f for sweep in sweeps for f in sweep.failures],
         )
 
     def cache(self) -> Optional[ArtifactCache]:

@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.validation.metrics import SweepComparison
+from repro.validation.resilience import ChunkFailure, summarize_failures
 
 PathLike = Union[str, Path]
 
@@ -117,6 +118,30 @@ def render_two_series_chart(
             f"{x:>8g} {lv:>10.3f} {ascii_bar(lv, left_max, half):<{half}} "
             f"{rv:>10.3f} {ascii_bar(rv, right_max, half)}"
         )
+    return "\n".join(lines)
+
+
+def render_failure_summary(
+    failures: Sequence[ChunkFailure],
+    num_configs: int,
+    num_benchmarks: int,
+) -> str:
+    """A loud PARTIAL banner plus one line per quarantined chunk.
+
+    Rendered by ``gmap validate`` (which then exits nonzero) so a campaign
+    can never silently report partial data as a complete result.
+    """
+    if not failures:
+        return "COMPLETE: no chunks quarantined"
+    missing = sum(f.num_configs for f in failures)
+    total = num_configs * num_benchmarks
+    lines = [
+        f"PARTIAL: {len(failures)} chunk(s) quarantined "
+        f"({summarize_failures(failures)}); {missing}/{total} sweep points "
+        f"missing — results above are incomplete"
+    ]
+    for failure in failures:
+        lines.append(f"  - {failure.summary()}")
     return "\n".join(lines)
 
 

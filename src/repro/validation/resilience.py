@@ -1,0 +1,484 @@
+"""Resilience layer for sweep campaigns: journal, failures, fault injection.
+
+G-MAP validation is a campaign of long, embarrassingly-parallel sweeps; at
+fleet scale partial failure is the common case, not the exception.  This
+module provides the pieces the sweep engine composes into a crash-tolerant
+pipeline:
+
+* :class:`RunJournal` — an on-disk, checksummed, atomically-appended record
+  of every completed (kernel, config-chunk) result, so an interrupted
+  campaign resumes with ``--resume <run-id>`` instead of restarting;
+* :class:`ChunkFailure` — the structured record of a chunk that exhausted
+  its retries, classified by the error taxonomy below and surfaced in
+  results instead of aborting the campaign;
+* :class:`ChunkExecutionError` — worker exceptions wrapped with the failing
+  benchmark name, config offset and seed, picklable across the pool;
+* a deterministic fault-injection harness (``GMAP_FAULT_INJECT``) that can
+  kill, hang, fail or corrupt a chosen chunk so every recovery path is
+  exercised in CI.
+
+Error taxonomy
+--------------
+
+==================  =====================================================
+``timeout``         the chunk exceeded the per-chunk watchdog deadline
+``worker_crash``    the worker process died (broken process pool)
+``corrupt_artifact``an input artifact failed its integrity check
+``simulation_error``the simulation itself raised
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.cache import default_cache_dir
+from repro.core.integrity import (
+    CorruptArtifactError,
+    payload_checksum,
+    quarantine_file,
+    verify_payload,
+)
+
+PathLike = Union[str, Path]
+
+#: Bump whenever the journal layout changes; old runs then refuse to resume.
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default journal location.
+ENV_JOURNAL_DIR = "GMAP_JOURNAL_DIR"
+
+# -- error taxonomy ---------------------------------------------------------
+
+FAILURE_TIMEOUT = "timeout"
+FAILURE_WORKER_CRASH = "worker_crash"
+FAILURE_CORRUPT_ARTIFACT = "corrupt_artifact"
+FAILURE_SIMULATION_ERROR = "simulation_error"
+
+FAILURE_KINDS = (
+    FAILURE_TIMEOUT,
+    FAILURE_WORKER_CRASH,
+    FAILURE_CORRUPT_ARTIFACT,
+    FAILURE_SIMULATION_ERROR,
+)
+
+
+@dataclass
+class ChunkFailure:
+    """One chunk that failed every retry, kept as data instead of aborting.
+
+    ``kind`` is one of :data:`FAILURE_KINDS`; ``attempts`` counts how many
+    executions were tried before quarantining the chunk.
+    """
+
+    benchmark: str
+    kernel_index: int
+    config_offset: int
+    num_configs: int
+    kind: str
+    message: str
+    attempts: int
+    seed: int
+
+    def to_dict(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "kernel_index": self.kernel_index,
+            "config_offset": self.config_offset,
+            "num_configs": self.num_configs,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChunkFailure":
+        return cls(**{k: data[k] for k in (
+            "benchmark", "kernel_index", "config_offset", "num_configs",
+            "kind", "message", "attempts", "seed",
+        )})
+
+    def summary(self) -> str:
+        return (
+            f"{self.benchmark} configs[{self.config_offset}:"
+            f"{self.config_offset + self.num_configs}]: {self.kind} "
+            f"after {self.attempts} attempt(s) — {self.message}"
+        )
+
+
+class ChunkExecutionError(RuntimeError):
+    """A worker exception carrying the chunk context that produced it.
+
+    Unexpected worker exceptions must not escape anonymously: the failing
+    benchmark name, config offset and generation seed travel with the error
+    (and across the process-pool pickle boundary via ``__reduce__``).
+    """
+
+    def __init__(
+        self,
+        benchmark: str,
+        kernel_index: int,
+        config_offset: int,
+        seed: int,
+        cause: str,
+        failure_kind: str = FAILURE_SIMULATION_ERROR,
+    ) -> None:
+        self.benchmark = benchmark
+        self.kernel_index = kernel_index
+        self.config_offset = config_offset
+        self.seed = seed
+        self.cause = cause
+        self.failure_kind = failure_kind
+        super().__init__(
+            f"sweep chunk failed: benchmark={benchmark!r} "
+            f"kernel_index={kernel_index} config_offset={config_offset} "
+            f"seed={seed}: {cause}"
+        )
+
+    def __reduce__(self):
+        return (type(self), (
+            self.benchmark, self.kernel_index, self.config_offset,
+            self.seed, self.cause, self.failure_kind,
+        ))
+
+
+# -- fault injection --------------------------------------------------------
+
+#: ``kind:kernel_index:config_offset[:mode[:seconds]]`` — e.g.
+#: ``crash:0:0``, ``hang:0:0:always:20``, ``raise:1:4:once``.
+ENV_FAULT_INJECT = "GMAP_FAULT_INJECT"
+
+#: Sentinel file used by ``once`` faults so exactly one process fires.
+ENV_FAULT_STATE = "GMAP_FAULT_STATE"
+
+#: Faults that fire inside the worker, before the chunk simulates.
+WORKER_FAULT_KINDS = ("crash", "hang", "raise")
+
+#: Faults the parent applies to the chunk's journal entry after writing it.
+ARTIFACT_FAULT_KINDS = ("corrupt",)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A parsed ``GMAP_FAULT_INJECT`` directive."""
+
+    kind: str
+    kernel_index: int
+    config_offset: int
+    always: bool = False
+    hang_seconds: float = 30.0
+
+    def matches(self, kernel_index: int, config_offset: int) -> bool:
+        return (self.kernel_index == kernel_index
+                and self.config_offset == config_offset)
+
+
+def parse_fault_spec(text: Optional[str]) -> Optional[FaultSpec]:
+    """Parse a fault directive; None for unset/empty, ValueError when bad."""
+    if not text:
+        return None
+    parts = text.split(":")
+    if len(parts) < 3:
+        raise ValueError(
+            f"bad fault spec {text!r}: expected "
+            "kind:kernel_index:config_offset[:mode[:seconds]]"
+        )
+    kind = parts[0]
+    if kind not in WORKER_FAULT_KINDS + ARTIFACT_FAULT_KINDS:
+        raise ValueError(f"bad fault kind {kind!r} in {text!r}")
+    always = len(parts) > 3 and parts[3] == "always"
+    hang_seconds = float(parts[4]) if len(parts) > 4 else 30.0
+    return FaultSpec(
+        kind=kind,
+        kernel_index=int(parts[1]),
+        config_offset=int(parts[2]),
+        always=always,
+        hang_seconds=hang_seconds,
+    )
+
+
+def active_fault() -> Optional[FaultSpec]:
+    """The fault directive currently in the environment, if any."""
+    return parse_fault_spec(os.environ.get(ENV_FAULT_INJECT))
+
+
+def claim_fault(spec: FaultSpec) -> bool:
+    """True iff this firing should proceed.
+
+    ``always`` faults fire every time.  ``once`` faults (the default) claim
+    an atomic sentinel file (``GMAP_FAULT_STATE``), so exactly one process
+    across the whole run fires — the retry then succeeds.  Without a state
+    file a ``once`` fault degrades to ``always``.
+    """
+    if spec.always:
+        return True
+    state = os.environ.get(ENV_FAULT_STATE)
+    if not state:
+        return True
+    try:
+        fd = os.open(state, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+        return True
+    except FileExistsError:
+        return False
+    except OSError:
+        return True
+
+
+def fire_worker_fault(spec: FaultSpec) -> None:
+    """Execute a worker-side fault: die, hang, or raise."""
+    if spec.kind == "crash":
+        os._exit(13)
+    if spec.kind == "hang":
+        time.sleep(spec.hang_seconds)
+        return
+    if spec.kind == "raise":
+        raise RuntimeError(
+            f"injected fault at kernel_index={spec.kernel_index} "
+            f"config_offset={spec.config_offset}"
+        )
+
+
+def maybe_inject_worker_fault(kernel_index: int, config_offset: int) -> None:
+    """Worker hook: fire the environment fault if it targets this chunk."""
+    spec = active_fault()
+    if (spec is not None and spec.kind in WORKER_FAULT_KINDS
+            and spec.matches(kernel_index, config_offset)
+            and claim_fault(spec)):
+        fire_worker_fault(spec)
+
+
+def maybe_corrupt_artifact(path: PathLike, kernel_index: int,
+                           config_offset: int) -> bool:
+    """Parent hook: overwrite a just-written artifact with garbage.
+
+    Used by the fault harness to exercise the corrupt-entry quarantine path
+    deterministically.  Returns True when the artifact was corrupted.
+    """
+    spec = active_fault()
+    if (spec is None or spec.kind not in ARTIFACT_FAULT_KINDS
+            or not spec.matches(kernel_index, config_offset)
+            or not claim_fault(spec)):
+        return False
+    Path(path).write_bytes(b"\x00injected-corruption\x00")
+    return True
+
+
+# -- run journal ------------------------------------------------------------
+
+def default_journal_dir() -> Path:
+    """``$GMAP_JOURNAL_DIR`` if set, else ``<cache-dir>/journal``."""
+    env = os.environ.get(ENV_JOURNAL_DIR)
+    if env:
+        return Path(env)
+    return default_cache_dir() / "journal"
+
+
+def derive_run_id(manifest: Dict[str, Any]) -> str:
+    """Deterministic run id from a sweep's identity fields.
+
+    Excludes layout details (chunk size) so the same campaign maps to the
+    same id regardless of ``--jobs``.
+    """
+    fields = {k: v for k, v in manifest.items() if k != "chunk_size"}
+    blob = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+class JournalMismatchError(ValueError):
+    """``--resume`` pointed at a journal recorded for different inputs."""
+
+
+class RunJournal:
+    """Checkpoint journal of one sweep run: manifest + per-chunk entries.
+
+    Layout, under ``<journal-dir>/<run-id>/``::
+
+        manifest.json                      sweep identity (fingerprints, seed,
+                                           chunk size) — verified on resume
+        chunk-KKKK-OOOOOO.json.gz          one completed chunk's result pairs,
+                                           content-checksummed
+        quarantine/                        corrupt entries, moved aside
+
+    Writes are atomic (temp file + rename, like the artifact cache), so a
+    crash mid-write never leaves a half-entry: the chunk simply re-runs.
+    Entries store per-pair config fingerprints, so a stale entry from a
+    different sweep is detected and quarantined at load instead of being
+    silently reassembled into wrong results.
+    """
+
+    def __init__(self, run_id: str, journal_dir: Optional[PathLike] = None) -> None:
+        if not run_id or "/" in run_id:
+            raise ValueError(f"bad run id {run_id!r}")
+        self.run_id = run_id
+        self.root = Path(journal_dir if journal_dir is not None
+                         else default_journal_dir()) / run_id
+        self.quarantined = 0
+
+    # -- paths --------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def entry_path(self, kernel_index: int, config_offset: int) -> Path:
+        return self.root / f"chunk-{kernel_index:04d}-{config_offset:06d}.json.gz"
+
+    # -- atomic write helper ------------------------------------------------
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- manifest -----------------------------------------------------------
+
+    def write_manifest(self, manifest: Dict[str, Any]) -> None:
+        payload = dict(manifest, schema=JOURNAL_SCHEMA_VERSION)
+        payload["checksum"] = payload_checksum(payload)
+        self._write_atomic(
+            self.manifest_path,
+            json.dumps(payload, indent=2, sort_keys=True).encode("utf-8"),
+        )
+
+    def load_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            payload = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != JOURNAL_SCHEMA_VERSION:
+            return None
+        if not verify_payload(payload):
+            return None
+        return payload
+
+    def ensure_manifest(self, manifest: Dict[str, Any], resume: bool) -> Dict[str, Any]:
+        """Write (fresh run) or verify (resume) the manifest.
+
+        Returns the effective manifest — on resume the stored one, whose
+        ``chunk_size`` the runner must adopt so chunk offsets line up.
+        Raises :class:`JournalMismatchError` when resuming against a journal
+        recorded for different inputs.
+        """
+        existing = self.load_manifest()
+        if resume and existing is not None:
+            for key, value in manifest.items():
+                if key == "chunk_size":
+                    continue
+                if existing.get(key) != value:
+                    raise JournalMismatchError(
+                        f"journal {self.run_id!r} was recorded for different "
+                        f"inputs: field {key!r} differs "
+                        f"(stored {existing.get(key)!r}, current {value!r})"
+                    )
+            return existing
+        if resume and existing is None:
+            raise JournalMismatchError(
+                f"journal {self.run_id!r} has no readable manifest under "
+                f"{self.root}; nothing to resume"
+            )
+        self.write_manifest(manifest)
+        return dict(manifest, schema=JOURNAL_SCHEMA_VERSION)
+
+    # -- chunk entries ------------------------------------------------------
+
+    def record_chunk(
+        self,
+        kernel_index: int,
+        config_offset: int,
+        benchmark: str,
+        entries: Sequence[Dict[str, Any]],
+    ) -> Path:
+        """Persist one completed chunk's serialized result pairs.
+
+        ``entries`` is a list of ``{"config": fingerprint, "original":
+        payload, "proxy": payload}`` dicts (see the sweep engine for the
+        conversion).  Journal IO is best-effort on the write side: an
+        unwritable journal must never fail the sweep itself.
+        """
+        payload = {
+            "schema": JOURNAL_SCHEMA_VERSION,
+            "kernel_index": kernel_index,
+            "config_offset": config_offset,
+            "benchmark": benchmark,
+            "pairs": list(entries),
+        }
+        payload["checksum"] = payload_checksum(payload)
+        path = self.entry_path(kernel_index, config_offset)
+        try:
+            self._write_atomic(path, gzip.compress(
+                json.dumps(payload, sort_keys=True).encode("utf-8")))
+        except OSError:
+            return path
+        return path
+
+    def load_chunk(
+        self,
+        kernel_index: int,
+        config_offset: int,
+        expected_config_fingerprints: Sequence[str],
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Load one chunk's entries, or None when absent or quarantined.
+
+        A corrupt, checksum-failing, or wrong-config entry is moved to
+        ``quarantine/`` and reported as a miss, so the chunk recomputes from
+        source instead of poisoning the reassembled sweep.
+        """
+        path = self.entry_path(kernel_index, config_offset)
+        try:
+            payload = json.loads(gzip.decompress(path.read_bytes()))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, EOFError):
+            self._quarantine(path)
+            return None
+        if (payload.get("schema") != JOURNAL_SCHEMA_VERSION
+                or not verify_payload(payload)
+                or payload.get("kernel_index") != kernel_index
+                or payload.get("config_offset") != config_offset):
+            self._quarantine(path)
+            return None
+        pairs = payload.get("pairs", [])
+        stored = [entry.get("config") for entry in pairs]
+        if stored != list(expected_config_fingerprints):
+            self._quarantine(path)
+            return None
+        return pairs
+
+    def completed_chunks(self) -> List[Path]:
+        """Entry files currently present (completed or stale)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("chunk-*.json.gz"))
+
+    def _quarantine(self, path: Path) -> None:
+        quarantine_file(path, self.root / "quarantine")
+        self.quarantined += 1
+
+
+def summarize_failures(failures: Sequence[ChunkFailure]) -> str:
+    """One-line taxonomy summary, e.g. ``worker_crash=1, timeout=2``."""
+    counts: Dict[str, int] = {}
+    for failure in failures:
+        counts[failure.kind] = counts.get(failure.kind, 0) + 1
+    return ", ".join(f"{kind}={counts[kind]}" for kind in sorted(counts))

@@ -1,8 +1,11 @@
-"""Robustness: degraded, hand-edited, or adversarial profiles.
+"""Robustness: degraded, hand-edited, or adversarial profiles and artifacts.
 
 A vendor consumes profiles it did not produce — the pipeline must fail
 loudly on malformed input and degrade gracefully on merely *thin* input
-(empty histograms, missing statistics), never crash or hang.
+(empty histograms, missing statistics), never crash or hang.  The same
+contract covers on-disk artifacts: traces, profiles, and cache entries
+carry checksums, and corruption is either rejected loudly
+(:class:`CorruptArtifactError`) or quarantined and rebuilt from source.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ import pytest
 
 from repro.core.distributions import Histogram
 from repro.core.generator import ProxyGenerator
+from repro.core.integrity import CorruptArtifactError
 from repro.core.profile import GmapProfile, InstructionStats, PiProfileStats
 from repro.memsim.config import PAPER_BASELINE
 from repro.memsim.simulator import simulate
@@ -143,3 +147,115 @@ class TestExtremeInputs:
         ]
         rng_traces = ProxyGenerator(profile, seed=9).generate_warp_traces()
         assert len(rng_traces) == 2
+
+
+class TestTraceIntegrity:
+    def _traces(self):
+        from repro.gpu.executor import WarpTrace
+
+        trace = WarpTrace(warp_id=0, block=0)
+        trace.instructions = [(0x10, 2)]
+        trace.transactions = [(0x10, 0, 128, 0), (0x10, 128, 128, 0)]
+        return [trace]
+
+    def test_tampered_trace_rejected(self, tmp_path):
+        from repro.io.trace_io import load_warp_traces, save_warp_traces
+
+        path = tmp_path / "a.trace"
+        save_warp_traces(self._traces(), path)
+        text = path.read_text()
+        path.write_text(text.replace("T 0x10 0x0 128 R",
+                                     "T 0x10 0x40 128 R"))
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            load_warp_traces(path)
+
+    def test_legacy_trace_without_trailer_loads(self, tmp_path):
+        from repro.io.trace_io import load_warp_traces, save_warp_traces
+
+        path = tmp_path / "a.trace"
+        save_warp_traces(self._traces(), path)
+        lines = [l for l in path.read_text().splitlines()
+                 if not l.startswith("# sha256")]
+        path.write_text("\n".join(lines) + "\n")
+        restored = load_warp_traces(path)
+        assert restored[0].transactions == self._traces()[0].transactions
+
+    def test_thread_trace_tamper_rejected(self, tmp_path):
+        from repro.io.thread_trace_io import (
+            load_thread_traces,
+            save_thread_traces,
+        )
+
+        from repro.gpu.hierarchy import LaunchConfig
+        from repro.gpu.instructions import pack
+
+        path = tmp_path / "a.ttrace"
+        save_thread_traces([[pack(0x10, 0, 4, False)]],
+                           LaunchConfig(grid_dim=1, block_dim=1), path)
+        original = path.read_text()
+        assert "# sha256" in original
+        path.write_text(original.replace(" 4 ", " 8 "))
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            load_thread_traces(path)
+
+
+class TestProfileIntegrity:
+    def test_tampered_profile_rejected(self, tmp_path):
+        import json
+
+        from repro.io.profile_io import load_profile, save_profile
+
+        path = tmp_path / "p.json"
+        save_profile(minimal_profile(), path)
+        data = json.loads(path.read_text())
+        assert "_checksum" in data
+        data["total_transactions"] = 999999
+        path.write_text(json.dumps(data))
+        with pytest.raises(CorruptArtifactError, match="checksum"):
+            load_profile(path)
+
+    def test_deliberate_edit_without_checksum_loads(self, tmp_path):
+        """Dropping ``_checksum`` is the documented hand-edit escape hatch."""
+        import json
+
+        from repro.io.profile_io import load_profile, save_profile
+
+        path = tmp_path / "p.json"
+        save_profile(minimal_profile(), path)
+        data = json.loads(path.read_text())
+        del data["_checksum"]
+        data["total_transactions"] = 24
+        path.write_text(json.dumps(data))
+        assert load_profile(path).total_transactions == 24
+
+
+class TestCacheIntegrity:
+    def test_corrupt_entry_quarantined_and_recomputed(self, tmp_path):
+        from repro.core.cache import ArtifactCache
+
+        cache = ArtifactCache(tmp_path / "cache")
+        key = "ab" * 32
+        cache._store("pair", key, {"value": 1})
+        assert cache._load("pair", key)["value"] == 1
+        path = cache._path("pair", key)
+        path.write_bytes(b"\x00garbage\x00")
+        assert cache._load("pair", key) is None  # miss -> caller recomputes
+        assert cache.counters.quarantined == 1
+        assert not path.exists()
+        assert list((cache.root / "quarantine").iterdir())
+
+    def test_tampered_entry_fails_checksum(self, tmp_path):
+        import gzip
+        import json
+
+        from repro.core.cache import ArtifactCache
+
+        cache = ArtifactCache(tmp_path / "cache")
+        key = "cd" * 32
+        cache._store("pair", key, {"value": 1})
+        path = cache._path("pair", key)
+        payload = json.loads(gzip.decompress(path.read_bytes()))
+        payload["value"] = 2  # bit-flip without updating the checksum
+        path.write_bytes(gzip.compress(json.dumps(payload).encode()))
+        assert cache._load("pair", key) is None
+        assert cache.counters.quarantined == 1
