@@ -69,12 +69,30 @@ def main() -> int:
                              "quarantined")
     parser.add_argument("--skip-tests", action="store_true")
     parser.add_argument("--skip-examples", action="store_true")
+    parser.add_argument("--skip-check", action="store_true",
+                        help="skip the gmap check static-analysis gate")
     args = parser.parse_args()
 
     stamp = _dt.datetime.now().strftime("%Y%m%d-%H%M%S")
     outdir = REPO / "results" / stamp
     outdir.mkdir(parents=True, exist_ok=True)
     failures = []
+
+    # Static analysis first: a determinism hazard or malformed bundled
+    # artifact invalidates everything downstream, so fail in milliseconds
+    # before hours of sweeps start.
+    if not args.skip_check:
+        if run([sys.executable, "-m", "repro.cli", "check", "--self-test"],
+               outdir / "check_selftest.log"):
+            failures.append("check/self-test")
+        if run([sys.executable, "-m", "repro.cli", "check",
+                "--format", "json"],
+               outdir / "check.log"):
+            failures.append("check")
+        if failures:
+            print(f"\nstatic-analysis gate failed ({', '.join(failures)}); "
+                  f"aborting before any sweep runs")
+            return 1
 
     if not args.skip_tests:
         if run([sys.executable, "-m", "pytest", "tests/", "-q"],

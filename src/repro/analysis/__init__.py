@@ -1,0 +1,55 @@
+"""Static analysis for reproducibility: ``gmap check``.
+
+Two passes guard the invariants that make G-MAP sweeps bit-identical and
+profiles trustworthy *before* a multi-hour campaign starts:
+
+* the **determinism linter** (:mod:`repro.analysis.engine` plus the rule
+  registry in :mod:`repro.analysis.rules`) scans Python sources for
+  reproducibility hazards — unseeded RNG use, wall-clock reads inside
+  simulation paths, unordered iteration, float equality, mutable default
+  arguments, bare ``except``, stray ``os.environ`` reads;
+* the **artifact verifier** (:mod:`repro.analysis.verify`) checks the
+  semantic invariants of the statistical 5-tuple ``(Π, Q, B, P_S, P_R)``
+  and of simulator configurations, so a malformed profile fails in
+  milliseconds instead of mid-sweep.
+
+Both passes emit :class:`~repro.analysis.findings.Finding` records and are
+wired into ``gmap check`` (see :mod:`repro.cli`), the top of
+``gmap validate``, and ``scripts/reproduce_all.py``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import EngineConfig, lint_file, lint_paths
+from repro.analysis.findings import (
+    FINDINGS_SCHEMA_VERSION,
+    Finding,
+    findings_to_json,
+    format_findings,
+)
+from repro.analysis.verify import (
+    ProfileVerificationError,
+    verify_application_payload,
+    verify_profile,
+    verify_profile_file,
+    verify_profile_payload,
+    verify_sim_config,
+    verify_sweep_configs,
+)
+
+__all__ = [
+    "EngineConfig",
+    "FINDINGS_SCHEMA_VERSION",
+    "Finding",
+    "ProfileVerificationError",
+    "findings_to_json",
+    "format_findings",
+    "lint_file",
+    "lint_paths",
+    "verify_application_payload",
+    "verify_profile",
+    "verify_profile_file",
+    "verify_profile_payload",
+    "verify_sim_config",
+    "verify_sweep_configs",
+]

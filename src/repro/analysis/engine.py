@@ -1,0 +1,225 @@
+"""AST rule engine behind the determinism linter.
+
+One parse per file: the engine resolves import aliases (so rules can match
+``np.random.seed`` back to ``numpy.random.seed``), collects
+``# gmap: allow(<rule>)`` suppressions, then dispatches every AST node to
+the rules registered for its type (:mod:`repro.analysis.rules`).
+
+Suppressions are line-scoped: a ``# gmap: allow(rule-a, rule-b)`` comment
+silences those rules on its own line and on the line directly below it
+(comment-above style).  Everything else is reported — ``gmap check`` exits
+nonzero on any finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.rules import Rule
+
+PathLike = Union[str, Path]
+
+_SUPPRESS_RE = re.compile(r"#\s*gmap:\s*allow\(([^)]*)\)")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Scoping knobs for path-sensitive rules.
+
+    ``env_read_allowed`` lists relative-path suffixes whose documented job
+    is environment resolution (the CLI and config/preset modules, plus the
+    cache and resilience modules that own ``GMAP_CACHE_DIR`` /
+    ``GMAP_JOURNAL_DIR`` / ``GMAP_FAULT_INJECT``).  ``sim_path_prefixes``
+    scopes the wall-clock rule to the simulation packages whose results
+    must be bit-identical.
+    """
+
+    env_read_allowed: Tuple[str, ...] = (
+        "cli.py",
+        "config.py",
+        "conftest.py",
+        "presets.py",
+        "core/cache.py",
+        "validation/resilience.py",
+    )
+    sim_path_prefixes: Tuple[str, ...] = ("core/", "memsim/", "gpu/")
+    exclude_parts: Tuple[str, ...] = ("__pycache__",)
+
+
+DEFAULT_CONFIG = EngineConfig()
+
+
+@dataclass
+class LintContext:
+    """Per-file state shared with every rule."""
+
+    rel_path: str
+    config: EngineConfig
+    #: local name -> canonical module path, e.g. ``np`` -> ``numpy``.
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: local name -> canonical dotted origin, e.g. ``rnd`` -> ``random.random``.
+    from_imports: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def in_sim_path(self) -> bool:
+        return self.rel_path.startswith(self.config.sim_path_prefixes)
+
+    @property
+    def env_reads_allowed(self) -> bool:
+        return self.rel_path.endswith(self.config.env_read_allowed)
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """Canonical dotted name of an attribute/name chain, if importable.
+
+        ``np.random.seed`` resolves to ``numpy.random.seed`` under
+        ``import numpy as np``; a chain rooted in a local variable (e.g.
+        ``rng.random`` for an ``random.Random`` instance) resolves to
+        ``None`` and is never flagged.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.from_imports.get(node.id) or self.imports.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def _collect_imports(tree: ast.AST, ctx: LintContext) -> None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                ctx.imports[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue
+            for alias in node.names:
+                ctx.from_imports[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+
+
+def _collect_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Map of 1-based line numbers to the rule ids silenced there."""
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        if not rules:
+            continue
+        # The comment's own line, and the line below for comment-above style.
+        suppressed.setdefault(lineno, set()).update(rules)
+        suppressed.setdefault(lineno + 1, set()).update(rules)
+    return suppressed
+
+
+def lint_source(
+    text: str,
+    rel_path: str,
+    config: EngineConfig = DEFAULT_CONFIG,
+    display_path: Optional[str] = None,
+) -> List[Finding]:
+    """Lint one module's source text.
+
+    ``rel_path`` (posix, relative to the scan root) drives path-scoped
+    rules; ``display_path`` overrides the path reported in findings.
+    """
+    from repro.analysis.rules import get_rules
+
+    display = display_path if display_path is not None else rel_path
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=display,
+                line=exc.lineno or 0,
+                message=f"cannot parse module: {exc.msg}",
+            )
+        ]
+    ctx = LintContext(rel_path=rel_path, config=config)
+    _collect_imports(tree, ctx)
+    suppressed = _collect_suppressions(text)
+
+    dispatch: Dict[type, List["Rule"]] = {}
+    for rule in get_rules():
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    findings: List[Finding] = []
+    for node in ast.walk(tree):
+        for rule in dispatch.get(type(node), []):
+            for line, column, message in rule.check(node, ctx):
+                if rule.id in suppressed.get(line, set()):
+                    continue
+                findings.append(
+                    Finding(
+                        rule=rule.id,
+                        path=display,
+                        line=line,
+                        column=column,
+                        message=message,
+                    )
+                )
+    findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+    return findings
+
+
+def lint_file(
+    path: PathLike,
+    root: Optional[PathLike] = None,
+    config: EngineConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Lint one file; ``root`` anchors the relative path for scoped rules."""
+    path = Path(path)
+    base = Path(root) if root is not None else path.parent
+    try:
+        rel = path.resolve().relative_to(base.resolve()).as_posix()
+    except ValueError:
+        rel = path.name
+    text = path.read_text(encoding="utf-8")
+    return lint_source(text, rel, config=config, display_path=str(path))
+
+
+def iter_python_files(
+    root: PathLike, config: EngineConfig = DEFAULT_CONFIG
+) -> List[Path]:
+    """All lintable ``.py`` files under a directory, in sorted order."""
+    root = Path(root)
+    return sorted(
+        p
+        for p in root.rglob("*.py")
+        if not any(part in config.exclude_parts for part in p.parts)
+    )
+
+
+def lint_paths(
+    paths: Sequence[PathLike],
+    config: EngineConfig = DEFAULT_CONFIG,
+) -> List[Finding]:
+    """Lint files and directory trees; directories are walked recursively."""
+    findings: List[Finding] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            for path in iter_python_files(entry, config):
+                findings.extend(lint_file(path, root=entry, config=config))
+        else:
+            findings.extend(lint_file(entry, config=config))
+    return findings

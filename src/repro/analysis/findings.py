@@ -1,0 +1,66 @@
+"""The shared finding record emitted by both ``gmap check`` passes.
+
+A finding pins one violation to a rule id, an origin (source file or
+artifact path), and a location, in a shape that serialises to the JSON
+schema documented in ``docs/static-analysis.md`` — CI and editor tooling
+consume ``gmap check --format json`` directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Sequence
+
+#: Bumped whenever the JSON payload shape changes incompatibly.
+FINDINGS_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation.
+
+    ``source`` distinguishes the pass that produced it: ``"lint"`` for the
+    AST determinism linter, ``"verify"`` for the statistical-artifact
+    verifier.  ``line`` is 1-based for source files and 0 for whole-artifact
+    findings with no meaningful line.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    source: str = "lint"
+    column: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def format(self) -> str:
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: [{self.rule}] {self.message}"
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Human-readable report, grouped in input order."""
+    if not findings:
+        return "gmap check: no findings"
+    lines: List[str] = [finding.format() for finding in findings]
+    lint = sum(1 for f in findings if f.source == "lint")
+    verify = len(findings) - lint
+    lines.append(
+        f"gmap check: {len(findings)} finding(s) "
+        f"({lint} lint, {verify} verify)"
+    )
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """The ``--format json`` payload (see docs/static-analysis.md)."""
+    payload = {
+        "schema_version": FINDINGS_SCHEMA_VERSION,
+        "tool": "gmap-check",
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

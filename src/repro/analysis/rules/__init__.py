@@ -1,0 +1,55 @@
+"""Pluggable rule registry for the determinism linter.
+
+A rule is a small class with a stable ``id`` (the suppression token and the
+JSON ``rule`` field), the AST node types it inspects, and a ``check`` that
+yields ``(line, column, message)`` hits.  Registration is explicit via the
+:func:`register` decorator so the catalogue in ``docs/static-analysis.md``
+stays the single source of truth for what runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, ClassVar, Iterator, List, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import LintContext
+
+RuleHit = Tuple[int, int, str]
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``node_types``, implement ``check``."""
+
+    id: ClassVar[str] = ""
+    node_types: ClassVar[Tuple[type, ...]] = ()
+
+    def check(self, node: ast.AST, ctx: "LintContext") -> Iterator[RuleHit]:
+        raise NotImplementedError
+
+
+_REGISTRY: List[Type[Rule]] = []
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the active set."""
+    if not rule_class.id:
+        raise ValueError(f"rule {rule_class.__name__} has no id")
+    if any(existing.id == rule_class.id for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule id {rule_class.id!r}")
+    _REGISTRY.append(rule_class)
+    return rule_class
+
+
+def get_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    # Importing the module triggers registration on first use.
+    from repro.analysis.rules import determinism  # noqa: F401
+
+    return [rule_class() for rule_class in _REGISTRY]
+
+
+def rule_ids() -> List[str]:
+    """Sorted ids of every registered rule (used by ``--self-test``)."""
+    get_rules()
+    return sorted(rule_class.id for rule_class in _REGISTRY)

@@ -1,0 +1,230 @@
+"""``gmap check --self-test``: run every rule against known-bad fixtures.
+
+A fast CI sanity gate: each lint rule is exercised against a deliberately
+broken source snippet (written to a temporary directory — the fixtures live
+here as string literals precisely so scanning the installed package never
+flags them), and each verifier rule against a deliberately broken payload.
+A rule that fails to fire means the gate has silently gone blind, which is
+worse than a missing gate — so the self-test fails loudly.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from types import SimpleNamespace
+from typing import Any, Dict, List, Tuple
+
+from repro.analysis.engine import EngineConfig, lint_file
+from repro.analysis.rules import rule_ids
+from repro.analysis.verify import verify_profile_payload, verify_sim_config
+
+#: rule id -> (relative path the fixture pretends to live at, bad source).
+LINT_FIXTURES: Dict[str, Tuple[str, str]] = {
+    "unseeded-random": (
+        "core/fixture.py",
+        "import random\nrandom.seed(42)\nx = random.random()\n",
+    ),
+    "wallclock-in-sim": (
+        "memsim/fixture.py",
+        "import time\nstart = time.time()\n",
+    ),
+    "unordered-iteration": (
+        "core/fixture.py",
+        "items = [3, 1]\nfor value in set(items):\n    print(value)\n",
+    ),
+    "float-eq": (
+        "core/fixture.py",
+        "def f(x):\n    return x == 0.1\n",
+    ),
+    "mutable-default": (
+        "core/fixture.py",
+        "def f(bins=[]):\n    return bins\n",
+    ),
+    "bare-except": (
+        "core/fixture.py",
+        "try:\n    pass\nexcept:\n    pass\n",
+    ),
+    "env-read": (
+        "core/fixture.py",
+        "import os\nflag = os.environ.get('GMAP_FLAG')\n",
+    ),
+    "syntax-error": (
+        "core/fixture.py",
+        "def broken(:\n",
+    ),
+}
+
+
+def _minimal_profile() -> Dict[str, Any]:
+    """A smallest well-formed kernel-profile payload to mutate per fixture."""
+    return {
+        "schema_version": 1,
+        "name": "fixture",
+        "grid_dim": [1, 1, 1],
+        "block_dim": [32, 1, 1],
+        "unit": "warp",
+        "segment_size": 128,
+        "scale_factor": 1.0,
+        "sched_p_self": 0.5,
+        "total_transactions": 8,
+        "avg_warp_occupancy": 1.0,
+        "pi_profiles": [
+            {
+                "sequence": [80, 88],
+                "probability": 1.0,
+                "reuse": {"0": 4},
+                "reuse_fraction": 0.5,
+            }
+        ],
+        "instructions": {
+            "80": {
+                "pc": 80,
+                "base_address": 0x1000_0000,
+                "inter_stride": {"128": 7},
+                "intra_stride": {},
+                "txns_per_access": {"1": 8},
+                "txn_stride": {},
+                "intra_markov": {},
+                "size": 128,
+                "is_store": False,
+                "dynamic_count": 8,
+            },
+            "88": {
+                "pc": 88,
+                "base_address": 0x1000_a000,
+                "inter_stride": {"128": 7},
+                "intra_stride": {},
+                "txns_per_access": {"1": 8},
+                "txn_stride": {},
+                "intra_markov": {},
+                "size": 128,
+                "is_store": True,
+                "dynamic_count": 8,
+            },
+        },
+    }
+
+
+def _verify_fixtures() -> Dict[str, Dict[str, Any]]:
+    fixtures: Dict[str, Dict[str, Any]] = {}
+
+    bad = _minimal_profile()
+    bad["pi_profiles"] = []
+    bad["instructions"] = {}
+    fixtures["empty-profile"] = bad
+
+    bad = _minimal_profile()
+    bad["pi_profiles"][0]["probability"] = 0.9  # off by far more than 1e-6
+    fixtures["q-not-normalized"] = bad
+
+    bad = _minimal_profile()
+    bad["pi_profiles"][0]["probability"] = 1.5
+    fixtures["q-out-of-range"] = bad
+
+    bad = _minimal_profile()
+    bad["instructions"]["80"]["inter_stride"] = {"128": -3}
+    fixtures["hist-negative-bin"] = bad
+
+    bad = _minimal_profile()
+    bad["instructions"]["80"]["inter_stride"] = {"128": "seven"}
+    fixtures["hist-bad-bin"] = bad
+
+    bad = _minimal_profile()
+    bad["pi_profiles"][0]["sequence"] = [80, 999]
+    fixtures["pi-unknown-pc"] = bad
+
+    bad = _minimal_profile()
+    bad["pi_profiles"][0]["reuse_fraction"] = 1.5
+    fixtures["reuse-fraction-range"] = bad
+
+    bad = _minimal_profile()
+    bad["scale_factor"] = 4.0
+    bad["pi_profiles"][0]["reuse"] = {"50": 2}
+    fixtures["reuse-exceeds-sequence"] = bad
+
+    bad = _minimal_profile()
+    bad["instructions"]["80"]["base_address"] = 0x1000_0005
+    fixtures["base-misaligned"] = bad
+
+    bad = _minimal_profile()
+    bad["instructions"]["80"]["txns_per_access"] = {"0": 8}
+    fixtures["txns-nonpositive"] = bad
+
+    bad = _minimal_profile()
+    bad["total_transactions"] = -1
+    fixtures["negative-count"] = bad
+
+    return fixtures
+
+
+def _config_fixtures() -> Dict[str, Any]:
+    """Duck-typed bad configs (the real constructors reject these shapes)."""
+    def cache(**overrides: Any) -> SimpleNamespace:
+        base = dict(
+            size=16 * 1024, assoc=4, line_size=128, num_sets=32, mshrs=64
+        )
+        base.update(overrides)
+        return SimpleNamespace(**base)
+
+    good_dram = SimpleNamespace(frfcfs_window=16)
+    return {
+        "config-size-mismatch": SimpleNamespace(
+            l1=cache(size=16 * 1024 + 128), l2=cache(), dram=good_dram
+        ),
+        "config-assoc-pow2": SimpleNamespace(
+            l1=cache(assoc=3, num_sets=42), l2=cache(), dram=good_dram
+        ),
+        "config-mshr-positive": SimpleNamespace(
+            l1=cache(mshrs=0), l2=cache(), dram=good_dram
+        ),
+        "config-queue-positive": SimpleNamespace(
+            l1=cache(), l2=cache(), dram=SimpleNamespace(frfcfs_window=0)
+        ),
+    }
+
+
+def run_self_test() -> Tuple[bool, List[str]]:
+    """Exercise every rule; returns ``(all_fired, report_lines)``."""
+    lines: List[str] = []
+    ok = True
+
+    with tempfile.TemporaryDirectory(prefix="gmap-selftest-") as tmp:
+        root = Path(tmp)
+        for rule, (rel_path, source) in sorted(LINT_FIXTURES.items()):
+            path = root / rel_path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+            findings = lint_file(path, root=root, config=EngineConfig())
+            fired = any(f.rule == rule for f in findings)
+            ok &= fired
+            lines.append(f"lint  {rule:<24} {'OK' if fired else 'MISSING'}")
+            path.unlink()
+
+    untested = set(rule_ids()) - set(LINT_FIXTURES) - {"syntax-error"}
+    for rule in sorted(untested):
+        ok = False
+        lines.append(f"lint  {rule:<24} NO FIXTURE")
+
+    for rule, payload in sorted(_verify_fixtures().items()):
+        findings = verify_profile_payload(payload, origin="<selftest>")
+        fired = any(f.rule == rule for f in findings)
+        ok &= fired
+        lines.append(f"verify {rule:<23} {'OK' if fired else 'MISSING'}")
+
+    for rule, config in sorted(_config_fixtures().items()):
+        findings = verify_sim_config(config, origin="<selftest>")
+        fired = any(f.rule == rule for f in findings)
+        ok &= fired
+        lines.append(f"verify {rule:<23} {'OK' if fired else 'MISSING'}")
+
+    # A well-formed payload/config must stay clean, or the gate would block
+    # every legitimate sweep.
+    clean_profile = not verify_profile_payload(_minimal_profile(), "<selftest>")
+    ok &= clean_profile
+    lines.append(
+        f"verify {'clean-profile-passes':<23} "
+        f"{'OK' if clean_profile else 'FALSE POSITIVE'}"
+    )
+    lines.append(f"self-test: {'all rules fire' if ok else 'FAILURES'}")
+    return ok, lines

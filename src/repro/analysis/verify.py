@@ -1,0 +1,334 @@
+"""Semantic invariant checks on G-MAP artifacts — the verify pass.
+
+Operates on the *raw JSON payload* of a profile (checked before object
+construction, so a damaged artifact is reported with rule ids instead of
+crashing deep inside :class:`~repro.core.distributions.Histogram`), on
+already-built :class:`~repro.core.profile.GmapProfile` objects (via their
+``to_dict`` round trip), and on :class:`~repro.memsim.config.SimConfig`
+instances.
+
+Invariants of the statistical 5-tuple ``(Π, Q, B, P_S, P_R)``:
+
+* ``Q`` is a probability measure: entries in ``[0, 1]`` summing to 1
+  within :data:`Q_TOLERANCE`;
+* every histogram bin count is a nonnegative number;
+* every PC in a π-profile sequence references a static instruction in
+  ``B``;
+* base addresses are aligned to the instruction's access granularity;
+* miniaturized profiles (``scale_factor > 1``) keep their reuse-distance
+  support inside the truncated sequence, and coalescing degrees stay
+  >= 1 transaction per access.
+
+Simulator-config sanity mirrors Table 2's structure: cache geometry must
+factor exactly (size = sets x ways x line), the main data caches use
+power-of-two associativity, and MSHR/queue counts are positive.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.findings import Finding, format_findings
+
+PathLike = Union[str, Path]
+
+#: |sum(Q) - 1| beyond this is a malformed probability measure.
+Q_TOLERANCE = 1e-6
+
+_HISTOGRAM_KEYS = ("inter_stride", "intra_stride", "txns_per_access", "txn_stride")
+
+
+class ProfileVerificationError(ValueError):
+    """Raised when a profile fails verification on a hot path."""
+
+    def __init__(self, findings: Sequence[Finding]) -> None:
+        self.findings = list(findings)
+        super().__init__(format_findings(self.findings))
+
+
+def _finding(rule: str, origin: str, message: str) -> Finding:
+    return Finding(rule=rule, path=origin, line=0, message=message, source="verify")
+
+
+def _check_histogram(
+    hist: Mapping[str, Any], label: str, origin: str, findings: List[Finding]
+) -> None:
+    for value, count in hist.items():
+        if not isinstance(count, (int, float)) or isinstance(count, bool):
+            findings.append(
+                _finding(
+                    "hist-bad-bin", origin,
+                    f"{label}: bin {value!r} has non-numeric count {count!r}",
+                )
+            )
+        elif count < 0:
+            findings.append(
+                _finding(
+                    "hist-negative-bin", origin,
+                    f"{label}: bin {value!r} has negative count {count}",
+                )
+            )
+
+
+def verify_profile_payload(data: Mapping[str, Any], origin: str) -> List[Finding]:
+    """All invariant violations of one kernel profile's raw JSON payload."""
+    findings: List[Finding] = []
+    pi_profiles = data.get("pi_profiles", [])
+    instructions: Dict[str, Any] = data.get("instructions", {})
+
+    if not pi_profiles:
+        findings.append(
+            _finding(
+                "empty-profile", origin,
+                "profile has no pi profiles; nothing can be generated from it",
+            )
+        )
+    if not instructions:
+        findings.append(
+            _finding(
+                "empty-profile", origin,
+                "profile has no static instructions (B is empty)",
+            )
+        )
+
+    # -- Q is a probability measure over Pi ---------------------------------
+    q_total = 0.0
+    q_valid = True
+    for index, pi in enumerate(pi_profiles):
+        probability = pi.get("probability")
+        if not isinstance(probability, (int, float)) or isinstance(probability, bool):
+            findings.append(
+                _finding(
+                    "q-out-of-range", origin,
+                    f"pi[{index}]: probability {probability!r} is not a number",
+                )
+            )
+            q_valid = False
+            continue
+        if not 0.0 <= float(probability) <= 1.0:
+            findings.append(
+                _finding(
+                    "q-out-of-range", origin,
+                    f"pi[{index}]: probability {probability} outside [0, 1]",
+                )
+            )
+            q_valid = False
+        q_total += float(probability)
+    if pi_profiles and q_valid and abs(q_total - 1.0) > Q_TOLERANCE:
+        findings.append(
+            _finding(
+                "q-not-normalized", origin,
+                f"Q sums to {q_total:.9f}, not 1 within {Q_TOLERANCE:g}",
+            )
+        )
+
+    scale_factor = float(data.get("scale_factor", 1.0))
+    known_pcs = set(instructions.keys())
+
+    # -- per-pi checks: reuse histograms, PC membership ---------------------
+    for index, pi in enumerate(pi_profiles):
+        label = f"pi[{index}]"
+        reuse = pi.get("reuse", {})
+        _check_histogram(reuse, f"{label}.reuse", origin, findings)
+        fraction = pi.get("reuse_fraction", 0.0)
+        if isinstance(fraction, (int, float)) and not 0.0 <= float(fraction) <= 1.0:
+            findings.append(
+                _finding(
+                    "reuse-fraction-range", origin,
+                    f"{label}: reuse_fraction {fraction} outside [0, 1]",
+                )
+            )
+        sequence = pi.get("sequence", [])
+        for pc in sequence:
+            if str(pc) not in known_pcs:
+                pc_repr = f"{pc:#x}" if isinstance(pc, int) else repr(pc)
+                findings.append(
+                    _finding(
+                        "pi-unknown-pc", origin,
+                        f"{label}: sequence references PC {pc_repr} with no "
+                        f"entry in B (instructions)",
+                    )
+                )
+        if scale_factor > 1.0 and sequence:
+            limit = len(sequence) - 1
+            bad = [
+                int(value)
+                for value in reuse
+                if str(value).lstrip("-").isdigit() and int(value) > limit
+            ]
+            if bad:
+                findings.append(
+                    _finding(
+                        "reuse-exceeds-sequence", origin,
+                        f"{label}: miniaturized (factor "
+                        f"{scale_factor:g}) but reuse distances "
+                        f"{sorted(bad)[:4]} exceed the truncated sequence "
+                        f"length {len(sequence)}",
+                    )
+                )
+
+    # -- per-instruction checks: histograms, alignment, coalescing ----------
+    for pc_key, stats in instructions.items():
+        label = f"instructions[{pc_key}]"
+        for key in _HISTOGRAM_KEYS:
+            _check_histogram(stats.get(key, {}), f"{label}.{key}", origin, findings)
+        for prev, hist in stats.get("intra_markov", {}).items():
+            _check_histogram(
+                hist, f"{label}.intra_markov[{prev}]", origin, findings
+            )
+        size = int(stats.get("size", 0))
+        base = int(stats.get("base_address", 0))
+        if base < 0:
+            findings.append(
+                _finding(
+                    "base-misaligned", origin,
+                    f"{label}: negative base address {base:#x}",
+                )
+            )
+        elif size > 0 and base % size:
+            findings.append(
+                _finding(
+                    "base-misaligned", origin,
+                    f"{label}: base address {base:#x} not aligned to the "
+                    f"{size}B access granularity",
+                )
+            )
+        for value in stats.get("txns_per_access", {}):
+            if str(value).lstrip("-").isdigit() and int(value) < 1:
+                findings.append(
+                    _finding(
+                        "txns-nonpositive", origin,
+                        f"{label}: coalescing degree {value} < 1 "
+                        f"transaction per access",
+                    )
+                )
+        dynamic = stats.get("dynamic_count", 0)
+        if isinstance(dynamic, (int, float)) and dynamic < 0:
+            findings.append(
+                _finding(
+                    "negative-count", origin,
+                    f"{label}: negative dynamic_count {dynamic}",
+                )
+            )
+
+    total = data.get("total_transactions", 0)
+    if isinstance(total, (int, float)) and total < 0:
+        findings.append(
+            _finding(
+                "negative-count", origin,
+                f"total_transactions is negative ({total})",
+            )
+        )
+    return findings
+
+
+def verify_application_payload(
+    data: Mapping[str, Any], origin: str
+) -> List[Finding]:
+    """Verify every kernel payload of a multi-kernel application profile."""
+    findings: List[Finding] = []
+    kernels = data.get("kernels", [])
+    if not kernels:
+        findings.append(
+            _finding("empty-profile", origin, "application profile has no kernels")
+        )
+    for index, kernel in enumerate(kernels):
+        name = kernel.get("name", f"kernel[{index}]")
+        findings.extend(
+            verify_profile_payload(kernel, f"{origin}::{name}")
+        )
+    return findings
+
+
+def verify_profile(profile: Any, origin: Optional[str] = None) -> List[Finding]:
+    """Verify a constructed :class:`GmapProfile` via its dict round trip."""
+    return verify_profile_payload(
+        profile.to_dict(), origin or f"<profile {profile.name!r}>"
+    )
+
+
+def verify_profile_file(path: PathLike) -> List[Finding]:
+    """Verify a profile artifact on disk (kernel or application layout).
+
+    Checksum validation happens first (as in normal loading); a corrupt
+    file yields a single ``corrupt-artifact`` finding rather than an
+    exception, so ``gmap check`` can report every artifact in one run.
+    """
+    from repro.core.integrity import CorruptArtifactError
+    from repro.io.profile_io import _read_json
+
+    path = Path(path)
+    origin = str(path)
+    try:
+        payload = _read_json(path)
+    except CorruptArtifactError as exc:
+        return [_finding("corrupt-artifact", origin, str(exc))]
+    except (OSError, ValueError) as exc:
+        return [_finding("unreadable-artifact", origin, f"cannot read: {exc}")]
+    if "kernels" in payload:
+        return verify_application_payload(payload, origin)
+    return verify_profile_payload(payload, origin)
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and not value & (value - 1)
+
+
+def verify_sim_config(config: Any, origin: str = "<config>") -> List[Finding]:
+    """Sanity checks on a :class:`~repro.memsim.config.SimConfig`.
+
+    The dataclass constructors already reject impossible geometry; this
+    pass adds the sweep-level conventions a constructor cannot see: main
+    data caches (L1/L2) with power-of-two associativity (texture caches
+    historically use odd ways — Fermi's 24-way — so only L1/L2 are held
+    to it), positive MSHR counts, and exact size = sets x ways x line
+    factorisation.
+    """
+    findings: List[Finding] = []
+    for level in ("l1", "l2"):
+        cache = getattr(config, level, None)
+        if cache is None:
+            continue
+        label = f"{origin}.{level}"
+        if cache.size != cache.num_sets * cache.assoc * cache.line_size:
+            findings.append(
+                _finding(
+                    "config-size-mismatch", label,
+                    f"cache size {cache.size} != sets x ways x line "
+                    f"({cache.num_sets} x {cache.assoc} x {cache.line_size})",
+                )
+            )
+        if not _is_power_of_two(cache.assoc):
+            findings.append(
+                _finding(
+                    "config-assoc-pow2", label,
+                    f"associativity {cache.assoc} is not a power of two",
+                )
+            )
+        if cache.mshrs < 1:
+            findings.append(
+                _finding(
+                    "config-mshr-positive", label,
+                    f"MSHR count must be positive, got {cache.mshrs}",
+                )
+            )
+    dram = getattr(config, "dram", None)
+    if dram is not None and dram.frfcfs_window < 1:
+        findings.append(
+            _finding(
+                "config-queue-positive", f"{origin}.dram",
+                f"FR-FCFS window must be positive, got {dram.frfcfs_window}",
+            )
+        )
+    return findings
+
+
+def verify_sweep_configs(
+    configs: Sequence[Any], origin: str = "sweep"
+) -> List[Finding]:
+    """Verify every configuration of a sweep, labelled by index."""
+    findings: List[Finding] = []
+    for index, config in enumerate(configs):
+        findings.extend(verify_sim_config(config, origin=f"{origin}[{index}]"))
+    return findings

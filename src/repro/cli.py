@@ -7,7 +7,9 @@ Commands mirror the G-MAP workflow:
   shareable JSON profile;
 * ``gmap generate`` — synthesise a proxy trace file from a profile;
 * ``gmap simulate`` — run a benchmark or trace through the memory simulator;
-* ``gmap validate`` — original-vs-proxy sweep for one experiment.
+* ``gmap validate`` — original-vs-proxy sweep for one experiment;
+* ``gmap check`` — determinism linter + statistical-artifact verifier
+  (see docs/static-analysis.md).
 """
 
 from __future__ import annotations
@@ -131,6 +133,25 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="retries per failing chunk before it is quarantined "
                         "as a ChunkFailure (default: 2)")
     _add_common(p)
+
+    p = sub.add_parser(
+        "check",
+        help="static analysis: determinism linter + artifact verifier",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="extra targets: .py files/directories to lint, "
+                        ".json/.json.gz profile artifacts to verify "
+                        "(default: the repro package sources and the "
+                        "bundled experiment configurations)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="finding output format (default: text)")
+    p.add_argument("--self-test", action="store_true",
+                   help="run every rule against bundled known-bad fixtures "
+                        "and exit (fast CI sanity gate)")
+    p.add_argument("--lint-only", action="store_true",
+                   help="skip the artifact verifier pass")
+    p.add_argument("--verify-only", action="store_true",
+                   help="skip the determinism linter pass")
 
     return parser
 
@@ -261,7 +282,16 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    from repro.analysis import format_findings, verify_profile
+
     profile = load_profile(args.profile)
+    findings = verify_profile(profile, origin=args.profile)
+    if findings:
+        print(format_findings(findings), file=sys.stderr)
+        print(f"{args.profile}: profile fails verification; re-export it "
+              f"or run 'gmap check {args.profile}' for details",
+              file=sys.stderr)
+        return 1
     if args.factor != 1.0:
         profile = miniaturize_profile(profile, args.factor)
     generator = ProxyGenerator(profile, seed=args.seed,
@@ -327,9 +357,73 @@ def _apply_sim_overrides(config, args):
     return config
 
 
+def _cmd_check(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        findings_to_json,
+        format_findings,
+        lint_paths,
+        verify_profile_file,
+        verify_sim_config,
+        verify_sweep_configs,
+    )
+
+    if args.self_test:
+        from repro.analysis.selftest import run_self_test
+
+        ok, lines = run_self_test()
+        print("\n".join(lines))
+        return 0 if ok else 1
+
+    lint_targets = []
+    artifact_targets = []
+    for entry in args.paths:
+        path = Path(entry)
+        if path.suffix in (".json", ".gz") and path.is_file():
+            artifact_targets.append(path)
+        else:
+            lint_targets.append(path)
+    default_scope = not args.paths
+
+    findings = []
+    if not args.verify_only:
+        if default_scope:
+            lint_targets = [Path(repro.__file__).parent]
+        findings.extend(lint_paths(lint_targets))
+    if not args.lint_only:
+        for artifact in artifact_targets:
+            findings.extend(verify_profile_file(artifact))
+        if default_scope:
+            # The repo's bundled artifacts: the paper-baseline configuration
+            # and every experiment's reduced + full sweep grids.
+            findings.extend(verify_sim_config(PAPER_BASELINE, "PAPER_BASELINE"))
+            for name in sorted(EXPERIMENTS):
+                spec = EXPERIMENTS[name]
+                for reduced in (True, False):
+                    label = f"{name}{'-reduced' if reduced else '-full'}"
+                    findings.extend(
+                        verify_sweep_configs(spec.configs(reduced=reduced), label)
+                    )
+
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        print(format_findings(findings))
+    return 1 if findings else 0
+
+
 def _cmd_validate(args) -> int:
     spec = EXPERIMENTS[args.experiment]
     configs = spec.configs(reduced=not args.full)
+    # Fail a malformed sweep in milliseconds, before any simulation starts.
+    from repro.analysis import format_findings, verify_sweep_configs
+
+    config_findings = verify_sweep_configs(configs, origin=args.experiment)
+    if config_findings:
+        print(format_findings(config_findings), file=sys.stderr)
+        return 1
     metric = spec.metric
     names = args.benchmarks or list(suite.PAPER_SUITE)
     kernels = [suite.make(name, scale=args.scale) for name in names]
@@ -394,6 +488,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "simulate": _cmd_simulate,
         "validate": _cmd_validate,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

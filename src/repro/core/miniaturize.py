@@ -45,9 +45,13 @@ def miniaturize_profile(
             repeats = -(-new_length // max(1, length))
             sequence = (pi.sequence * repeats)[:new_length]
         reuse = pi.reuse
-        if thin_statistics and factor > 1.0 and not reuse.empty:
-            reuse = reuse.scaled_counts(1.0 / factor)
-            # Lookbacks beyond the truncated sequence can never be satisfied.
+        if factor > 1.0 and not reuse.empty:
+            if thin_statistics:
+                reuse = reuse.scaled_counts(1.0 / factor)
+            # Lookbacks beyond the truncated sequence can never be satisfied,
+            # whether or not counts were thinned — clipping is a structural
+            # consequence of truncating the sequence, not a statistical model
+            # (the artifact verifier enforces this as reuse-exceeds-sequence).
             reuse = reuse.mapped_values(lambda d: min(d, max(0, new_length - 1)))
         new_profiles.append(
             PiProfileStats(

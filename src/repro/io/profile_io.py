@@ -45,9 +45,19 @@ def save_profile(profile: GmapProfile, path: PathLike, indent: int = 2) -> None:
     _write_json(profile.to_dict(), Path(path), indent)
 
 
-def load_profile(path: PathLike) -> GmapProfile:
-    """Read a profile written by :func:`save_profile`."""
-    return GmapProfile.from_dict(_read_json(path))
+def load_profile(path: PathLike, verify: bool = False) -> GmapProfile:
+    """Read a profile written by :func:`save_profile`.
+
+    With ``verify``, the raw payload is additionally checked against the
+    statistical 5-tuple invariants (``gmap check``'s verify pass) and a
+    malformed profile raises
+    :class:`~repro.analysis.verify.ProfileVerificationError` before any
+    object is built from it.
+    """
+    payload = _read_json(path)
+    if verify:
+        _verify_payload_or_raise(payload, path, kind="profile")
+    return GmapProfile.from_dict(payload)
 
 
 def save_application_profile(profile, path: PathLike, indent: int = 2) -> None:
@@ -55,12 +65,31 @@ def save_application_profile(profile, path: PathLike, indent: int = 2) -> None:
     _write_json(profile.to_dict(), Path(path), indent)
 
 
-def load_application_profile(path: PathLike):
+def load_application_profile(path: PathLike, verify: bool = False):
     """Read an application profile written by
-    :func:`save_application_profile`."""
+    :func:`save_application_profile`.  ``verify`` as in :func:`load_profile`.
+    """
     from repro.core.app_pipeline import ApplicationProfile
 
-    return ApplicationProfile.from_dict(_read_json(path))
+    payload = _read_json(path)
+    if verify:
+        _verify_payload_or_raise(payload, path, kind="application")
+    return ApplicationProfile.from_dict(payload)
+
+
+def _verify_payload_or_raise(payload: dict, path: PathLike, kind: str) -> None:
+    from repro.analysis.verify import (
+        ProfileVerificationError,
+        verify_application_payload,
+        verify_profile_payload,
+    )
+
+    if kind == "application":
+        findings = verify_application_payload(payload, str(path))
+    else:
+        findings = verify_profile_payload(payload, str(path))
+    if findings:
+        raise ProfileVerificationError(findings)
 
 
 def _read_json(path: PathLike) -> dict:

@@ -53,6 +53,15 @@ class CacheConfig:
                 f"size {self.size} not divisible by line*assoc "
                 f"({self.line_size}x{self.assoc})"
             )
+        # Catch impossible runtime parameters at construction, not mid-sweep:
+        # MshrFile rejects entries < 1 only when the hierarchy is built, and
+        # a negative hit latency would silently warp simulated time.
+        if self.mshrs < 1:
+            raise ValueError(f"MSHR count must be >= 1, got {self.mshrs}")
+        if self.hit_latency < 0:
+            raise ValueError(
+                f"hit latency must be >= 0, got {self.hit_latency}"
+            )
         if self.num_sets & (self.num_sets - 1):
             raise ValueError(
                 f"number of sets must be a power of two, got {self.num_sets}"

@@ -65,6 +65,7 @@ def build_pipeline(
     profiler: Optional[GmapProfiler] = None,
     stride_model: str = "iid",
     cache: Union[None, bool, ArtifactCache] = None,
+    verify: bool = True,
 ) -> BenchmarkPipeline:
     """Profile a kernel and generate its proxy, ready for simulation.
 
@@ -76,6 +77,12 @@ def build_pipeline(
     :class:`~repro.core.cache.ArtifactCache`) memoizes the profile and both
     warp-trace sets on disk: a warm hit skips profiling, original execution
     and proxy generation entirely.
+
+    With ``verify`` (the default), the statistical profile is checked
+    against the 5-tuple invariants (``gmap check``'s verify pass) the
+    moment it is built or rehydrated — a malformed profile raises
+    :class:`~repro.analysis.verify.ProfileVerificationError` here, in
+    milliseconds, instead of corrupting a multi-hour sweep downstream.
     """
     profiler = profiler or GmapProfiler()
     cache = resolve_cache(cache)
@@ -93,6 +100,8 @@ def build_pipeline(
         cached = cache.load_pipeline(key)
         if cached is not None:
             profile, original, proxy, meta = cached
+            if verify:
+                _verify_profile_or_raise(profile, kernel.name)
             return BenchmarkPipeline(
                 kernel=kernel,
                 profile=profile,
@@ -105,6 +114,8 @@ def build_pipeline(
             )
     t0 = time.perf_counter()
     profile = profiler.profile(kernel)
+    if verify:
+        _verify_profile_or_raise(profile, kernel.name)
     t1 = time.perf_counter()
     original = execute_kernel(kernel, num_cores, max_blocks_per_core)
     if scale_factor != 1.0:
@@ -135,6 +146,14 @@ def build_pipeline(
             },
         )
     return pipeline
+
+
+def _verify_profile_or_raise(profile: GmapProfile, benchmark: str) -> None:
+    from repro.analysis.verify import ProfileVerificationError, verify_profile
+
+    findings = verify_profile(profile, origin=f"<profile {benchmark}>")
+    if findings:
+        raise ProfileVerificationError(findings)
 
 
 @dataclass
