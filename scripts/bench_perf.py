@@ -1,25 +1,37 @@
 #!/usr/bin/env python
 """Performance benchmark for the sweep engine: writes BENCH_sweep.json.
 
-Times a reduced Figure-6a (L1) sweep three ways and records the trajectory
-so every PR can be checked against the previous one:
+Times a reduced Figure-6a (L1) sweep and the G-MAP pipeline itself, and
+records the trajectory so every PR can be checked against the previous one:
 
 1. **sequential cold** — ``SweepRunner(jobs=1)``, no artifact cache: the
    historical baseline path (per-benchmark pipeline build + per-config
    original/proxy simulation, all in one process);
 2. **parallel cold** — ``--jobs N`` workers with an empty cache directory:
-   measures pool fan-out plus the cost of populating the cache;
+   measures pool fan-out plus the cost of populating the cache.  The perf
+   gate requires this to beat the sequential cold run (full mode): chunk
+   sizing must not rebuild per-benchmark pipelines across workers.  On a
+   single-CPU machine, where no pool can beat sequential, the gate
+   degrades to a bounded-overhead check;
 3. **parallel warm** — the same run again: pipelines and result pairs come
-   from the content-addressed cache.
+   from the content-addressed cache;
 4. **resilient sequential** — ``jobs=1`` again but with the full resilience
    machinery armed (run journal, per-chunk timeout watchdog, retry budget):
    measures the happy-path overhead of checkpointing, which the perf gate
    requires to stay under 5% of the plain sequential run (with a small
-   absolute floor so sub-second runs aren't judged on timer noise).
+   absolute floor so sub-second runs aren't judged on timer noise);
+5. **backend comparison** — the cold end-to-end G-MAP pipeline (trace load
+   → Fermi front end → profiling → proxy generation → proxy trace save)
+   once per backend: the python reference from text traces, the numpy
+   array core from binary ``.npz`` traces.  The gate requires numpy to be
+   >= 3x faster, the two backends' profiles to be bit-identical, and
+   their generated proxies to agree on the validation metric within the
+   harness tolerance.  This gate runs in ``--smoke`` mode too — it is the
+   CI check for the vectorized core.
 
-All runs must be bit-identical (the script verifies this); the headline
-number is ``sequential_cold / parallel_warm``, which the repo's perf gate
-requires to be >= 3x.
+All sweep runs must be bit-identical (the script verifies this); the
+headline sweep number is ``sequential_cold / parallel_warm``, which the
+repo's perf gate requires to be >= 3x.
 
 Usage:
     python scripts/bench_perf.py [--jobs 4] [--smoke] [--out BENCH_sweep.json]
@@ -30,6 +42,7 @@ from __future__ import annotations
 import argparse
 import datetime as _dt
 import json
+import os
 import shutil
 import sys
 import tempfile
@@ -39,12 +52,33 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.validation import sweeps                      # noqa: E402
-from repro.validation.parallel import SweepRunner        # noqa: E402
-from repro.workloads import suite                        # noqa: E402
+from repro.core.backend import numpy_available                  # noqa: E402
+from repro.core.generator import ProxyGenerator                 # noqa: E402
+from repro.core.profiler import (                               # noqa: E402
+    GmapProfiler,
+    unit_streams_from_warp_traces,
+)
+from repro.gpu.executor import collect_thread_traces            # noqa: E402
+from repro.io.thread_trace_io import (                          # noqa: E402
+    save_thread_traces,
+    warp_traces_from_thread_file,
+)
+from repro.io.trace_io import save_warp_traces                  # noqa: E402
+from repro.validation import sweeps                             # noqa: E402
+from repro.validation.parallel import SweepRunner               # noqa: E402
+from repro.workloads import suite                               # noqa: E402
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 TARGET_SPEEDUP = 3.0
+#: Required cold-pipeline advantage of the numpy backend over python.
+BACKEND_TARGET_SPEEDUP = 3.0
+#: Max disagreement of the two backends' proxies on the validation metric
+#: (the harness integration tests hold proxies to ~0.03-0.05 absolute).
+BACKEND_PROXY_TOLERANCE = 0.05
+#: Allowed cold-parallel overhead on machines with a single CPU, where the
+#: pool cannot physically beat the sequential run and the gate degrades to
+#: "fan-out bookkeeping stays cheap".
+SINGLE_CPU_PARALLEL_OVERHEAD = 0.20
 #: Max fractional happy-path cost of journal + watchdog + retry accounting.
 RESILIENCE_OVERHEAD_TARGET = 0.05
 #: Absolute noise floor: overhead under this many seconds always passes.
@@ -52,6 +86,7 @@ RESILIENCE_OVERHEAD_FLOOR_S = 0.25
 
 DEFAULT_BENCHMARKS = ("kmeans", "backprop", "srad", "blackscholes")
 SMOKE_BENCHMARKS = ("vectoradd", "kmeans")
+BENCH_METRIC = "l1_miss_rate"
 
 
 def _metric_matrix(sweeps_list, metric: str):
@@ -66,6 +101,95 @@ def _metric_matrix(sweeps_list, metric: str):
     ]
 
 
+def _proxy_metric(launch, traces, num_cores: int) -> float:
+    """Simulate one backend's generated proxy under the paper baseline."""
+    from repro.gpu.executor import assign_warps_to_cores
+    from repro.memsim.config import PAPER_BASELINE
+    from repro.memsim.simulator import SimtSimulator
+
+    assignments = assign_warps_to_cores(launch, traces, num_cores)
+    config = PAPER_BASELINE.with_(num_cores=num_cores)
+    return SimtSimulator(config).run(assignments).metric(BENCH_METRIC)
+
+
+def _run_backend_pipeline(name, trace_path, backend, seed, mmap):
+    """One benchmark's cold pipeline under one backend; returns artifacts.
+
+    Everything downstream of trace collection is timed by the caller:
+    load + front end, profiling, generation, and the proxy-trace save all
+    dispatch on ``backend`` (the save format follows the trace format the
+    backend would use: text for python, ``.npz`` for numpy).
+    """
+    traces, launch = warp_traces_from_thread_file(
+        trace_path, backend=backend, mmap=mmap
+    )
+    units = unit_streams_from_warp_traces(traces)
+    profiler = GmapProfiler(backend=backend)
+    profile = profiler.profile_unit_streams(
+        units, "warp", name=name,
+        grid_dim=(launch.grid_dim.x, launch.grid_dim.y, launch.grid_dim.z),
+        block_dim=(launch.block_dim.x, launch.block_dim.y, launch.block_dim.z),
+    )
+    generator = ProxyGenerator(profile, seed=seed, backend=backend)
+    proxy = generator.generate_warp_traces()
+    suffix = ".trace.npz" if backend == "numpy" else ".trace"
+    save_warp_traces(proxy, Path(trace_path).parent / f"{name}-{backend}{suffix}")
+    return profile, proxy, generator.launch_config()
+
+
+def _bench_backends(kernels, workdir: Path, seed: int, num_cores: int):
+    """Cold end-to-end pipeline per backend over every benchmark.
+
+    Trace export happens once, outside the timed region — it models the
+    instrumentation step that produces the trace files a cold pipeline
+    starts from.  A tiny warm-up pipeline runs per backend first so lazy
+    module imports don't land inside either timed loop.  Returns the
+    timing pair plus the equivalence evidence.
+    """
+    warmup = suite.make("vectoradd", scale="tiny")
+    for backend, suffix in (("python", ".ttrace"), ("numpy", ".ttrace.npz")):
+        path = workdir / f"warmup{suffix}"
+        save_thread_traces(collect_thread_traces(warmup), warmup.launch, path)
+        _run_backend_pipeline("warmup", path, backend, seed,
+                              mmap=backend == "numpy")
+
+    exports = {}
+    for kernel in kernels:
+        thread_traces = collect_thread_traces(kernel)
+        text = workdir / f"{kernel.name}.ttrace"
+        binary = workdir / f"{kernel.name}.ttrace.npz"
+        save_thread_traces(thread_traces, kernel.launch, text)
+        save_thread_traces(thread_traces, kernel.launch, binary)
+        exports[kernel.name] = (text, binary)
+
+    profiles = {"python": {}, "numpy": {}}
+    proxies = {"python": {}, "numpy": {}}
+    timings = {}
+    for backend in ("python", "numpy"):
+        t0 = time.perf_counter()
+        for kernel in kernels:
+            text, binary = exports[kernel.name]
+            trace_path = binary if backend == "numpy" else text
+            profile, proxy, launch = _run_backend_pipeline(
+                kernel.name, trace_path, backend, seed,
+                mmap=backend == "numpy",
+            )
+            profiles[backend][kernel.name] = profile
+            proxies[backend][kernel.name] = (launch, proxy)
+        timings[backend] = time.perf_counter() - t0
+
+    profiles_match = all(
+        profiles["python"][k.name].to_dict() == profiles["numpy"][k.name].to_dict()
+        for k in kernels
+    )
+    proxy_delta = 0.0
+    for kernel in kernels:
+        py = _proxy_metric(*proxies["python"][kernel.name], num_cores)
+        np_ = _proxy_metric(*proxies["numpy"][kernel.name], num_cores)
+        proxy_delta = max(proxy_delta, abs(py - np_))
+    return timings["python"], timings["numpy"], profiles_match, proxy_delta
+
+
 def validate_schema(payload: dict) -> None:
     """Assert the BENCH_sweep.json layout downstream tooling relies on."""
     required = {
@@ -73,7 +197,9 @@ def validate_schema(payload: dict) -> None:
         "experiment": str,
         "generated_at": str,
         "jobs": int,
+        "cpu_count": int,
         "scale": str,
+        "backend_scale": str,
         "num_cores": int,
         "benchmarks": list,
         "num_configs": int,
@@ -81,10 +207,18 @@ def validate_schema(payload: dict) -> None:
         "speedup_parallel_warm": float,
         "target_speedup": float,
         "meets_target": bool,
+        "meets_parallel_cold": bool,
         "results_match": bool,
         "resilience_overhead": float,
         "resilience_overhead_target": float,
         "meets_resilience_target": bool,
+        "speedup_backend": float,
+        "backend_target_speedup": float,
+        "meets_backend_target": bool,
+        "backend_results_match": bool,
+        "backend_proxy_max_delta": float,
+        "backend_proxy_tolerance": float,
+        "meets_backend_proxy_tolerance": bool,
     }
     for key, kind in required.items():
         if key not in payload:
@@ -95,7 +229,8 @@ def validate_schema(payload: dict) -> None:
                 f"got {type(payload[key]).__name__}"
             )
     for key in ("sequential_cold_s", "parallel_cold_s", "parallel_warm_s",
-                "resilient_sequential_s"):
+                "resilient_sequential_s", "backend_python_cold_s",
+                "backend_numpy_cold_s"):
         if not isinstance(payload["timings"].get(key), float):
             raise AssertionError(f"timings missing float key {key!r}")
 
@@ -105,19 +240,27 @@ def main() -> int:
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for the parallel runs")
     parser.add_argument("--smoke", action="store_true",
-                        help="tiny grid for CI: checks the parallel path and "
-                             "the JSON schema, skips the speedup gate")
+                        help="tiny grid for CI: checks the parallel path, the "
+                             "JSON schema, and the backend gate; skips the "
+                             "sweep speedup gates")
     parser.add_argument("--out", default=str(REPO / "BENCH_sweep.json"),
                         help="output JSON path")
     parser.add_argument("--scale", default="tiny",
                         help="workload scale preset for the benchmark kernels")
+    parser.add_argument("--backend-scale", default="small",
+                        help="workload scale for the backend comparison (the "
+                             "vectorized advantage needs non-trivial traces)")
     parser.add_argument("--cores", type=int, default=8,
                         help="simulated SM count")
     parser.add_argument("--benchmarks", nargs="*", default=None,
                         help="benchmark subset to sweep")
     parser.add_argument("--no-gate", action="store_true",
-                        help="report the speedup but never fail on it")
+                        help="report the speedups but never fail on them")
     args = parser.parse_args()
+
+    if not numpy_available():
+        print("bench: numpy is unavailable; the backend gate cannot run")
+        return 1
 
     names = args.benchmarks or list(
         SMOKE_BENCHMARKS if args.smoke else DEFAULT_BENCHMARKS
@@ -126,9 +269,10 @@ def main() -> int:
     configs = sweeps.l1_sweep(reduced=True)
     if args.smoke:
         configs = configs[:3]
-    metric = "l1_miss_rate"
+    metric = BENCH_METRIC
 
     cache_dir = tempfile.mkdtemp(prefix="gmap-bench-cache-")
+    trace_dir = tempfile.mkdtemp(prefix="gmap-bench-traces-")
     try:
         print(f"bench: reduced fig6a sweep, {len(names)} benchmarks x "
               f"{len(configs)} configs, scale={args.scale}, "
@@ -157,6 +301,13 @@ def main() -> int:
         finally:
             shutil.rmtree(journal_dir, ignore_errors=True)
 
+        backend_kernels = [
+            suite.make(name, scale=args.backend_scale) for name in names
+        ]
+        (backend_python, backend_numpy,
+         backend_results_match, proxy_delta) = _bench_backends(
+            backend_kernels, Path(trace_dir), seed=1234, num_cores=args.cores)
+
         sequential_cold = t1 - t0
         parallel_cold = t2 - t1
         parallel_warm = t3 - t2
@@ -179,8 +330,24 @@ def main() -> int:
         )
         speedup = (sequential_cold / parallel_warm
                    if parallel_warm > 0 else float("inf"))
+        backend_speedup = (backend_python / backend_numpy
+                           if backend_numpy > 0 else float("inf"))
+        cpu_count = os.cpu_count() or 1
+        if cpu_count >= 2:
+            meets_parallel_cold = parallel_cold <= sequential_cold
+        else:
+            # One CPU: no pool can beat sequential, so require only that
+            # fan-out bookkeeping stays cheap.
+            meets_parallel_cold = (
+                parallel_cold
+                <= sequential_cold * (1.0 + SINGLE_CPU_PARALLEL_OVERHEAD)
+            )
+        meets_proxy_tolerance = proxy_delta <= BACKEND_PROXY_TOLERANCE
         cache_entries = sum(
-            1 for p in Path(cache_dir).rglob("*.json.gz") if p.is_file()
+            1
+            for pattern in ("*.json.gz", "*.npz")
+            for p in Path(cache_dir).rglob(pattern)
+            if p.is_file()
         )
 
         payload = {
@@ -188,7 +355,9 @@ def main() -> int:
             "experiment": "fig6a-reduced",
             "generated_at": _dt.datetime.now(_dt.timezone.utc).isoformat(),
             "jobs": args.jobs,
+            "cpu_count": cpu_count,
             "scale": args.scale,
+            "backend_scale": args.backend_scale,
             "num_cores": args.cores,
             "benchmarks": names,
             "num_configs": len(configs),
@@ -197,14 +366,25 @@ def main() -> int:
                 "parallel_cold_s": round(parallel_cold, 4),
                 "parallel_warm_s": round(parallel_warm, 4),
                 "resilient_sequential_s": round(resilient_sequential, 4),
+                "backend_python_cold_s": round(backend_python, 4),
+                "backend_numpy_cold_s": round(backend_numpy, 4),
             },
             "speedup_parallel_warm": round(speedup, 2),
             "target_speedup": TARGET_SPEEDUP,
             "meets_target": bool(speedup >= TARGET_SPEEDUP),
+            "meets_parallel_cold": bool(meets_parallel_cold),
             "results_match": bool(results_match),
             "resilience_overhead": round(overhead, 4),
             "resilience_overhead_target": RESILIENCE_OVERHEAD_TARGET,
             "meets_resilience_target": bool(meets_resilience),
+            "speedup_backend": round(backend_speedup, 2),
+            "backend_target_speedup": BACKEND_TARGET_SPEEDUP,
+            "meets_backend_target": bool(
+                backend_speedup >= BACKEND_TARGET_SPEEDUP),
+            "backend_results_match": bool(backend_results_match),
+            "backend_proxy_max_delta": round(proxy_delta, 4),
+            "backend_proxy_tolerance": BACKEND_PROXY_TOLERANCE,
+            "meets_backend_proxy_tolerance": bool(meets_proxy_tolerance),
             "cache_entries": cache_entries,
             "smoke": bool(args.smoke),
         }
@@ -224,18 +404,48 @@ def main() -> int:
               f"<= {RESILIENCE_OVERHEAD_TARGET * 100:.0f}% or "
               f"<= {RESILIENCE_OVERHEAD_FLOOR_S}s absolute)")
         print(f"  results match   : {results_match}")
+        print(f"  pipeline python : {backend_python:8.2f}s  "
+              f"(text traces, scalar kernels, scale={args.backend_scale})")
+        print(f"  pipeline numpy  : {backend_numpy:8.2f}s  "
+              f"(.npz traces, array kernels, scale={args.backend_scale})")
+        print(f"  speedup backend : {backend_speedup:8.2f}x  (target "
+              f">= {BACKEND_TARGET_SPEEDUP}x)")
+        print(f"  profiles match  : {backend_results_match}  "
+              f"(bit-identical across backends)")
+        print(f"  proxy max delta : {proxy_delta:8.4f}  ({metric}, "
+              f"tolerance <= {BACKEND_PROXY_TOLERANCE})")
         print(f"wrote {out}")
 
         if not results_match:
             print("FAIL: parallel/cached/resilient results differ from "
                   "sequential")
             return 1
+        if not backend_results_match:
+            print("FAIL: numpy-backend profiles differ from the python "
+                  "reference")
+            return 1
+        if not meets_proxy_tolerance and not args.no_gate:
+            print(f"FAIL: backend proxy disagreement {proxy_delta:.4f} "
+                  f"exceeds {BACKEND_PROXY_TOLERANCE} tolerance")
+            return 1
+        if not payload["meets_backend_target"] and not args.no_gate:
+            print(f"FAIL: numpy backend speedup {backend_speedup:.2f}x "
+                  f"below target {BACKEND_TARGET_SPEEDUP}x")
+            return 1
         if args.smoke:
-            print("smoke OK: parallel path completed, schema valid")
+            print("smoke OK: parallel path completed, schema valid, "
+                  "backend gate passed")
             return 0
         if not payload["meets_target"] and not args.no_gate:
             print(f"FAIL: speedup {speedup:.2f}x below target "
                   f"{TARGET_SPEEDUP}x")
+            return 1
+        if not meets_parallel_cold and not args.no_gate:
+            bound = ("sequential cold" if cpu_count >= 2 else
+                     f"{1.0 + SINGLE_CPU_PARALLEL_OVERHEAD:.0%} of "
+                     f"sequential cold (single-CPU machine)")
+            print(f"FAIL: parallel cold {parallel_cold:.2f}s exceeds "
+                  f"{bound} ({sequential_cold:.2f}s)")
             return 1
         if not meets_resilience and not args.no_gate:
             print(f"FAIL: resilience overhead {overhead * 100:.2f}% exceeds "
@@ -244,6 +454,7 @@ def main() -> int:
         return 0
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 if __name__ == "__main__":

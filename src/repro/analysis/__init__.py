@@ -35,6 +35,7 @@ from repro.analysis.verify import (
     verify_profile_payload,
     verify_sim_config,
     verify_sweep_configs,
+    verify_trace_file,
 )
 
 __all__ = [
@@ -52,4 +53,5 @@ __all__ = [
     "verify_profile_payload",
     "verify_sim_config",
     "verify_sweep_configs",
+    "verify_trace_file",
 ]

@@ -46,6 +46,7 @@ class EngineConfig:
         "config.py",
         "conftest.py",
         "presets.py",
+        "core/backend.py",
         "core/cache.py",
         "validation/resilience.py",
     )

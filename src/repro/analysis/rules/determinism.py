@@ -38,6 +38,12 @@ _NUMPY_GLOBAL_FNS: FrozenSet[str] = frozenset(
     }
 )
 
+#: ``numpy.random`` bit-generator classes; constructing one without a seed
+#: draws OS entropy exactly like an argless ``default_rng()``.
+_NUMPY_BITGENS: FrozenSet[str] = frozenset(
+    {"MT19937", "PCG64", "PCG64DXSM", "Philox", "SFC64"}
+)
+
 _WALLCLOCK_FNS: FrozenSet[str] = frozenset(
     {
         "time.time", "time.time_ns",
@@ -73,6 +79,9 @@ class UnseededRandomRule(Rule):
     Any import-order or call-order change reshuffles every downstream draw;
     a seeded ``random.Random(seed)`` / ``numpy.random.default_rng(seed)``
     instance keeps each component's stream independent and reproducible.
+    Seeded generators pass clean; entropy-seeded construction — argless
+    ``default_rng()`` or an argless bit generator like
+    ``Generator(PCG64())`` — is flagged.
     """
 
     id = "unseeded-random"
@@ -104,6 +113,17 @@ class UnseededRandomRule(Rule):
             hit = (
                 "numpy.random.default_rng() without a seed is entropy-"
                 "seeded; pass an explicit seed"
+            )
+        elif (
+            module == "numpy.random"
+            and fn in _NUMPY_BITGENS
+            and not node.args
+            and not node.keywords
+        ):
+            hit = (
+                f"numpy.random.{fn}() without a seed is entropy-seeded; "
+                f"pass an explicit seed (or use "
+                f"numpy.random.default_rng(seed))"
             )
         if hit is not None:
             yield node.lineno, node.col_offset, hit

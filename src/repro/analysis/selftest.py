@@ -25,6 +25,22 @@ LINT_FIXTURES: Dict[str, Tuple[str, str]] = {
         "core/fixture.py",
         "import random\nrandom.seed(42)\nx = random.random()\n",
     ),
+    # ``rule:variant`` keys re-exercise a rule against another bad shape;
+    # each numpy entropy-seeded form gets its own fixture so one regressed
+    # detection cannot hide behind the others.
+    "unseeded-random:numpy-global": (
+        "core/fixture.py",
+        "import numpy as np\nx = np.random.random()\n",
+    ),
+    "unseeded-random:numpy-default-rng": (
+        "core/fixture.py",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+    ),
+    "unseeded-random:numpy-bitgen": (
+        "core/fixture.py",
+        "import numpy as np\n"
+        "gen = np.random.Generator(np.random.PCG64())\n",
+    ),
     "wallclock-in-sim": (
         "memsim/fixture.py",
         "import time\nstart = time.time()\n",
@@ -54,6 +70,19 @@ LINT_FIXTURES: Dict[str, Tuple[str, str]] = {
         "def broken(:\n",
     ),
 }
+
+#: Seeded RNG construction in every supported spelling; a false positive
+#: here would block each legitimate generator in the codebase.
+CLEAN_RNG_FIXTURE: Tuple[str, str] = (
+    "core/fixture.py",
+    "import random\n"
+    "import numpy as np\n"
+    "from numpy.random import PCG64, Generator, default_rng\n"
+    "r = random.Random(3)\n"
+    "a = default_rng(1234)\n"
+    "b = np.random.default_rng(seed=7)\n"
+    "c = Generator(PCG64(99))\n",
+)
 
 
 def _minimal_profile() -> Dict[str, Any]:
@@ -191,17 +220,34 @@ def run_self_test() -> Tuple[bool, List[str]]:
 
     with tempfile.TemporaryDirectory(prefix="gmap-selftest-") as tmp:
         root = Path(tmp)
-        for rule, (rel_path, source) in sorted(LINT_FIXTURES.items()):
+        for key, (rel_path, source) in sorted(LINT_FIXTURES.items()):
+            rule = key.split(":", 1)[0]
             path = root / rel_path
             path.parent.mkdir(parents=True, exist_ok=True)
             path.write_text(source, encoding="utf-8")
             findings = lint_file(path, root=root, config=EngineConfig())
             fired = any(f.rule == rule for f in findings)
             ok &= fired
-            lines.append(f"lint  {rule:<24} {'OK' if fired else 'MISSING'}")
+            lines.append(f"lint  {key:<24} {'OK' if fired else 'MISSING'}")
             path.unlink()
 
-    untested = set(rule_ids()) - set(LINT_FIXTURES) - {"syntax-error"}
+        rel_path, source = CLEAN_RNG_FIXTURE
+        path = root / rel_path
+        path.write_text(source, encoding="utf-8")
+        findings = lint_file(path, root=root, config=EngineConfig())
+        clean_rng = not any(f.rule == "unseeded-random" for f in findings)
+        ok &= clean_rng
+        lines.append(
+            f"lint  {'seeded-rng-passes':<24} "
+            f"{'OK' if clean_rng else 'FALSE POSITIVE'}"
+        )
+        path.unlink()
+
+    untested = (
+        set(rule_ids())
+        - {key.split(":", 1)[0] for key in LINT_FIXTURES}
+        - {"syntax-error"}
+    )
     for rule in sorted(untested):
         ok = False
         lines.append(f"lint  {rule:<24} NO FIXTURE")

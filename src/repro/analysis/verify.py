@@ -271,6 +271,171 @@ def verify_profile_file(path: PathLike) -> List[Finding]:
     return verify_profile_payload(payload, origin)
 
 
+def verify_trace_file(path: PathLike) -> List[Finding]:
+    """Verify a binary ``.npz`` trace container's header and payload.
+
+    Checks, in order: the container is a readable uncompressed ``.npz``
+    with a ``_meta`` header; the format tag is one of the known trace
+    schemas; the schema version is the one this build writes; every
+    declared column is present with its declared dtype (and, for the warp
+    and thread formats, matches the canonical column table); CSR offset
+    columns are monotonic and anchored at zero; and the byte checksum
+    matches.  Like :func:`verify_profile_file`, damage is reported as
+    findings — never raised — so ``gmap check`` can cover every artifact
+    in one run.
+    """
+    from repro.core.backend import numpy_available
+
+    path = Path(path)
+    origin = str(path)
+    if not numpy_available():
+        return [
+            _finding(
+                "trace-needs-numpy", origin,
+                "binary trace containers need numpy to verify; "
+                "re-run on an interpreter with numpy installed",
+            )
+        ]
+    import zipfile
+
+    import numpy as np
+
+    from repro.core.integrity import CorruptArtifactError
+    from repro.memsim import arrays as container
+
+    try:
+        with np.load(path) as payload:
+            columns = {name: payload[name] for name in payload.files}
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        return [_finding("unreadable-artifact", origin, f"cannot read: {exc}")]
+    if container.META_MEMBER not in columns:
+        return [
+            _finding(
+                "trace-missing-meta", origin,
+                "container has no _meta header member",
+            )
+        ]
+    try:
+        meta = container._read_meta(columns.pop(container.META_MEMBER), path)
+    except CorruptArtifactError as exc:
+        return [_finding("corrupt-artifact", origin, str(exc))]
+
+    findings: List[Finding] = []
+    fmt = meta.get("format")
+    known = {
+        container.FORMAT_WARP: container.WARP_COLUMNS,
+        container.FORMAT_THREAD: container.THREAD_COLUMNS,
+        container.FORMAT_PIPELINE: None,
+    }
+    if fmt not in known:
+        findings.append(
+            _finding(
+                "trace-unknown-format", origin,
+                f"unknown format tag {fmt!r}; expected one of "
+                f"{sorted(known)}",
+            )
+        )
+    version = meta.get("schema_version")
+    if version != container.TRACE_SCHEMA_VERSION:
+        findings.append(
+            _finding(
+                "trace-schema-version", origin,
+                f"schema_version {version!r} is not the supported "
+                f"{container.TRACE_SCHEMA_VERSION}",
+            )
+        )
+    declared = meta.get("columns")
+    if not isinstance(declared, dict):
+        findings.append(
+            _finding(
+                "trace-missing-columns", origin,
+                "_meta lacks a columns dtype table",
+            )
+        )
+        declared = {}
+    for name in sorted(declared):
+        dtype_str = declared[name]
+        member = columns.get(name)
+        if member is None:
+            findings.append(
+                _finding(
+                    "trace-column-missing", origin,
+                    f"declared column {name!r} is missing from the container",
+                )
+            )
+        elif member.dtype.str != dtype_str:
+            findings.append(
+                _finding(
+                    "trace-column-dtype", origin,
+                    f"column {name!r} has dtype {member.dtype.str}, header "
+                    f"declares {dtype_str}",
+                )
+            )
+    for name in sorted(set(columns) - set(declared)):
+        findings.append(
+            _finding(
+                "trace-column-undeclared", origin,
+                f"container member {name!r} is not declared in the header",
+            )
+        )
+    canonical = known.get(fmt)
+    if canonical:
+        for name in sorted(canonical):
+            if name not in declared:
+                findings.append(
+                    _finding(
+                        "trace-column-missing", origin,
+                        f"{fmt} schema requires column {name!r}, header "
+                        f"does not declare it",
+                    )
+                )
+            elif declared[name] != canonical[name]:
+                findings.append(
+                    _finding(
+                        "trace-column-dtype", origin,
+                        f"{fmt} schema declares {name!r} as "
+                        f"{canonical[name]}, header says {declared[name]}",
+                    )
+                )
+    for name in sorted(columns):
+        column = columns[name]
+        if not name.endswith("_start") or column.ndim != 1 or not column.size:
+            continue
+        if int(column[0]) != 0:
+            findings.append(
+                _finding(
+                    "trace-offsets-broken", origin,
+                    f"offset column {name!r} starts at {int(column[0])}, "
+                    f"not 0",
+                )
+            )
+        if column.size > 1 and bool(np.any(np.diff(column) < 0)):
+            findings.append(
+                _finding(
+                    "trace-offsets-broken", origin,
+                    f"offset column {name!r} is not monotonically "
+                    f"non-decreasing",
+                )
+            )
+    stored = meta.get("checksum")
+    if not stored:
+        findings.append(
+            _finding(
+                "trace-missing-checksum", origin,
+                "_meta carries no column checksum",
+            )
+        )
+    elif stored != container.columns_checksum(columns):
+        findings.append(
+            _finding(
+                "corrupt-artifact", origin,
+                "binary trace checksum mismatch — file is truncated or "
+                "corrupted; re-export it from its source",
+            )
+        )
+    return findings
+
+
 def _is_power_of_two(value: int) -> bool:
     return value > 0 and not value & (value - 1)
 

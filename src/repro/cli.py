@@ -18,6 +18,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.backend import BACKENDS
 from repro.core.generator import ProxyGenerator
 from repro.core.miniaturize import miniaturize_profile
 from repro.core.profiler import GmapProfiler, unit_streams_from_warp_traces
@@ -38,6 +39,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="number of SMs to simulate")
     parser.add_argument("--seed", type=int, default=1234,
                         help="proxy generation seed")
+    parser.add_argument("--backend", choices=BACKENDS, default=None,
+                        help="profiling/generation kernels: python "
+                             "(reference) or numpy (vectorized array core; "
+                             "default: $GMAP_BACKEND or python)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -140,9 +145,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("paths", nargs="*",
                    help="extra targets: .py files/directories to lint, "
-                        ".json/.json.gz profile artifacts to verify "
-                        "(default: the repro package sources and the "
-                        "bundled experiment configurations)")
+                        ".json/.json.gz profile artifacts and .npz binary "
+                        "trace containers to verify (default: the repro "
+                        "package sources and the bundled experiment "
+                        "configurations)")
     p.add_argument("--format", choices=("text", "json"), default="text",
                    help="finding output format (default: text)")
     p.add_argument("--self-test", action="store_true",
@@ -240,7 +246,8 @@ def _cmd_diff(args) -> int:
 def _cmd_profile(args) -> int:
     from repro.workloads.applications import APPLICATIONS, make_application
 
-    profiler = GmapProfiler(coalescing=not args.no_coalescing)
+    profiler = GmapProfiler(coalescing=not args.no_coalescing,
+                            backend=args.backend)
     if args.benchmark in APPLICATIONS:
         from repro.core.app_pipeline import profile_application
         from repro.io.profile_io import save_application_profile
@@ -254,10 +261,13 @@ def _cmd_profile(args) -> int:
               f"{len(app_profile)} kernels, "
               f"{app_profile.total_transactions} transactions -> {args.output}")
         return 0
-    if args.benchmark.endswith((".ttrace", ".ttrace.gz")):
+    if args.benchmark.endswith((".ttrace", ".ttrace.gz", ".ttrace.npz")):
         from repro.io.thread_trace_io import warp_traces_from_thread_file
 
-        traces, launch = warp_traces_from_thread_file(args.benchmark)
+        traces, launch = warp_traces_from_thread_file(
+            args.benchmark, backend=args.backend,
+            mmap=args.benchmark.endswith(".npz"),
+        )
         units = unit_streams_from_warp_traces(traces)
         profile = profiler.profile_unit_streams(
             units, "warp", name=args.benchmark,
@@ -265,7 +275,7 @@ def _cmd_profile(args) -> int:
             block_dim=(launch.block_dim.x, launch.block_dim.y,
                        launch.block_dim.z),
         )
-    elif args.benchmark.endswith(".trace"):
+    elif args.benchmark.endswith((".trace", ".trace.gz", ".trace.npz")):
         traces = load_warp_traces(args.benchmark)
         units = unit_streams_from_warp_traces(traces)
         profile = profiler.profile_unit_streams(units, "warp", name=args.benchmark)
@@ -295,7 +305,8 @@ def _cmd_generate(args) -> int:
     if args.factor != 1.0:
         profile = miniaturize_profile(profile, args.factor)
     generator = ProxyGenerator(profile, seed=args.seed,
-                               stride_model=args.stride_model)
+                               stride_model=args.stride_model,
+                               backend=args.backend)
     traces = generator.generate_warp_traces()
     save_warp_traces(traces, args.output)
     total = sum(len(t.transactions) for t in traces)
@@ -304,7 +315,7 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    if args.target.endswith(".trace"):
+    if args.target.endswith((".trace", ".trace.gz", ".trace.npz")):
         traces = load_warp_traces(args.target)
         from repro.gpu.executor import CoreAssignment
         from repro.gpu.hierarchy import assign_blocks_to_cores, resident_waves
@@ -368,6 +379,7 @@ def _cmd_check(args) -> int:
         verify_profile_file,
         verify_sim_config,
         verify_sweep_configs,
+        verify_trace_file,
     )
 
     if args.self_test:
@@ -379,9 +391,12 @@ def _cmd_check(args) -> int:
 
     lint_targets = []
     artifact_targets = []
+    trace_targets = []
     for entry in args.paths:
         path = Path(entry)
-        if path.suffix in (".json", ".gz") and path.is_file():
+        if path.suffix == ".npz" and path.is_file():
+            trace_targets.append(path)
+        elif path.suffix in (".json", ".gz") and path.is_file():
             artifact_targets.append(path)
         else:
             lint_targets.append(path)
@@ -395,6 +410,8 @@ def _cmd_check(args) -> int:
     if not args.lint_only:
         for artifact in artifact_targets:
             findings.extend(verify_profile_file(artifact))
+        for trace in trace_targets:
+            findings.extend(verify_trace_file(trace))
         if default_scope:
             # The repo's bundled artifacts: the paper-baseline configuration
             # and every experiment's reduced + full sweep grids.
@@ -438,7 +455,7 @@ def _cmd_validate(args) -> int:
         jobs=jobs, use_cache=not args.no_cache, cache_dir=args.cache_dir,
         timeout=args.timeout, retries=args.retries,
         journal=use_journal, journal_dir=args.journal_dir,
-        run_id=run_id, resume=resume,
+        run_id=run_id, resume=resume, backend=args.backend,
     )
     print(f"{spec.figure} ({spec.description}): metric={metric}, "
           f"{len(configs)} configs x {len(kernels)} benchmarks, "

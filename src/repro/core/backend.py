@@ -1,0 +1,74 @@
+"""Compute-backend selection for the G-MAP hot kernels.
+
+Two implementations of the pipeline's hot paths coexist:
+
+``python``
+    The original scalar reference implementation — per-access loops over
+    dicts and ``random.Random``.  It is the oracle: every vectorized result
+    is validated against it (bit-exact for the deterministic profiling and
+    coalescing stages, statistically for generation, whose RNG stream
+    necessarily differs).
+
+``numpy``
+    Array kernels in :mod:`repro.core.vectorized` — batched histogram
+    construction, ``searchsorted`` sampling over precomputed CDFs, and
+    per-warp ``np.unique`` coalescing.
+
+Resolution order: an explicit ``backend=`` argument, the ``GMAP_BACKEND``
+environment variable, then :data:`DEFAULT_BACKEND`.  Requesting ``numpy``
+on an interpreter without NumPy raises immediately (a silent fallback would
+make two machines' "same" run use different code paths); the *environment*
+variable, by contrast, degrades gracefully so a global setting does not
+break stripped-down installs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Tuple
+
+#: Environment variable selecting the default backend.
+ENV_BACKEND = "GMAP_BACKEND"
+
+BACKENDS: Tuple[str, ...] = ("python", "numpy")
+
+#: The scalar reference implementation stays the default: it has no
+#: third-party dependency and is the oracle the array path is checked
+#: against.
+DEFAULT_BACKEND = "python"
+
+try:  # NumPy is optional — the scalar path must work without it.
+    import numpy as _numpy  # noqa: F401
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - depends on the environment
+    _HAVE_NUMPY = False
+
+
+def numpy_available() -> bool:
+    """Whether the ``numpy`` backend can run in this interpreter."""
+    return _HAVE_NUMPY
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalise a backend request to ``"python"`` or ``"numpy"``.
+
+    ``backend=None`` consults ``$GMAP_BACKEND`` and falls back to
+    :data:`DEFAULT_BACKEND`.  An unknown name, or an explicit ``numpy``
+    request without NumPy installed, raises ``ValueError``; an
+    environment-supplied ``numpy`` without NumPy degrades to ``python``.
+    """
+    from_env = backend is None
+    if backend is None:
+        backend = os.environ.get(ENV_BACKEND) or DEFAULT_BACKEND
+    backend = backend.lower()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    if backend == "numpy" and not _HAVE_NUMPY:
+        if from_env:
+            return "python"
+        raise ValueError(
+            "backend 'numpy' requested but numpy is not importable"
+        )
+    return backend

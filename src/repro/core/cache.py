@@ -36,7 +36,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.core.backend import numpy_available
 from repro.core.integrity import (
+    CorruptArtifactError,
     payload_checksum,
     quarantine_file,
     verify_payload,
@@ -49,8 +51,9 @@ from repro.memsim.stats import CacheStats, DramStats, SimResult
 PathLike = Union[str, Path]
 
 #: Bump whenever the payload layout changes; stale entries then simply miss.
-#: v2 added the embedded payload checksum.
-CACHE_SCHEMA_VERSION = 2
+#: v2 added the embedded payload checksum; v3 moved pipeline entries to the
+#: binary columnar ``.npz`` container and added ``backend`` to the key.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache location.
 ENV_CACHE_DIR = "GMAP_CACHE_DIR"
@@ -231,7 +234,11 @@ class ArtifactCache:
         num_cores: int,
         max_blocks_per_core: int,
         coalescing: bool = True,
+        backend: str = "python",
     ) -> str:
+        # ``backend`` is a genuine input: profiling is bit-identical across
+        # backends, but the generated proxy samples a different RNG stream,
+        # so a python-built and a numpy-built pipeline are distinct artifacts.
         return _hash_fields({
             "schema": CACHE_SCHEMA_VERSION,
             "kind": "pipeline",
@@ -242,6 +249,7 @@ class ArtifactCache:
             "num_cores": num_cores,
             "max_blocks_per_core": max_blocks_per_core,
             "coalescing": coalescing,
+            "backend": backend,
         })
 
     def pair_key(
@@ -315,11 +323,64 @@ class ArtifactCache:
         self.counters.stores += 1
 
     # -- pipeline artifacts -------------------------------------------------
+    #
+    # Pipeline entries hold the bulky artifacts (two full warp-trace sets),
+    # so with NumPy available they use the binary columnar container
+    # (:mod:`repro.memsim.arrays`) instead of per-record JSON — loading one
+    # is a few array reads, which is what lets cold parallel workers fetch
+    # a pipeline another worker built without re-paying a parse.  Without
+    # NumPy the legacy gzipped-JSON layout is used; both paths share the
+    # schema version and the quarantine-on-corruption behaviour.
+
+    def _pipeline_npz_path(self, key: str) -> Path:
+        return self.root / "pipeline" / key[:2] / f"{key}.npz"
+
+    def pipeline_entry_path(self, key: str) -> Path:
+        """On-disk location of a pipeline entry in the active format."""
+        if numpy_available():
+            return self._pipeline_npz_path(key)
+        return self._path("pipeline", key)
+
+    def _load_pipeline_npz(self, key: str):
+        from repro.memsim import arrays as columnar
+
+        path = self._pipeline_npz_path(key)
+        if not path.exists():
+            self.counters.misses += 1
+            return None
+        try:
+            columns, header = columnar.load_columns(
+                path, columnar.FORMAT_PIPELINE
+            )
+        except CorruptArtifactError:
+            self.counters.errors += 1
+            self._quarantine(path)
+            return None
+        except Exception:
+            self.counters.errors += 1
+            return None
+        if header.get("cache_schema") != CACHE_SCHEMA_VERSION:
+            self.counters.misses += 1
+            return None
+        try:
+            profile = GmapProfile.from_dict(
+                json.loads(bytes(columns["profile_json"].tobytes()).decode())
+            )
+            original = columnar.unpack_assignments(columns, "orig_")
+            proxy = columnar.unpack_assignments(columns, "proxy_")
+            meta = header.get("meta", {})
+        except Exception:
+            self.counters.errors += 1
+            return None
+        self.counters.hits += 1
+        return profile, original, proxy, meta
 
     def load_pipeline(
         self, key: str
     ) -> Optional[Tuple[GmapProfile, List[CoreAssignment], List[CoreAssignment], dict]]:
         """Returns (profile, original, proxy, meta) or None on miss."""
+        if numpy_available():
+            return self._load_pipeline_npz(key)
         payload = self._load("pipeline", key)
         if payload is None:
             return None
@@ -333,7 +394,6 @@ class ArtifactCache:
             return None
         return profile, original, proxy, meta
 
-
     def store_pipeline(
         self,
         key: str,
@@ -342,6 +402,33 @@ class ArtifactCache:
         proxy: List[CoreAssignment],
         meta: dict,
     ) -> None:
+        if numpy_available():
+            import numpy as np
+
+            from repro.memsim import arrays as columnar
+
+            columns = columnar.pack_assignments(original, "orig_")
+            columns.update(columnar.pack_assignments(proxy, "proxy_"))
+            columns["profile_json"] = np.frombuffer(
+                json.dumps(profile.to_dict()).encode("utf-8"), dtype=np.uint8
+            )
+            try:
+                columnar.save_columns(
+                    self._pipeline_npz_path(key),
+                    columns,
+                    columnar.FORMAT_PIPELINE,
+                    extra_meta={
+                        "cache_schema": CACHE_SCHEMA_VERSION,
+                        "meta": meta,
+                    },
+                )
+            except OSError:
+                # A read-only or full cache directory must never fail the
+                # sweep (mirrors ``_store``).
+                self.counters.errors += 1
+                return
+            self.counters.stores += 1
+            return
         self._store("pipeline", key, {
             "profile": profile.to_dict(),
             "original": assignments_to_payload(original),

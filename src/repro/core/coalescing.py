@@ -20,8 +20,48 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple
 
+try:  # Array kernel is optional; the scalar model has no deps.
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on the environment
+    _np = None
+
 #: Fermi global-memory transaction (and cache line) size in bytes.
 DEFAULT_SEGMENT_SIZE = 128
+
+#: Bit width reserved for the segment id when packing (row, segment) into a
+#: single int64 sort key; segment ids are ``address >> shift`` < 2**36 for
+#: every modeled memory space.
+ROW_KEY_BITS = 36
+
+
+def coalesce_segment_rows(segments: "_np.ndarray"):
+    """Vectorized Fermi coalescing of a ``(rows, lanes)`` segment-id matrix.
+
+    Each row is one warp instruction whose lane accesses all fit a single
+    aligned segment (``segments[r, l] = address >> shift``).  One global
+    ``np.unique`` over packed ``(row, segment)`` keys replaces the per-row
+    dict the scalar :meth:`CoalescingModel.coalesce` builds.
+
+    Returns ``(txn_rows, txn_segments, lane_counts, txns_per_row)``: the
+    first three are parallel arrays over all emitted transactions, ordered
+    by row then ascending segment — exactly the scalar model's
+    ``sorted(segments.items())`` emission order — and ``txns_per_row[r]``
+    is the coalescing degree of row ``r``.
+    """
+    if _np is None:  # pragma: no cover - guarded by backend resolution
+        raise RuntimeError("coalesce_segment_rows requires numpy")
+    segments = _np.asarray(segments, dtype=_np.int64)
+    n_rows = segments.shape[0]
+    if n_rows == 0:
+        empty = _np.array([], dtype=_np.int64)
+        return empty, empty, empty, _np.array([], dtype=_np.int64)
+    rows = _np.arange(n_rows, dtype=_np.int64)
+    keys = (rows[:, None] << ROW_KEY_BITS) | segments
+    uniq, lane_counts = _np.unique(keys, return_counts=True)
+    txn_rows = uniq >> ROW_KEY_BITS
+    txn_segments = uniq & ((1 << ROW_KEY_BITS) - 1)
+    txns_per_row = _np.bincount(txn_rows, minlength=n_rows)
+    return txn_rows, txn_segments, lane_counts, txns_per_row
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from repro.core.backend import resolve_backend
 from repro.core.coalescing import CoalescingModel
 from repro.core.profile import GmapProfile, InstructionStats, PiProfileStats
 from repro.gpu.executor import (
@@ -204,10 +205,21 @@ class ProxyGenerator:
     (the π sequence is tiled), modelling futuristic larger workloads.
     ``stride_model`` selects IID (paper) or first-order Markov stride
     sampling — see :func:`generate_unit_trace`.
+
+    ``backend`` selects the Algorithm 1 implementation
+    (:mod:`repro.core.backend`): the scalar ``"python"`` walk over
+    ``random.Random(seed)``, or the batched ``"numpy"`` kernels over
+    ``np.random.default_rng(seed)``.  Both are deterministic given
+    ``seed``, but their RNG *streams* differ, so the two backends produce
+    statistically equivalent — not bitwise identical — clones.
     """
 
     def __init__(
-        self, profile: GmapProfile, seed: int = 1234, stride_model: str = "iid"
+        self,
+        profile: GmapProfile,
+        seed: int = 1234,
+        stride_model: str = "iid",
+        backend: Optional[str] = None,
     ) -> None:
         if not profile.pi_profiles:
             raise ValueError("profile has no π profiles to generate from")
@@ -218,6 +230,7 @@ class ProxyGenerator:
         self.profile = profile
         self.seed = seed
         self.stride_model = stride_model
+        self.backend = resolve_backend(backend)
         # Dominant sibling-transaction spacing per PC (profiled lane spread).
         self._txn_steps = {
             pc: stats.txn_stride.mode()
@@ -248,10 +261,20 @@ class ProxyGenerator:
         """Run Algorithm 1 for every sequencing unit (Alg. 2 lines 3-7)."""
         if scale_factor <= 0:
             raise ValueError(f"scale_factor must be positive, got {scale_factor}")
-        rng = random.Random(self.seed)
         profile = self.profile
         launch = self.launch_config()
         max_len = self._max_len(scale_factor)
+        if self.backend == "numpy":
+            from repro.core import vectorized
+
+            return vectorized.generate_units(
+                profile,
+                self.seed,
+                self._unit_count(launch),
+                max_len=max_len,
+                stride_model=self.stride_model,
+            )
+        rng = random.Random(self.seed)
         global_base: Dict[int, int] = {}  # filled by each PC's first toucher
         units = []
         for unit_id in range(self._unit_count(launch)):

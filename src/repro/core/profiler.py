@@ -22,8 +22,9 @@ otherwise; both paths share this code.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.backend import resolve_backend
 from repro.core.coalescing import CoalescingModel
 from repro.core.pi_profile import DEFAULT_SIMILARITY_THRESHOLD, PiClusterer
 from repro.core.profile import GmapProfile, InstructionStats, PiProfileStats
@@ -134,6 +135,12 @@ class GmapProfiler:
     locality analysis runs on warp-coalesced streams (default, section 4),
     ``similarity_threshold`` is the π-clustering Th (0.9, section 4.4),
     ``segment_size`` the transaction/cache-line granularity.
+
+    ``backend`` selects the compute implementation of the hot loops
+    (:mod:`repro.core.backend`): ``"python"`` is the scalar reference,
+    ``"numpy"`` the array kernels in :mod:`repro.core.vectorized`.  Both
+    produce **bit-identical** profiles — profiling is deterministic, so the
+    array path is an optimization, never a semantic fork.
     """
 
     def __init__(
@@ -143,6 +150,7 @@ class GmapProfiler:
         segment_size: int = 128,
         sched_p_self: float = 0.0,
         reuse_semantics: str = "lookback",
+        backend: Optional[str] = None,
     ) -> None:
         if reuse_semantics not in ("lookback", "stack"):
             raise ValueError(
@@ -153,6 +161,7 @@ class GmapProfiler:
         self.segment_size = segment_size
         self.sched_p_self = sched_p_self
         self.reuse_semantics = reuse_semantics
+        self.backend = resolve_backend(backend)
 
     # -- public API ----------------------------------------------------------
 
@@ -162,7 +171,16 @@ class GmapProfiler:
         occupancy = 1.0
         if self.coalescing:
             coalescer = CoalescingModel(self.segment_size)
-            warp_traces = build_warp_traces(kernel, thread_traces, coalescer)
+            if self.backend == "numpy":
+                from repro.core.vectorized import build_warp_traces_fast
+
+                warp_traces = build_warp_traces_fast(
+                    kernel.launch, thread_traces, coalescer
+                )
+            else:
+                warp_traces = build_warp_traces(
+                    kernel, thread_traces, coalescer
+                )
             units = _warp_unit_streams(warp_traces)
             unit_kind = "warp"
             active = sum(t.active_lanes for t in warp_traces)
@@ -207,8 +225,23 @@ class GmapProfiler:
             if len(stream.steps) < len(stream.pcs):
                 stream.steps.extend([0] * (len(stream.pcs) - len(stream.steps)))
         clusterer = self._cluster_pi_profiles(units)
-        instructions = self._instruction_stats(units)
-        pi_stats = self._reuse_stats(units, clusterer)
+        if self.backend == "numpy":
+            from repro.core import vectorized
+
+            instructions = vectorized.vectorized_instruction_stats(
+                units, self.segment_size
+            )
+            pi_stats = vectorized.vectorized_reuse_stats(
+                units,
+                clusterer,
+                self.segment_size,
+                MAX_TRACKED_REUSE,
+                MAX_REUSE_UNITS_PER_CLUSTER,
+                reuse_semantics=self.reuse_semantics,
+            )
+        else:
+            instructions = self._instruction_stats(units)
+            pi_stats = self._reuse_stats(units, clusterer)
         total_txns = sum(sum(u.txns) for u in units)
         return GmapProfile(
             name=name,

@@ -28,6 +28,11 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List
 
+try:  # Array-backed kernels are optional; the scalar path has no deps.
+    import numpy as _np
+except ImportError:  # pragma: no cover - depends on the environment
+    _np = None
+
 #: Sentinel distance for a first-touch (compulsory / cold) access.
 COLD_MISS = -1
 
@@ -103,6 +108,128 @@ class _FenwickTree:
         if hi < lo:
             return 0
         return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+
+class ArrayFenwickTree:
+    """Fenwick tree over a NumPy ``int64`` buffer (``numpy`` backend).
+
+    Drop-in for :class:`_FenwickTree`: same public API and the same
+    geometric growth, but the node array lives in one contiguous NumPy
+    buffer, so growth is a vectorized copy-and-rebuild instead of a Python
+    list rebuild, and the whole structure can be inspected as an array.
+    """
+
+    __slots__ = ("_tree", "_size")
+
+    def __init__(self, size: int = 1024) -> None:
+        if _np is None:  # pragma: no cover - guarded by backend resolution
+            raise RuntimeError("ArrayFenwickTree requires numpy")
+        self._size = max(1, size)
+        self._tree = _np.zeros(self._size + 1, dtype=_np.int64)
+
+    def _grow(self, needed: int) -> None:
+        new_size = self._size
+        while new_size < needed:
+            new_size *= 2
+        # Recover point values (peel sibling subtotals off each node), then
+        # rebuild with the classic O(n) push-up — mirrors _FenwickTree._grow
+        # with the storage staying in one int64 buffer.
+        old = self._tree
+        values = _np.zeros(new_size + 1, dtype=_np.int64)
+        for i in range(1, self._size + 1):
+            v = int(old[i])
+            j = i - 1
+            stop = i - (i & (-i))
+            while j > stop:
+                v -= int(old[j])
+                j -= j & (-j)
+            values[i] = v
+        for i in range(1, new_size + 1):
+            parent = i + (i & (-i))
+            if parent <= new_size:
+                values[parent] += values[i]
+        self._size = new_size
+        self._tree = values
+
+    def add(self, pos: int, delta: int) -> None:
+        """Add ``delta`` at 0-based position ``pos``."""
+        if pos >= self._size:
+            self._grow(pos + 1)
+        i = pos + 1
+        tree = self._tree
+        size = self._size
+        while i <= size:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, pos: int) -> int:
+        """Sum of values at 0-based positions ``[0, pos]``."""
+        if pos < 0:
+            return 0
+        i = min(pos + 1, self._size)
+        tree = self._tree
+        total = 0
+        while i > 0:
+            total += int(tree[i])
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of values at 0-based positions ``[lo, hi]``."""
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+
+def lookback_gaps(elements: "_np.ndarray", positions: "_np.ndarray"):
+    """Vectorized previous-occurrence gaps (the lookback reuse kernel).
+
+    ``elements[i]`` (e.g. cache-line ids) was touched at instance slot
+    ``positions[i]``; for every *repeat* touch the result holds
+    ``positions[i] - positions[prev] - 1`` — the number of intervening
+    instance slots since the previous touch of the same element, exactly
+    what the scalar ``last_instance`` loop feeds the P_R histogram.  First
+    touches contribute nothing (they are the cold misses).  Result order is
+    a permutation of the scalar emission order, which is irrelevant to the
+    histogram.
+    """
+    if _np is None:  # pragma: no cover - guarded by backend resolution
+        raise RuntimeError("lookback_gaps requires numpy")
+    elements = _np.asarray(elements, dtype=_np.int64)
+    positions = _np.asarray(positions, dtype=_np.int64)
+    if len(elements) == 0:
+        return _np.array([], dtype=_np.int64)
+    order = _np.lexsort((positions, elements))
+    e = elements[order]
+    p = positions[order]
+    repeat = e[1:] == e[:-1]
+    return p[1:][repeat] - p[:-1][repeat] - 1
+
+
+def stack_distances_array(elements) -> "_np.ndarray":
+    """LRU stack distances of an element array (``numpy`` backend).
+
+    Same online Fenwick algorithm as :class:`StackDistanceTracker`, backed
+    by :class:`ArrayFenwickTree` and returning one ``int64`` array (cold
+    misses as :data:`COLD_MISS`) that downstream histogram construction can
+    consume with a single ``np.unique``.
+    """
+    if _np is None:  # pragma: no cover - guarded by backend resolution
+        raise RuntimeError("stack_distances_array requires numpy")
+    arr = _np.asarray(elements, dtype=_np.int64)
+    out = _np.empty(len(arr), dtype=_np.int64)
+    tree = ArrayFenwickTree(max(1, len(arr)))
+    last_time: dict = {}
+    for now, element in enumerate(arr.tolist()):
+        prev = last_time.get(element)
+        if prev is None:
+            out[now] = COLD_MISS
+        else:
+            out[now] = tree.range_sum(prev + 1, now - 1)
+            tree.add(prev, -1)
+        last_time[element] = now
+        tree.add(now, 1)
+    return out
 
 
 class StackDistanceTracker:

@@ -23,6 +23,12 @@ Files written by :func:`save_thread_traces` end with a ``# sha256``
 trailer verified at load (files without it — e.g. from external producers
 — still load), raising
 :class:`~repro.core.integrity.CorruptArtifactError` on a mismatch.
+
+Paths ending ``.npz`` use the binary columnar container instead
+(:mod:`repro.memsim.arrays`, ``gmap-ttrace-npz`` schema) with the launch
+geometry in its JSON header; the loader can memory-map the columns, so
+feeding a large externally-collected trace into the front end stops being
+a per-record parse.  Binary paths need NumPy; text paths never do.
 """
 
 from __future__ import annotations
@@ -30,8 +36,9 @@ from __future__ import annotations
 import gzip
 import re
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.core.backend import numpy_available, resolve_backend
 from repro.core.coalescing import CoalescingModel
 from repro.core.integrity import CorruptArtifactError, text_checksum
 from repro.gpu.executor import WarpTrace, lockstep_warp_trace
@@ -44,12 +51,35 @@ _MAGIC = re.compile(r"^# gmap-ttrace v1 grid=(\d+) block=(\d+)\s*$")
 _CHECKSUM_PREFIX = "# sha256 "
 
 
+def _require_numpy(path: Path) -> None:
+    if not numpy_available():
+        raise RuntimeError(
+            f"{path}: the .npz binary trace format requires numpy; "
+            f"use the text format on interpreters without it"
+        )
+
+
 def save_thread_traces(
     thread_traces: List[List[AccessTuple]],
     launch: LaunchConfig,
     path: PathLike,
 ) -> None:
-    """Write per-thread traces in the external one-access-per-line format."""
+    """Write per-thread traces; ``.npz`` paths use the binary container."""
+    path = Path(path)
+    if path.suffix == ".npz":
+        _require_numpy(path)
+        from repro.memsim import arrays
+
+        arrays.save_columns(
+            path,
+            arrays.pack_thread_traces(thread_traces),
+            arrays.FORMAT_THREAD,
+            extra_meta={
+                "grid": launch.grid_dim.x,
+                "block": launch.block_dim.x,
+            },
+        )
+        return
     lines = [f"# gmap-ttrace v1 grid={launch.grid_dim.x} "
              f"block={launch.block_dim.x}"]
     for tid, trace in enumerate(thread_traces):
@@ -70,10 +100,36 @@ def save_thread_traces(
 
 
 def load_thread_traces(
-    path: PathLike,
+    path: PathLike, mmap: bool = False
 ) -> Tuple[List[List[AccessTuple]], LaunchConfig]:
-    """Read a per-thread trace file; returns (per-thread traces, launch)."""
+    """Read a per-thread trace file; returns (per-thread traces, launch).
+
+    ``mmap`` applies to ``.npz`` containers only (columns are memory-mapped
+    and the full-byte checksum is skipped; schema checks still run).
+    """
     path = Path(path)
+    if path.suffix == ".npz":
+        _require_numpy(path)
+        from repro.memsim import arrays
+
+        columns, meta = arrays.load_columns(
+            path, arrays.FORMAT_THREAD, mmap=mmap
+        )
+        try:
+            launch = LaunchConfig(
+                grid_dim=int(meta["grid"]), block_dim=int(meta["block"])
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptArtifactError(
+                f"{path}: container header lacks a valid launch geometry"
+            ) from exc
+        traces = arrays.unpack_thread_traces(columns)
+        if len(traces) != launch.total_threads:
+            raise CorruptArtifactError(
+                f"{path}: container holds {len(traces)} threads, header "
+                f"launch implies {launch.total_threads}"
+            )
+        return traces, launch
     if path.suffix == ".gz":
         with gzip.open(path, "rt", encoding="utf-8") as fh:
             text = fh.read()
@@ -139,11 +195,24 @@ def _verify_checksum(path: Path, lines: List[str]) -> None:
 
 
 def warp_traces_from_thread_file(
-    path: PathLike, segment_size: int = 128
+    path: PathLike,
+    segment_size: int = 128,
+    backend: Optional[str] = None,
+    mmap: bool = False,
 ) -> Tuple[List[WarpTrace], LaunchConfig]:
-    """Load a per-thread trace file and run it through the Fermi front end."""
-    thread_traces, launch = load_thread_traces(path)
+    """Load a per-thread trace file and run it through the Fermi front end.
+
+    ``backend`` selects the front-end implementation
+    (:mod:`repro.core.backend`): the ``numpy`` backend coalesces
+    divergence-free warps with one vectorized pass per warp and falls back
+    to the scalar lockstep walk elsewhere — output is bit-identical.
+    """
+    thread_traces, launch = load_thread_traces(path, mmap=mmap)
     coalescer = CoalescingModel(segment_size)
+    if resolve_backend(backend) == "numpy":
+        from repro.core.vectorized import build_warp_traces_fast
+
+        return build_warp_traces_fast(launch, thread_traces, coalescer), launch
     warp_traces = []
     for warp in launch.iter_warps():
         lanes = [thread_traces[tid] for tid in launch.threads_in_warp(warp)]

@@ -23,6 +23,12 @@ when present (older files without the trailer still load), raising
 :class:`~repro.core.integrity.CorruptArtifactError` on a mismatch — a
 truncated or bit-flipped trace must fail loudly, not feed the profiler
 silently-wrong statistics.
+
+Paths ending ``.npz`` use the binary columnar container instead
+(:mod:`repro.memsim.arrays`, ``gmap-trace-npz`` schema): one NumPy column
+per field with a checksummed JSON header, loadable with ``mmap=True`` so
+repeated sweeps stop re-parsing text.  The binary path needs NumPy; the
+text path never does.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import gzip
 from pathlib import Path
 from typing import List, Union
 
+from repro.core.backend import numpy_available
 from repro.core.integrity import CorruptArtifactError, text_checksum
 from repro.gpu.executor import WarpTrace
 
@@ -40,8 +47,29 @@ _MAGIC = "# gmap-trace v1"
 _CHECKSUM_PREFIX = "# sha256 "
 
 
+def _require_numpy(path: Path) -> None:
+    if not numpy_available():
+        raise RuntimeError(
+            f"{path}: the .npz binary trace format requires numpy; "
+            f"use the text format on interpreters without it"
+        )
+
+
 def save_warp_traces(traces: List[WarpTrace], path: PathLike) -> None:
-    """Write warp traces to a trace file (gzipped if the path ends .gz)."""
+    """Write warp traces to a trace file.
+
+    The format follows the suffix: ``.npz`` → binary columnar container,
+    ``.gz`` → gzipped text, anything else → plain text.
+    """
+    path = Path(path)
+    if path.suffix == ".npz":
+        _require_numpy(path)
+        from repro.memsim import arrays
+
+        arrays.save_columns(
+            path, arrays.pack_warp_traces(traces), arrays.FORMAT_WARP
+        )
+        return
     lines = [_MAGIC]
     for trace in traces:
         lines.append(f"W {trace.warp_id} {trace.block}")
@@ -52,7 +80,6 @@ def save_warp_traces(traces: List[WarpTrace], path: PathLike) -> None:
             lines.append(f"T {pc:#x} {address:#x} {size} {rw}")
     body = "\n".join(lines) + "\n"
     payload = body + f"{_CHECKSUM_PREFIX}{text_checksum(body)}\n"
-    path = Path(path)
     if path.suffix == ".gz":
         with gzip.open(path, "wt", encoding="utf-8") as fh:
             fh.write(payload)
@@ -60,9 +87,22 @@ def save_warp_traces(traces: List[WarpTrace], path: PathLike) -> None:
         path.write_text(payload, encoding="utf-8")
 
 
-def load_warp_traces(path: PathLike) -> List[WarpTrace]:
-    """Read a trace file written by :func:`save_warp_traces`."""
+def load_warp_traces(path: PathLike, mmap: bool = False) -> List[WarpTrace]:
+    """Read a trace file written by :func:`save_warp_traces`.
+
+    ``mmap`` applies to ``.npz`` containers only: columns are memory-mapped
+    out of the zip instead of copied (full-byte checksum verification is
+    skipped in that mode — the schema/header checks still run).
+    """
     path = Path(path)
+    if path.suffix == ".npz":
+        _require_numpy(path)
+        from repro.memsim import arrays
+
+        columns, _ = arrays.load_columns(
+            path, arrays.FORMAT_WARP, mmap=mmap
+        )
+        return arrays.unpack_warp_traces(columns)
     if path.suffix == ".gz":
         with gzip.open(path, "rt", encoding="utf-8") as fh:
             text = fh.read()

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
+from repro.core.backend import resolve_backend
 from repro.core.cache import ArtifactCache, resolve_cache
 from repro.core.generator import ProxyGenerator
 from repro.core.miniaturize import miniaturize_profile
@@ -66,12 +67,21 @@ def build_pipeline(
     stride_model: str = "iid",
     cache: Union[None, bool, ArtifactCache] = None,
     verify: bool = True,
+    backend: Optional[str] = None,
 ) -> BenchmarkPipeline:
     """Profile a kernel and generate its proxy, ready for simulation.
 
     ``scale_factor`` miniaturizes the proxy (Figure 8); 1.0 keeps the clone
     the same size as the original.  ``stride_model`` selects the paper's IID
     stride sampling or the first-order Markov refinement.
+
+    ``backend`` selects the implementation of the profiling and generation
+    kernels (:mod:`repro.core.backend`): ``"python"`` is the pure-python
+    reference, ``"numpy"`` the vectorized array core.  Profiles are
+    bit-identical across backends; the generated proxy is statistically
+    equivalent but not bit-identical (different RNG streams), so the
+    backend participates in the pipeline cache key.  When an explicit
+    ``profiler`` is passed its own backend wins for profiling.
 
     ``cache`` (None/False off, True for the default location, or an
     :class:`~repro.core.cache.ArtifactCache`) memoizes the profile and both
@@ -84,7 +94,8 @@ def build_pipeline(
     :class:`~repro.analysis.verify.ProfileVerificationError` here, in
     milliseconds, instead of corrupting a multi-hour sweep downstream.
     """
-    profiler = profiler or GmapProfiler()
+    backend = resolve_backend(backend)
+    profiler = profiler or GmapProfiler(backend=backend)
     cache = resolve_cache(cache)
     key = None
     if cache is not None:
@@ -96,6 +107,7 @@ def build_pipeline(
             num_cores=num_cores,
             max_blocks_per_core=max_blocks_per_core,
             coalescing=getattr(profiler, "coalescing", True),
+            backend=backend,
         )
         cached = cache.load_pipeline(key)
         if cached is not None:
@@ -123,7 +135,8 @@ def build_pipeline(
     else:
         profile_for_generation = profile
     generator = ProxyGenerator(
-        profile_for_generation, seed=seed, stride_model=stride_model
+        profile_for_generation, seed=seed, stride_model=stride_model,
+        backend=backend,
     )
     proxy = generator.generate(num_cores, max_blocks_per_core=max_blocks_per_core)
     t2 = time.perf_counter()
@@ -302,6 +315,7 @@ def run_experiment(
     journal_dir=None,
     run_id: Optional[str] = None,
     resume: bool = False,
+    backend: Optional[str] = None,
 ) -> ExperimentReport:
     """The full per-figure evaluation loop: all benchmarks x all configs.
 
@@ -317,6 +331,11 @@ def run_experiment(
     :class:`~repro.validation.parallel.SweepRunner`.  The resolved run id is
     available afterwards on the returned report as ``report.run_id`` when
     journaling was active.
+
+    ``backend`` picks the profiling/generation implementation (python
+    reference or vectorized numpy array core) and is forwarded to every
+    worker's ``build_pipeline`` so a parallel run uses one backend
+    throughout; ``None`` defers to ``GMAP_BACKEND``/default.
     """
     from repro.validation.parallel import SweepRunner
 
@@ -328,7 +347,8 @@ def run_experiment(
         resume=resume,
     )
     report = runner.run_experiment(
-        kernels, configs, metric, seed=seed, num_cores=num_cores
+        kernels, configs, metric, seed=seed, num_cores=num_cores,
+        backend=backend,
     )
     report.run_id = runner.last_run_id
     return report

@@ -34,6 +34,7 @@ engine degrades to a plain loop with identical results.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 import uuid
@@ -44,6 +45,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.backend import resolve_backend
 from repro.core.cache import (
     ArtifactCache,
     config_fingerprint,
@@ -98,6 +100,7 @@ class _SweepChunk:
     track_scheduling: bool
     use_cache: bool
     cache_dir: Optional[str]
+    backend: str = "python"
 
 
 def _chunk_id(chunk: _SweepChunk) -> Tuple[int, int]:
@@ -134,6 +137,7 @@ def _run_chunk(chunk: _SweepChunk) -> Tuple[int, int, List[RunPair]]:
                 scale_factor=chunk.scale_factor,
                 stride_model=chunk.stride_model,
                 cache=_chunk_cache(chunk),
+                backend=chunk.backend,
             )
             _WORKER_PIPELINES[memo_key] = pipeline
             while len(_WORKER_PIPELINES) > _WORKER_PIPELINE_CAP:
@@ -192,8 +196,9 @@ class SweepRunner:
 
     ``jobs`` is the worker-process count (1 = in-process, no pool).
     ``chunk_size`` overrides the per-task config slice length; by default
-    the runner targets ~2 tasks per worker so stragglers even out while
-    each worker still amortizes its pipeline across many configs.
+    the runner cuts each benchmark into at most ``ceil(jobs/benchmarks)``
+    chunks — enough parallelism to fill the pool without re-building the
+    same benchmark's pipeline in extra workers on a cold run.
     ``use_cache``/``cache_dir`` enable the content-addressed artifact cache
     for pipelines and per-configuration result pairs.
 
@@ -268,10 +273,13 @@ class SweepRunner:
             return self.chunk_size
         if self.jobs == 1:
             return num_configs or 1
-        # Aim for ~2 tasks per worker across the whole sweep, but never
-        # split one benchmark into more chunks than it has configs.
-        total_target = self.jobs * 2
-        per_kernel = max(1, -(-total_target // max(1, num_kernels)))
+        # Split each benchmark into at most ceil(jobs / num_kernels)
+        # chunks: enough to keep every worker busy across the sweep, but
+        # never more.  Each extra chunk of the same benchmark that lands in
+        # a different worker rebuilds (or re-reads) that benchmark's
+        # pipeline, so on a cold run over-splitting multiplies the most
+        # expensive stage — with >= jobs benchmarks each stays one chunk.
+        per_kernel = max(1, -(-self.jobs // max(1, num_kernels)))
         return max(1, -(-num_configs // per_kernel))
 
     def _sweep_manifest(
@@ -283,6 +291,7 @@ class SweepRunner:
         max_blocks_per_core: int,
         scale_factor: float,
         stride_model: str,
+        backend: str,
     ) -> Dict[str, object]:
         return {
             "kernels": [kernel_fingerprint(k) for k in kernels],
@@ -293,6 +302,7 @@ class SweepRunner:
             "max_blocks_per_core": max_blocks_per_core,
             "scale_factor": scale_factor,
             "stride_model": stride_model,
+            "backend": backend,
             "track_scheduling": self.track_scheduling,
         }
 
@@ -313,6 +323,7 @@ class SweepRunner:
         max_blocks_per_core: int,
         scale_factor: float,
         stride_model: str,
+        backend: str,
         chunk_size: Optional[int] = None,
         run_token: Optional[str] = None,
     ) -> List[_SweepChunk]:
@@ -337,6 +348,7 @@ class SweepRunner:
                     track_scheduling=self.track_scheduling,
                     use_cache=self.use_cache,
                     cache_dir=self.cache_dir,
+                    backend=backend,
                 ))
         return chunks
 
@@ -441,8 +453,12 @@ class SweepRunner:
 
         while pending:
             try:
+                # Chunks are CPU-bound: workers beyond the core count only
+                # add context-switch and memory pressure, so the pool never
+                # oversubscribes the machine even if ``jobs`` asks for it.
                 pool = ProcessPoolExecutor(
-                    max_workers=min(self.jobs, len(pending)))
+                    max_workers=min(self.jobs, len(pending),
+                                    os.cpu_count() or self.jobs))
             except OSError:
                 # Missing process primitives: degrade to the same-process
                 # path, which is result-identical.
@@ -527,6 +543,7 @@ class SweepRunner:
         max_blocks_per_core: int = 8,
         scale_factor: float = 1.0,
         stride_model: str = "iid",
+        backend: Optional[str] = None,
     ) -> List[SweepResult]:
         """All benchmarks x all configs; one ordered SweepResult per kernel.
 
@@ -536,9 +553,10 @@ class SweepRunner:
         Chunks that exhausted their retries surface as ``.failures`` on the
         affected :class:`SweepResult` instead of raising.
         """
+        backend = resolve_backend(backend)
         manifest = self._sweep_manifest(
             kernels, configs, seed, num_cores, max_blocks_per_core,
-            scale_factor, stride_model,
+            scale_factor, stride_model, backend,
         )
         journal = self._resolve_journal(manifest)
         chunk_size = self._effective_chunk_size(len(kernels), len(configs))
@@ -553,7 +571,7 @@ class SweepRunner:
             chunk_size = int(effective.get("chunk_size", chunk_size))
         chunks = self._build_chunks(
             kernels, configs, seed, num_cores, max_blocks_per_core,
-            scale_factor, stride_model,
+            scale_factor, stride_model, backend,
             chunk_size=chunk_size, run_token=run_token,
         )
 
@@ -611,6 +629,7 @@ class SweepRunner:
         max_blocks_per_core: int = 8,
         scale_factor: float = 1.0,
         stride_model: str = "iid",
+        backend: Optional[str] = None,
     ) -> ExperimentReport:
         """Sweep every benchmark and aggregate one metric into a report."""
         sweeps = self.run(
@@ -618,6 +637,7 @@ class SweepRunner:
             seed=seed, num_cores=num_cores,
             max_blocks_per_core=max_blocks_per_core,
             scale_factor=scale_factor, stride_model=stride_model,
+            backend=backend,
         )
         return ExperimentReport(
             metric=metric,

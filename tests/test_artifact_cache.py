@@ -99,17 +99,17 @@ class TestPipelineCache:
 
     def test_corrupted_entry_recomputes(self, cache, kernel):
         cold = build_pipeline(kernel, num_cores=4, cache=cache)
-        path = cache._path("pipeline", cold.cache_key)
+        path = cache.pipeline_entry_path(cold.cache_key)
         assert path.exists()
-        path.write_bytes(b"not gzip at all")
+        path.write_bytes(b"not a cache entry at all")
         again = build_pipeline(kernel, num_cores=4, cache=cache)
         assert not again.from_cache
         assert cache.counters.errors >= 1
         assert _pipeline_transactions(again) == _pipeline_transactions(cold)
 
-    def test_truncated_gzip_recomputes(self, cache, kernel):
+    def test_truncated_entry_recomputes(self, cache, kernel):
         cold = build_pipeline(kernel, num_cores=4, cache=cache)
-        path = cache._path("pipeline", cold.cache_key)
+        path = cache.pipeline_entry_path(cold.cache_key)
         path.write_bytes(path.read_bytes()[:20])
         again = build_pipeline(kernel, num_cores=4, cache=cache)
         assert not again.from_cache
@@ -119,12 +119,30 @@ class TestPipelineCache:
         import json
 
         cold = build_pipeline(kernel, num_cores=4, cache=cache)
-        path = cache._path("pipeline", cold.cache_key)
-        with gzip.open(path, "rt", encoding="utf-8") as fh:
-            payload = json.load(fh)
-        payload["schema"] = CACHE_SCHEMA_VERSION + 1
-        with gzip.open(path, "wt", encoding="utf-8") as fh:
-            json.dump(payload, fh)
+        path = cache.pipeline_entry_path(cold.cache_key)
+        if path.suffix == ".npz":
+            import numpy as np
+
+            from repro.memsim import arrays as columnar
+
+            with np.load(path) as payload:
+                columns = {name: payload[name] for name in payload.files}
+            meta = json.loads(
+                bytes(columns.pop(columnar.META_MEMBER).tobytes()).decode()
+            )
+            columnar.save_columns(
+                path, columns, columnar.FORMAT_PIPELINE,
+                extra_meta={
+                    "cache_schema": CACHE_SCHEMA_VERSION + 1,
+                    "meta": meta["meta"],
+                },
+            )
+        else:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            payload["schema"] = CACHE_SCHEMA_VERSION + 1
+            with gzip.open(path, "wt", encoding="utf-8") as fh:
+                json.dump(payload, fh)
         again = build_pipeline(kernel, num_cores=4, cache=cache)
         assert not again.from_cache
         assert _pipeline_transactions(again) == _pipeline_transactions(cold)

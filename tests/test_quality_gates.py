@@ -26,7 +26,12 @@ def test_every_module_has_a_docstring(module_path):
 
 @pytest.mark.parametrize("module_name", MODULES)
 def test_every_module_imports_cleanly(module_name):
-    importlib.import_module(module_name)
+    try:
+        importlib.import_module(module_name)
+    except ImportError as exc:
+        if "numpy" in str(exc).lower():
+            pytest.skip(f"optional dependency unavailable: {exc}")
+        raise
 
 
 def test_public_classes_and_functions_documented():
