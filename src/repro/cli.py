@@ -159,6 +159,50 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--verify-only", action="store_true",
                    help="skip the determinism linter pass")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the supervised job service (profile/generate/simulate/"
+             "validate over HTTP)",
+    )
+    p.add_argument("--host", default=None,
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="listen port (default: 0 = ephemeral, printed on "
+                        "startup)")
+    p.add_argument("--serve-workers", type=int, default=None, metavar="N",
+                   dest="serve_workers",
+                   help="concurrent worker slots (default: 2)")
+    p.add_argument("--queue-capacity", type=int, default=None,
+                   help="bounded admission queue depth; beyond it requests "
+                        "are shed with 429 + Retry-After (default: 32)")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-job wall-clock deadline; a hung worker is "
+                        "killed and the attempt typed 'timeout'")
+    p.add_argument("--retries", type=int, default=None,
+                   help="re-executions after a crash/timeout before the "
+                        "job fails for good (default: 1)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="SIGTERM drain: seconds to wait for running jobs "
+                        "before checkpointing them (default: 10)")
+    p.add_argument("--run-id", default=None,
+                   help="journal id for drain checkpoints (default: serve)")
+    p.add_argument("--journal-dir", default=None,
+                   help="checkpoint journal location (default: "
+                        "$GMAP_JOURNAL_DIR or <cache-dir>/journal)")
+    p.add_argument("--no-journal", action="store_true",
+                   help="disable drain checkpointing / restart resume")
+    p.add_argument("--isolation", choices=("process", "thread"), default=None,
+                   help="worker isolation (default: process; thread has no "
+                        "crash isolation and is for constrained platforms)")
+    p.add_argument("--allow-fault-injection", action="store_true",
+                   help="accept chaos fault directives on requests "
+                        "(test harness only; never in production)")
+    p.add_argument("--backend", default=None,
+                   help="compute backend for job handlers (python or numpy; "
+                        "default: $GMAP_BACKEND or python)")
+
     return parser
 
 
@@ -316,20 +360,10 @@ def _cmd_generate(args) -> int:
 
 def _cmd_simulate(args) -> int:
     if args.target.endswith((".trace", ".trace.gz", ".trace.npz")):
+        from repro.gpu.executor import assignments_from_traces
+
         traces = load_warp_traces(args.target)
-        from repro.gpu.executor import CoreAssignment
-        from repro.gpu.hierarchy import assign_blocks_to_cores, resident_waves
-        by_block: dict = {}
-        for t in traces:
-            by_block.setdefault(t.block, []).append(t)
-        assignments = []
-        placement = assign_blocks_to_cores(len(by_block), args.cores)
-        for core_id, blocks in enumerate(placement):
-            waves = [
-                [t for b in wave for t in by_block.get(b, [])]
-                for wave in resident_waves(blocks, 8)
-            ]
-            assignments.append(CoreAssignment(core_id=core_id, waves=waves))
+        assignments = assignments_from_traces(traces, args.cores)
         label = args.target
     else:
         kernel = suite.make(args.target, scale=args.scale)
@@ -494,8 +528,56 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.config import ServiceConfig
+    from repro.service.server import serve_forever
+
+    config = ServiceConfig.from_env(
+        host=args.host, port=args.port, workers=args.serve_workers,
+        queue_capacity=args.queue_capacity, job_timeout=args.job_timeout,
+        retries=args.retries, drain_timeout=args.drain_timeout,
+        run_id=args.run_id, journal_dir=args.journal_dir,
+        journal=False if args.no_journal else None,
+        isolation=args.isolation,
+        allow_fault_injection=args.allow_fault_injection or None,
+        backend=args.backend,
+    )
+    return serve_forever(config)
+
+
+#: Expected error type -> taxonomy kind for the CLI's exit-2 path.  These
+#: are the *operator mistakes* (bad paths, bad values, corrupt inputs) that
+#: must print one typed line, not a traceback (see docs/robustness.md).
+def _classify_cli_error(exc: BaseException) -> Optional[str]:
+    import zlib
+
+    from repro.core.integrity import CorruptArtifactError
+    from repro.validation.resilience import JournalLockedError
+
+    if isinstance(exc, CorruptArtifactError):
+        return "corrupt_artifact"
+    if isinstance(exc, JournalLockedError):
+        return "rejected"
+    if isinstance(exc, (FileNotFoundError, IsADirectoryError,
+                        PermissionError)):
+        return "invalid_request"
+    if isinstance(exc, (UnicodeDecodeError, KeyError, ValueError,
+                        zlib.error, EOFError)):
+        # json.JSONDecodeError and gzip's BadGzipFile are ValueError/OSError
+        # subclasses; malformed compressed inputs surface as zlib.error or
+        # EOFError from the gzip reader.
+        return "invalid_request"
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Operator mistakes — nonexistent inputs, malformed artifacts, bad
+    parameter values — exit with code 2 and a one-line typed error reusing
+    the :data:`~repro.validation.resilience.FAILURE_KINDS` taxonomy; a
+    traceback from ``gmap`` always indicates a bug, never a bad input.
+    """
     args = _build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -506,8 +588,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "validate": _cmd_validate,
         "check": _cmd_check,
+        "serve": _cmd_serve,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        return 0  # output piped into head/less that exited; not an error
+    except KeyboardInterrupt:
+        return 130
+    except Exception as exc:
+        kind = _classify_cli_error(exc)
+        if kind is None:
+            raise  # a real bug: keep the traceback
+        message = str(exc) or type(exc).__name__
+        print(f"gmap {args.command}: error [{kind}] {message}",
+              file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

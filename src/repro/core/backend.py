@@ -25,7 +25,9 @@ break stripped-down installs.
 from __future__ import annotations
 
 import os
-from typing import Optional, Tuple
+from typing import Callable, List, Optional, Tuple, TypeVar
+
+_T = TypeVar("_T")
 
 #: Environment variable selecting the default backend.
 ENV_BACKEND = "GMAP_BACKEND"
@@ -72,3 +74,46 @@ def resolve_backend(backend: Optional[str] = None) -> str:
             "backend 'numpy' requested but numpy is not importable"
         )
     return backend
+
+
+def fallback_chain(backend: Optional[str] = None) -> Tuple[str, ...]:
+    """The ordered backends to try for one unit of work.
+
+    The resolved request first; if that is not the scalar reference
+    implementation, the reference follows as the oracle fallback.  The
+    chain is what the service layer's degradation policy walks when a
+    vectorized path keeps failing.
+    """
+    resolved = resolve_backend(backend)
+    if resolved == DEFAULT_BACKEND:
+        return (resolved,)
+    return (resolved, DEFAULT_BACKEND)
+
+
+def run_with_fallback(
+    fn: Callable[[str], _T],
+    backend: Optional[str] = None,
+    on_fallback: Optional[Callable[[str, Exception], None]] = None,
+) -> Tuple[_T, str, List[Tuple[str, str]]]:
+    """Run ``fn(backend_name)`` down the fallback chain.
+
+    Returns ``(result, backend_used, fallback_errors)`` where
+    ``fallback_errors`` lists ``(backend, "ExcType: message")`` for every
+    backend that failed before one succeeded — non-empty means the result
+    is *degraded*: produced by the oracle path after the requested backend
+    broke.  The last backend's exception propagates unchanged (there is
+    nothing left to degrade to).  ``on_fallback`` is notified before each
+    retry — the service circuit breaker hooks in here.
+    """
+    chain = fallback_chain(backend)
+    errors: List[Tuple[str, str]] = []
+    for index, name in enumerate(chain):
+        try:
+            return fn(name), name, errors
+        except Exception as exc:
+            if index == len(chain) - 1:
+                raise
+            errors.append((name, f"{type(exc).__name__}: {exc}"))
+            if on_fallback is not None:
+                on_fallback(name, exc)
+    raise AssertionError("unreachable: fallback chain is never empty")

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from repro.core.backend import numpy_available
 from repro.core.integrity import (
     CorruptArtifactError,
+    integrity_events,
     payload_checksum,
     quarantine_file,
     verify_payload,
@@ -270,6 +271,7 @@ class ArtifactCache:
 
     def _quarantine(self, path: Path) -> None:
         """Move a damaged entry aside so it is rebuilt, not re-tripped-over."""
+        integrity_events.record("cache_rebuild")
         quarantine_file(path, self.root / "quarantine")
         self.counters.quarantined += 1
 

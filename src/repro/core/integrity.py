@@ -11,6 +11,13 @@ derived artifacts such as cache and journal entries).
 
 Quarantined files are *moved*, not deleted, so a corruption incident leaves
 evidence for post-mortem inspection.
+
+Every quarantine (and any explicitly recorded integrity incident) is also
+counted in the process-wide :data:`integrity_events` ledger.  The counters
+are how upper layers *observe* graceful degradation: a sweep or service job
+that transparently rebuilt a corrupt artifact still finished, but the event
+delta tells the caller the run degraded rather than ran clean (surfaced in
+``gmap serve``'s job outcomes and ``/healthz``).
 """
 
 from __future__ import annotations
@@ -18,10 +25,51 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 PathLike = Union[str, Path]
+
+
+class IntegrityEvents:
+    """Thread-safe process-wide counters of integrity incidents.
+
+    Keys are free-form event kinds (``quarantine``, ``checksum_mismatch``,
+    ...).  ``snapshot()`` returns a plain dict copy; ``delta(before)``
+    subtracts an earlier snapshot, which is how a worker reports only the
+    incidents *its* job caused.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+
+    def record(self, kind: str, count: int = 1) -> None:
+        with self._lock:
+            self._counts[kind] = self._counts.get(kind, 0) + count
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counts accrued since ``before`` (zero-delta kinds omitted)."""
+        now = self.snapshot()
+        return {
+            kind: now[kind] - before.get(kind, 0)
+            for kind in sorted(now)
+            if now[kind] - before.get(kind, 0) > 0
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+
+#: The process-wide ledger (one per worker process; deltas are shipped back
+#: to the supervisor alongside job results).
+integrity_events = IntegrityEvents()
 
 
 class CorruptArtifactError(ValueError):
@@ -69,6 +117,7 @@ def quarantine_file(path: PathLike, quarantine_dir: PathLike) -> Optional[Path]:
     """
     path = Path(path)
     quarantine_dir = Path(quarantine_dir)
+    integrity_events.record("quarantine")
     try:
         quarantine_dir.mkdir(parents=True, exist_ok=True)
         target = quarantine_dir / path.name

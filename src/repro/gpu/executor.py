@@ -229,3 +229,30 @@ def execute_kernel(
     return assign_warps_to_cores(
         kernel.launch, warp_traces, num_cores, max_blocks_per_core
     )
+
+
+def assignments_from_traces(
+    warp_traces: Sequence[WarpTrace],
+    num_cores: int,
+    max_blocks_per_core: int = 8,
+) -> List[CoreAssignment]:
+    """Place pre-built warp traces (e.g. loaded from a ``.trace`` file)
+    onto cores, grouping by the block id recorded in each trace.
+
+    Blocks are distributed with the same round-robin placement and
+    residency bound as :func:`execute_kernel`, so simulating a saved trace
+    matches simulating the kernel that produced it.  Shared by the CLI's
+    ``gmap simulate <file>`` path and the service's ``simulate`` job.
+    """
+    by_block: Dict[int, List[WarpTrace]] = {}
+    for trace in warp_traces:
+        by_block.setdefault(trace.block, []).append(trace)
+    assignments = []
+    placement = assign_blocks_to_cores(len(by_block), num_cores)
+    for core_id, blocks in enumerate(placement):
+        waves = [
+            [t for b in wave for t in by_block.get(b, [])]
+            for wave in resident_waves(blocks, max_blocks_per_core)
+        ]
+        assignments.append(CoreAssignment(core_id=core_id, waves=waves))
+    return assignments

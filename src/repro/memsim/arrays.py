@@ -55,6 +55,13 @@ FORMAT_PIPELINE = "gmap-pipeline-npz"
 #: Zip member holding the JSON header.
 META_MEMBER = "_meta"
 
+#: Upper bound on the ``_meta`` header, checked against the zip directory's
+#: *declared* size before any byte of the member is read.  A legitimate
+#: header is a few KiB of JSON; a multi-megabyte one is a corrupt or hostile
+#: container, and loading it eagerly would let a small file commandeer an
+#: unbounded allocation.
+MAX_META_BYTES = 1 << 20
+
 #: Declared dtypes of the warp-trace columns (``<prefix>`` stripped).
 WARP_COLUMNS: Dict[str, str] = {
     "warp_id": "<i8",
@@ -339,11 +346,51 @@ def save_columns(
 
 
 def _read_meta(raw: np.ndarray, path: Path) -> Dict:
+    if raw.nbytes > MAX_META_BYTES:
+        raise CorruptArtifactError(
+            f"{path}: _meta header is {raw.nbytes} bytes "
+            f"(limit {MAX_META_BYTES}); container is corrupt or hostile"
+        )
     try:
-        return json.loads(bytes(raw.astype(np.uint8).tobytes()).decode("utf-8"))
+        meta = json.loads(bytes(raw.astype(np.uint8).tobytes()).decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as exc:
         raise CorruptArtifactError(
             f"{path}: unreadable _meta header in binary trace container"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise CorruptArtifactError(
+            f"{path}: _meta header is not a JSON object"
+        )
+    return meta
+
+
+def _check_meta_bounded(path: Path) -> None:
+    """Reject an oversized ``_meta`` from the zip directory alone.
+
+    Reads only the central directory — the member's declared size — so a
+    corrupt or adversarial container is refused before any allocation of
+    its claimed payload.  Structural zip problems surface as
+    :class:`CorruptArtifactError` here rather than deeper in ``np.load``.
+    """
+    try:
+        with zipfile.ZipFile(path) as zf:
+            for info in zf.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[:-4]
+                if name == META_MEMBER and info.file_size > MAX_META_BYTES + 1024:
+                    # +1KiB slop for the .npy array header around the JSON.
+                    raise CorruptArtifactError(
+                        f"{path}: _meta member declares {info.file_size} "
+                        f"bytes (limit {MAX_META_BYTES}); refusing to load"
+                    )
+    except zipfile.BadZipFile as exc:
+        raise CorruptArtifactError(
+            f"{path}: cannot read binary trace container: {exc}"
+        ) from exc
+    except OSError as exc:
+        raise CorruptArtifactError(
+            f"{path}: cannot read binary trace container: {exc}"
         ) from exc
 
 
@@ -414,6 +461,7 @@ def load_columns(
     the schema checks or the text checksum of derived artifacts).
     """
     path = Path(path)
+    _check_meta_bounded(path)
     arrays: Optional[Dict[str, np.ndarray]] = None
     if mmap:
         arrays = _mmap_npz_members(path)

@@ -1,0 +1,28 @@
+"""The ``gmap serve`` service layer: supervised job execution over HTTP.
+
+Layers (each importable on its own):
+
+* :mod:`repro.service.config` — ``ServiceConfig`` + ``GMAP_SERVE_*`` env;
+* :mod:`repro.service.protocol` — job/outcome types, admission validation;
+* :mod:`repro.service.queue` — bounded admission queue, load shedding;
+* :mod:`repro.service.degradation` — per-backend circuit breakers;
+* :mod:`repro.service.handlers` — job execution inside worker processes;
+* :mod:`repro.service.supervisor` — crash-isolated worker slots;
+* :mod:`repro.service.server` — HTTP front end, drain/checkpoint/resume;
+* :mod:`repro.service.chaos` — the fault-injection acceptance harness.
+
+See docs/robustness.md for the lifecycle (admit → run → degrade → drain →
+resume) and the operator runbook.
+"""
+
+from repro.service.config import ServiceConfig
+from repro.service.protocol import JobOutcome, JobRequest
+from repro.service.server import GmapService, serve_forever
+
+__all__ = [
+    "GmapService",
+    "JobOutcome",
+    "JobRequest",
+    "ServiceConfig",
+    "serve_forever",
+]

@@ -1,0 +1,475 @@
+"""Chaos harness for ``gmap serve``: inject faults, assert survival.
+
+Boots a real service (HTTP listener included) per scenario, injects the
+fault families of the PR 2 harness — worker kills, hangs, corrupt
+artifacts — plus service-specific abuse (queue floods, drain mid-flight),
+and asserts the acceptance invariants:
+
+* the server process never crashes;
+* every submission terminates with a well-typed outcome: completed,
+  failed with a taxonomy kind, or rejected with an HTTP-style code;
+* the queue stays bounded (shedding, not accumulation);
+* degraded responses are explicitly labeled;
+* a SIGTERM-style drain checkpoints unfinished jobs and the next boot
+  resumes every one of them under its original id.
+
+Run it directly (``python -m repro.service.chaos --smoke``) — the CI
+``service`` job does exactly that under a hard wall-clock timeout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.config import ServiceConfig
+from repro.service.server import GmapService, ServeHTTPServer
+
+#: Upper bound on any single wait inside a scenario, seconds.
+WAIT_LIMIT = 60.0
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's verdict: empty ``violations`` means it held."""
+
+    name: str
+    violations: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# -- service/HTTP plumbing --------------------------------------------------
+
+class _LiveServer:
+    """An in-process service + HTTP listener, torn down deterministically."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.service = GmapService(config)
+        self.resumed = self.service.start()
+        self.httpd = ServeHTTPServer(self.service)
+        host, port = self.httpd.server_address[:2]
+        self.base = f"http://{host}:{port}"
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1}, daemon=True)
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._thread.join(5.0)
+        self.service.stop()
+
+    def drain(self) -> Dict[str, Any]:
+        status, payload = _request(self.base + "/drain", method="POST")
+        # /drain schedules its own HTTP shutdown; join and release.
+        self._thread.join(10.0)
+        self.httpd.server_close()
+        self.service.stop()
+        if status != 200:
+            raise RuntimeError(f"drain returned HTTP {status}: {payload}")
+        return payload
+
+
+def _request(url: str, body: Optional[Dict[str, Any]] = None,
+             method: str = "GET") -> Tuple[int, Dict[str, Any]]:
+    data = None
+    headers = {}
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    req = urllib.request.Request(url, data=data, headers=headers,
+                                 method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        raw = exc.read().decode("utf-8", "replace")
+        try:
+            payload = json.loads(raw)
+        except ValueError:
+            payload = {"error": raw}
+        payload.setdefault("_retry_after", exc.headers.get("Retry-After"))
+        return exc.code, payload
+
+
+def _submit(base: str, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
+    return _request(base + "/jobs", body=payload, method="POST")
+
+
+def _wait_terminal(base: str, job_id: str,
+                   timeout: float) -> Optional[Dict[str, Any]]:
+    """Poll one job until a terminal status, or None on deadline."""
+    deadline = time.monotonic() + min(timeout, WAIT_LIMIT)
+    while time.monotonic() < deadline:
+        status, payload = _request(f"{base}/jobs/{job_id}")
+        if status == 200 and payload.get("status") in (
+                "completed", "failed", "rejected"):
+            return payload
+        time.sleep(0.05)
+    return None
+
+
+def _sim_job(fault: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+    job: Dict[str, Any] = {
+        "kind": "simulate",
+        "params": {"target": "vectoradd", "scale": "tiny", "cores": 2},
+    }
+    if fault is not None:
+        job["fault"] = fault
+    return job
+
+
+def _config(tmp: Path, **overrides) -> ServiceConfig:
+    defaults = dict(
+        workers=2, queue_capacity=16, job_timeout=30.0, retries=1,
+        restart_backoff=0.05, drain_timeout=3.0,
+        journal=True, journal_dir=str(tmp / "journal"), run_id="chaos",
+        breaker_cooldown=0.5, allow_fault_injection=True,
+    )
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+# -- scenarios --------------------------------------------------------------
+
+def scenario_worker_kill_retries(tmp: Path, rng: random.Random,
+                                 smoke: bool) -> ScenarioResult:
+    """A once-fault kills the first worker; the retry must succeed."""
+    result = ScenarioResult("worker_kill_retries")
+    state = tmp / f"kill-state-{rng.randrange(1 << 30)}"
+    server = _LiveServer(_config(tmp, run_id="kill-once"))
+    try:
+        fault = {"spec": "crash:*:*", "state": str(state)}
+        status, accepted = _submit(server.base, _sim_job(fault))
+        if status != 202:
+            result.violations.append(f"submit returned HTTP {status}")
+            return result
+        outcome = _wait_terminal(server.base, accepted["job_id"], WAIT_LIMIT)
+        if outcome is None:
+            result.violations.append("job never reached a terminal status")
+        elif outcome["status"] != "completed":
+            result.violations.append(
+                f"expected completed after retry, got {outcome}")
+        elif outcome.get("attempts", 0) < 2:
+            result.violations.append(
+                f"expected >= 2 attempts, got {outcome.get('attempts')}")
+        else:
+            result.notes.append(
+                f"recovered in {outcome['attempts']} attempts")
+    finally:
+        server.shutdown()
+    return result
+
+
+def scenario_worker_kill_exhausts(tmp: Path, rng: random.Random,
+                                  smoke: bool) -> ScenarioResult:
+    """An always-crash fault must yield a typed worker_crash failure —
+    and leave the server able to run the next (clean) job."""
+    result = ScenarioResult("worker_kill_exhausts")
+    server = _LiveServer(_config(tmp, run_id="kill-always", retries=1))
+    try:
+        fault = {"spec": "crash:*:*:always"}
+        status, accepted = _submit(server.base, _sim_job(fault))
+        if status != 202:
+            result.violations.append(f"submit returned HTTP {status}")
+            return result
+        outcome = _wait_terminal(server.base, accepted["job_id"], WAIT_LIMIT)
+        if outcome is None:
+            result.violations.append("crashing job never terminated")
+        elif (outcome["status"] != "failed"
+              or outcome.get("error_kind") != "worker_crash"):
+            result.violations.append(
+                f"expected typed worker_crash failure, got {outcome}")
+        elif outcome.get("attempts") != 2:
+            result.violations.append(
+                f"expected exactly 2 attempts, got {outcome.get('attempts')}")
+        status, accepted = _submit(server.base, _sim_job())
+        if status != 202:
+            result.violations.append(
+                f"server refused a clean job after crashes: HTTP {status}")
+        else:
+            outcome = _wait_terminal(
+                server.base, accepted["job_id"], WAIT_LIMIT)
+            if outcome is None or outcome["status"] != "completed":
+                result.violations.append(
+                    f"clean job after crashes did not complete: {outcome}")
+    finally:
+        server.shutdown()
+    return result
+
+
+def scenario_hang_deadline(tmp: Path, rng: random.Random,
+                           smoke: bool) -> ScenarioResult:
+    """A hung worker must be killed at the deadline and typed ``timeout``."""
+    result = ScenarioResult("hang_deadline")
+    server = _LiveServer(_config(
+        tmp, run_id="hang", job_timeout=1.5, retries=0))
+    try:
+        fault = {"spec": "hang:*:*:always:30"}
+        started = time.monotonic()
+        status, accepted = _submit(server.base, _sim_job(fault))
+        if status != 202:
+            result.violations.append(f"submit returned HTTP {status}")
+            return result
+        outcome = _wait_terminal(server.base, accepted["job_id"], 20.0)
+        elapsed = time.monotonic() - started
+        if outcome is None:
+            result.violations.append("hung job never terminated")
+        elif (outcome["status"] != "failed"
+              or outcome.get("error_kind") != "timeout"):
+            result.violations.append(
+                f"expected typed timeout failure, got {outcome}")
+        elif elapsed > 15.0:
+            result.violations.append(
+                f"deadline enforcement took {elapsed:.1f}s for a 1.5s "
+                f"job_timeout")
+        else:
+            result.notes.append(f"deadline enforced in {elapsed:.1f}s")
+    finally:
+        server.shutdown()
+    return result
+
+
+def scenario_corrupt_artifact(tmp: Path, rng: random.Random,
+                              smoke: bool) -> ScenarioResult:
+    """A bit-flipped input artifact must fail typed, never crash or hang."""
+    result = ScenarioResult("corrupt_artifact")
+    from repro.gpu.executor import build_warp_traces
+    from repro.io.trace_io import save_warp_traces
+    from repro.workloads import suite
+
+    trace_path = tmp / "chaos-input.trace.npz"
+    kernel = suite.make("vectoradd", scale="tiny")
+    save_warp_traces(build_warp_traces(kernel), trace_path)
+    blob = bytearray(trace_path.read_bytes())
+    for _ in range(32):  # flip bytes across the middle of the container
+        index = rng.randrange(len(blob) // 4, len(blob) - 1)
+        blob[index] ^= 0xFF
+    trace_path.write_bytes(bytes(blob))
+
+    server = _LiveServer(_config(tmp, run_id="corrupt", retries=0))
+    try:
+        status, accepted = _submit(server.base, {
+            "kind": "profile", "params": {"benchmark": str(trace_path)},
+        })
+        if status != 202:
+            result.violations.append(f"submit returned HTTP {status}")
+            return result
+        outcome = _wait_terminal(server.base, accepted["job_id"], WAIT_LIMIT)
+        if outcome is None:
+            result.violations.append("corrupt-input job never terminated")
+        elif outcome["status"] != "failed" or outcome.get("error_kind") not in (
+                "corrupt_artifact", "simulation_error", "invalid_request"):
+            result.violations.append(
+                f"expected a typed failure for corrupt input, got {outcome}")
+        else:
+            result.notes.append(f"typed as {outcome.get('error_kind')}")
+    finally:
+        server.shutdown()
+    return result
+
+
+def scenario_queue_flood(tmp: Path, rng: random.Random,
+                         smoke: bool) -> ScenarioResult:
+    """Flood a tiny queue: shedding with Retry-After, bounded depth, and
+    a terminal outcome for every accepted job."""
+    result = ScenarioResult("queue_flood")
+    capacity = 3
+    server = _LiveServer(_config(
+        tmp, run_id="flood", workers=1, queue_capacity=capacity,
+        retries=0, job_timeout=30.0))
+    total = 12 if smoke else 32
+    accepted_ids: List[str] = []
+    shed = 0
+    max_depth = 0
+    try:
+        for _ in range(total):
+            status, payload = _submit(server.base, _sim_job())
+            max_depth = max(max_depth, server.service.queue.depth())
+            if status == 202:
+                accepted_ids.append(payload["job_id"])
+            elif status == 429:
+                shed += 1
+                if not payload.get("retry_after") and not payload.get(
+                        "_retry_after"):
+                    result.violations.append(
+                        "429 response carried no Retry-After hint")
+            else:
+                result.violations.append(
+                    f"unexpected submit response HTTP {status}: {payload}")
+        if shed == 0:
+            result.violations.append(
+                f"flooding {total} jobs into a capacity-{capacity} queue "
+                f"shed nothing")
+        if max_depth > capacity:
+            result.violations.append(
+                f"queue depth reached {max_depth} > capacity {capacity}")
+        for job_id in accepted_ids:
+            outcome = _wait_terminal(server.base, job_id, WAIT_LIMIT)
+            if outcome is None:
+                result.violations.append(
+                    f"accepted job {job_id} never terminated")
+            elif outcome["status"] not in ("completed", "failed"):
+                result.violations.append(
+                    f"accepted job {job_id} ended untyped: {outcome}")
+        result.notes.append(
+            f"{len(accepted_ids)} accepted, {shed} shed, "
+            f"max depth {max_depth}")
+    finally:
+        server.shutdown()
+    return result
+
+
+def scenario_drain_resume(tmp: Path, rng: random.Random,
+                          smoke: bool) -> ScenarioResult:
+    """Drain mid-flight; every unfinished job must checkpoint, and a new
+    boot on the same journal must resume all of them to completion."""
+    result = ScenarioResult("drain_resume")
+    journal_dir = tmp / "journal-drain"
+    config = _config(
+        tmp, run_id="drain", workers=1, queue_capacity=32,
+        journal_dir=str(journal_dir), drain_timeout=2.0)
+    server = _LiveServer(config)
+    submitted: List[str] = []
+    try:
+        for _ in range(6):
+            status, payload = _submit(server.base, _sim_job())
+            if status == 202:
+                submitted.append(payload["job_id"])
+        summary = server.drain()
+    except BaseException:
+        server.shutdown()
+        raise
+    checkpointed = summary.get("checkpointed", 0)
+    # Jobs that finished during the drain window stay terminal on server
+    # A; only the checkpointed remainder must resume.  Every submitted job
+    # must be accounted for — finished-or-checkpointed, nothing dropped.
+    finished: List[str] = []
+    pending: List[str] = []
+    for job_id in submitted:
+        state = server.service.job_status(job_id) or {}
+        if state.get("status") == "completed":
+            finished.append(job_id)
+        elif state.get("status") == "checkpointed":
+            pending.append(job_id)
+        else:
+            result.violations.append(
+                f"job {job_id} neither finished nor checkpointed at "
+                f"drain: {state}")
+    result.notes.append(
+        f"drained with {len(finished)} finished, {checkpointed} "
+        f"checkpointed of {len(submitted)}")
+    if len(pending) != checkpointed:
+        result.violations.append(
+            f"drain reported {checkpointed} checkpoints but "
+            f"{len(pending)} jobs are in checkpointed state")
+
+    second = _LiveServer(config)
+    try:
+        if second.resumed != checkpointed:
+            result.violations.append(
+                f"checkpointed {checkpointed} jobs but resumed "
+                f"{second.resumed}")
+        for job_id in pending:
+            outcome = _wait_terminal(second.base, job_id, WAIT_LIMIT)
+            if outcome is None:
+                result.violations.append(
+                    f"job {job_id} lost across drain/restart")
+            elif outcome["status"] != "completed":
+                result.violations.append(
+                    f"resumed job {job_id} did not complete: {outcome}")
+    finally:
+        second.shutdown()
+    return result
+
+
+SCENARIOS = (
+    scenario_worker_kill_retries,
+    scenario_worker_kill_exhausts,
+    scenario_hang_deadline,
+    scenario_corrupt_artifact,
+    scenario_queue_flood,
+    scenario_drain_resume,
+)
+
+
+def run_chaos(smoke: bool = False, seed: int = 1234,
+              tmp: Optional[Path] = None,
+              only: Optional[str] = None) -> List[ScenarioResult]:
+    """Execute the scenarios (all, or the ``only``-named one), in order."""
+    rng = random.Random(seed)
+    selected = [s for s in SCENARIOS
+                if only is None or s.__name__ == f"scenario_{only}"]
+    if not selected:
+        names = ", ".join(s.__name__[len("scenario_"):] for s in SCENARIOS)
+        raise ValueError(f"unknown scenario {only!r}; available: {names}")
+    results = []
+    tmpdir = tempfile.TemporaryDirectory(prefix="gmap-chaos-") \
+        if tmp is None else None
+    root = Path(tmpdir.name) if tmpdir else Path(tmp)
+    try:
+        for scenario in selected:
+            results.append(scenario(root, rng, smoke))
+    finally:
+        if tmpdir is not None:
+            tmpdir.cleanup()
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point: run the scenarios, print a verdict per scenario,
+    optionally write a JSON report (``--out``); exit 0 iff none violated."""
+    parser = argparse.ArgumentParser(
+        description="gmap serve chaos harness (see docs/robustness.md)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced load (CI-sized flood)")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--out", default=None,
+                        help="write a JSON report to this path")
+    parser.add_argument("--only", default=None, metavar="SCENARIO",
+                        help="run a single scenario by name "
+                             "(e.g. queue_flood)")
+    args = parser.parse_args(argv)
+    results = run_chaos(smoke=args.smoke, seed=args.seed, only=args.only)
+    failures = 0
+    for result in results:
+        marker = "ok " if result.ok else "FAIL"
+        notes = f" ({'; '.join(result.notes)})" if result.notes else ""
+        print(f"[{marker}] {result.name}{notes}")
+        for violation in result.violations:
+            failures += 1
+            print(f"       - {violation}")
+    if args.out:
+        report = {
+            "seed": args.seed,
+            "smoke": args.smoke,
+            "scenarios": [
+                {"name": r.name, "ok": r.ok, "violations": r.violations,
+                 "notes": r.notes}
+                for r in results
+            ],
+        }
+        Path(args.out).write_text(json.dumps(report, indent=2))
+    print(f"{len(results) - sum(1 for r in results if not r.ok)}/"
+          f"{len(results)} scenarios held "
+          f"({failures} violation(s))")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

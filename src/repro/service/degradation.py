@@ -1,0 +1,165 @@
+"""Graceful degradation: per-backend circuit breakers.
+
+The compute backends already degrade *within* a job
+(:func:`repro.core.backend.run_with_fallback` retries the python oracle
+when the vectorized path raises).  The service adds cross-job memory: a
+backend that keeps failing trips a circuit breaker, and subsequent jobs
+skip it outright instead of paying a failure per job.
+
+Standard three-state breaker:
+
+* **closed** — backend in use; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures the backend
+  is skipped for ``cooldown`` seconds;
+* **half-open** — after the cooldown, one probe job is let through; its
+  success closes the breaker, its failure re-opens it.
+
+Breakers guard *capacity-style* choices only (which backend to try); job
+correctness never depends on them because the python oracle backend is
+always the last link of the fallback chain and is never broken.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.backend import DEFAULT_BACKEND, fallback_chain
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one backend.
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    monotonic seconds source.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        self._threshold = failure_threshold
+        self._cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return STATE_CLOSED
+        if self._clock() - self._opened_at >= self._cooldown:
+            return STATE_HALF_OPEN
+        return STATE_OPEN
+
+    def allow(self) -> bool:
+        """May the next job use this backend?
+
+        In half-open state exactly one caller gets True (the probe); the
+        rest keep skipping until the probe reports back.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == STATE_CLOSED:
+                return True
+            if state == STATE_HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probing = False
+            self._failures += 1
+            if self._failures >= self._threshold:
+                self._opened_at = self._clock()
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state_locked(),
+                "consecutive_failures": self._failures,
+            }
+
+
+class DegradationPolicy:
+    """Chooses each job's effective backend from breaker state.
+
+    One breaker per non-default backend in the fallback chain; the default
+    (python oracle) backend is never broken — it is the floor everything
+    degrades onto, so breaking it would leave nothing to run jobs with.
+    """
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        failure_threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._requested = backend
+        self._chain = fallback_chain(backend)
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(failure_threshold, cooldown, clock)
+            for name in self._chain if name != DEFAULT_BACKEND
+        }
+
+    def effective_backend(self) -> Tuple[str, List[str]]:
+        """(backend to hand the worker, degradation reasons if demoted)."""
+        reasons: List[str] = []
+        for name in self._chain:
+            breaker = self._breakers.get(name)
+            if breaker is None or breaker.allow():
+                return name, reasons
+            reasons.append(f"circuit_open:{name}")
+        # Chain floor: the default backend has no breaker, so this line is
+        # reachable only if the chain were empty — resolve defensively.
+        return DEFAULT_BACKEND, reasons
+
+    def observe(self, backend_used: str,
+                fallback_errors: List[Tuple[str, str]]) -> None:
+        """Feed one finished job's backend telemetry into the breakers.
+
+        ``fallback_errors`` is :func:`run_with_fallback`'s list of
+        (backend, error) pairs for backends that failed before one
+        succeeded; each counts as a failure for that backend's breaker.
+        The backend that produced the result counts as a success.
+        """
+        for name, _error in fallback_errors:
+            breaker = self._breakers.get(name)
+            if breaker is not None:
+                breaker.record_failure()
+        breaker = self._breakers.get(backend_used)
+        if breaker is not None:
+            breaker.record_success()
+
+    def observe_job_failure(self, backend: str) -> None:
+        """A whole job died (crash/timeout) while using ``backend``."""
+        breaker = self._breakers.get(backend)
+        if breaker is not None:
+            breaker.record_failure()
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {name: b.snapshot() for name, b in self._breakers.items()}

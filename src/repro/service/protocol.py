@@ -1,0 +1,256 @@
+"""Wire protocol of the ``gmap serve`` daemon: jobs, outcomes, validation.
+
+The service speaks JSON over HTTP, but the types here are transport-free —
+the supervisor, the chaos harness, and the HTTP layer all share them.
+
+Design rules:
+
+* every admitted job terminates in exactly one **terminal status**
+  (``completed``, ``failed``, or ``checkpointed`` at drain); submissions
+  that are never admitted are ``rejected`` at the door with an HTTP-style
+  code.  Nothing ends implicitly;
+* failures reuse the sweep engine's :data:`~repro.validation.resilience`
+  error taxonomy (``timeout``, ``worker_crash``, ``corrupt_artifact``,
+  ``simulation_error``, ``invalid_request``, ``rejected``) so an operator
+  sees one vocabulary across batch and serving paths;
+* degradation is explicit: a completed job that fell back to the python
+  oracle backend, rebuilt a quarantined artifact, or returned a partial
+  sweep carries ``degraded: true`` plus machine-readable reasons —
+  mirroring the PARTIAL banner of batch sweeps.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.validation.resilience import (
+    FAILURE_INVALID_REQUEST,
+    FAILURE_KINDS,
+    FAILURE_REJECTED,
+)
+
+#: Job types the daemon accepts, mirroring the CLI verbs they reuse.
+JOB_KINDS = ("profile", "generate", "simulate", "validate")
+
+# -- job lifecycle states ---------------------------------------------------
+
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_COMPLETED = "completed"
+STATUS_FAILED = "failed"
+STATUS_REJECTED = "rejected"
+#: Drained before finishing; persisted to the journal for the next boot.
+STATUS_CHECKPOINTED = "checkpointed"
+
+TERMINAL_STATUSES = (STATUS_COMPLETED, STATUS_FAILED, STATUS_REJECTED)
+ALL_STATUSES = (STATUS_QUEUED, STATUS_RUNNING, STATUS_CHECKPOINTED) + \
+    TERMINAL_STATUSES
+
+#: Degradation reason tokens (the ``degraded_reasons`` vocabulary).
+DEGRADED_BACKEND_FALLBACK = "backend_fallback"
+DEGRADED_CIRCUIT_OPEN = "circuit_open"
+DEGRADED_ARTIFACT_REBUILT = "artifact_rebuilt"
+DEGRADED_PARTIAL_SWEEP = "partial_sweep"
+
+
+class RequestValidationError(ValueError):
+    """A submission that can never run: refused at admission.
+
+    ``kind`` is a taxonomy token (usually ``invalid_request``);
+    ``http_status`` is the matching transport code.
+    """
+
+    def __init__(self, message: str, kind: str = FAILURE_INVALID_REQUEST,
+                 http_status: int = 400) -> None:
+        super().__init__(message)
+        self.kind = kind
+        self.http_status = http_status
+
+
+@dataclass
+class JobRequest:
+    """One unit of admitted work.
+
+    ``seq`` is the server-assigned admission sequence number — it doubles
+    as the journal chunk index for drain checkpoints.  ``fault`` carries a
+    chaos directive (``{"spec": ..., "state": ...}``) and is only honoured
+    when the server runs with ``allow_fault_injection``.
+    """
+
+    job_id: str
+    kind: str
+    params: Dict[str, Any]
+    seq: int = 0
+    backend: Optional[str] = None
+    fault: Optional[Dict[str, str]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "params": self.params,
+            "seq": self.seq,
+        }
+        if self.backend is not None:
+            payload["backend"] = self.backend
+        if self.fault is not None:
+            payload["fault"] = self.fault
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobRequest":
+        return cls(
+            job_id=str(data["job_id"]),
+            kind=str(data["kind"]),
+            params=dict(data.get("params") or {}),
+            seq=int(data.get("seq", 0)),
+            backend=data.get("backend"),
+            fault=data.get("fault"),
+        )
+
+
+@dataclass
+class JobOutcome:
+    """The terminal (or current) state of one job, always well-typed.
+
+    Exactly one of ``result`` (success payload) or ``error`` (message) is
+    meaningful for terminal outcomes; ``error_kind`` is a taxonomy token
+    from :data:`~repro.validation.resilience.FAILURE_KINDS`.
+    """
+
+    status: str
+    result: Optional[Dict[str, Any]] = None
+    error_kind: Optional[str] = None
+    error: Optional[str] = None
+    degraded: bool = False
+    degraded_reasons: List[str] = field(default_factory=list)
+    attempts: int = 0
+    backend_used: Optional[str] = None
+    integrity_events: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "status": self.status,
+            "degraded": self.degraded,
+            "attempts": self.attempts,
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error_kind is not None:
+            payload["error_kind"] = self.error_kind
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.degraded_reasons:
+            payload["degraded_reasons"] = list(self.degraded_reasons)
+        if self.backend_used is not None:
+            payload["backend_used"] = self.backend_used
+        if self.integrity_events:
+            payload["integrity_events"] = dict(self.integrity_events)
+        return payload
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
+
+
+def failure_outcome(kind: str, message: str, attempts: int = 0) -> JobOutcome:
+    """A typed terminal failure (asserts the kind is in the taxonomy)."""
+    if kind not in FAILURE_KINDS:
+        kind = FAILURE_REJECTED if kind == "rejected" else kind
+    return JobOutcome(
+        status=STATUS_FAILED, error_kind=kind, error=message,
+        attempts=attempts,
+    )
+
+
+# -- admission validation ---------------------------------------------------
+
+#: Required string parameter per job kind (presence checked at admission).
+_REQUIRED_PARAM = {
+    "profile": "benchmark",
+    "generate": None,   # needs profile OR profile_path, checked below
+    "simulate": "target",
+    "validate": "experiment",
+}
+
+#: Params interpreted as input file paths, size-capped at admission.
+_PATH_PARAMS = ("benchmark", "target", "profile_path", "trace_path")
+
+
+def validate_submission(
+    payload: Any,
+    *,
+    max_input_bytes: int,
+    allow_fault_injection: bool = False,
+) -> Tuple[str, Dict[str, Any], Optional[str], Optional[Dict[str, str]]]:
+    """Check a parsed submission body; returns (kind, params, backend, fault).
+
+    Raises :class:`RequestValidationError` for anything that could never
+    run — admission control's cheap synchronous reject path.  File-path
+    params that *exist* are size-capped here (memory limit on uploaded
+    traces); nonexistent paths are left to the worker, which reports a
+    typed ``invalid_request`` failure.
+    """
+    if not isinstance(payload, dict):
+        raise RequestValidationError("request body must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise RequestValidationError(
+            f"unknown job kind {kind!r}: expected one of {JOB_KINDS}")
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        raise RequestValidationError("params must be a JSON object")
+    required = _REQUIRED_PARAM[kind]
+    if required and not isinstance(params.get(required), str):
+        raise RequestValidationError(
+            f"{kind} jobs require a string param {required!r}")
+    if kind == "generate" and not (
+            isinstance(params.get("profile"), dict)
+            or isinstance(params.get("profile_path"), str)):
+        raise RequestValidationError(
+            "generate jobs require an inline 'profile' object or a "
+            "'profile_path' string")
+    if kind == "validate":
+        from repro.validation.experiments import EXPERIMENTS
+
+        if params["experiment"] not in EXPERIMENTS:
+            raise RequestValidationError(
+                f"unknown experiment {params['experiment']!r}")
+    backend = payload.get("backend", params.get("backend"))
+    if backend is not None and not isinstance(backend, str):
+        raise RequestValidationError("backend must be a string")
+    for name in _PATH_PARAMS:
+        value = params.get(name)
+        if not isinstance(value, str):
+            continue
+        path = Path(value)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue  # nonexistent: typed failure at execution time
+        if size > max_input_bytes:
+            raise RequestValidationError(
+                f"input {name}={value!r} is {size} bytes, over the "
+                f"per-request limit of {max_input_bytes}",
+                http_status=413)
+    fault = payload.get("fault")
+    if fault is not None:
+        if not allow_fault_injection:
+            raise RequestValidationError(
+                "fault injection is not enabled on this server "
+                "(start with --allow-fault-injection)")
+        if not isinstance(fault, dict) or "spec" not in fault:
+            raise RequestValidationError(
+                "fault must be an object with a 'spec' directive")
+    return kind, params, backend, fault
+
+
+def parse_json_body(raw: bytes) -> Any:
+    """Parse a request body; typed error instead of a traceback."""
+    try:
+        return json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RequestValidationError(f"malformed JSON body: {exc}") from None

@@ -1,0 +1,132 @@
+"""Bounded admission queue with 429-style load shedding.
+
+Admission control is the first of the service's three survival mechanisms
+(queue bound → crash-isolated execution → graceful degradation): work the
+server cannot finish in bounded time is refused at the door with a
+``Retry-After`` hint instead of accumulating until memory runs out.
+
+The hint is derived from an exponentially-weighted moving average of
+recent job durations: ``depth / workers * avg_seconds`` is roughly when a
+newly-admitted job would start, so a shed client retrying after that long
+has a real chance of admission.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Optional
+
+from repro.service.protocol import JobRequest
+
+
+class QueueFullError(RuntimeError):
+    """The admission queue is at capacity; retry after ``retry_after`` s."""
+
+    def __init__(self, capacity: int, retry_after: float) -> None:
+        super().__init__(
+            f"admission queue full ({capacity} jobs queued); "
+            f"retry in ~{retry_after:.0f}s")
+        self.capacity = capacity
+        self.retry_after = retry_after
+
+
+class QueueClosedError(RuntimeError):
+    """The server is draining; no new work is admitted."""
+
+
+class AdmissionQueue:
+    """A bounded FIFO of admitted jobs, shared by the HTTP front end and
+    the supervisor's worker slots.
+
+    ``submit`` never blocks: at capacity it raises :class:`QueueFullError`
+    immediately (load shedding), because a blocked HTTP handler thread is
+    itself unbounded queueing, just hidden in the socket backlog.
+    """
+
+    #: Seed for the duration EWMA before any job has completed.
+    DEFAULT_JOB_SECONDS = 2.0
+    #: EWMA smoothing factor (weight of the newest observation).
+    ALPHA = 0.3
+
+    def __init__(self, capacity: int, workers: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._workers = max(1, workers)
+        self._items: Deque[JobRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._avg_job_seconds = self.DEFAULT_JOB_SECONDS
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def note_job_seconds(self, seconds: float) -> None:
+        """Feed a completed job's duration into the retry-after EWMA."""
+        if seconds < 0:
+            return
+        with self._cond:
+            self._avg_job_seconds = (
+                self.ALPHA * seconds + (1 - self.ALPHA) * self._avg_job_seconds
+            )
+
+    def retry_after_hint(self) -> float:
+        """Seconds until a shed client plausibly gets admitted."""
+        with self._cond:
+            backlog = len(self._items)
+            return max(
+                1.0, backlog * self._avg_job_seconds / self._workers)
+
+    def submit(self, request: JobRequest) -> None:
+        """Admit a job, or shed it with a typed error. Never blocks."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosedError("server is draining; not accepting jobs")
+            if len(self._items) >= self._capacity:
+                backlog = len(self._items)
+                hint = max(
+                    1.0, backlog * self._avg_job_seconds / self._workers)
+                raise QueueFullError(self._capacity, hint)
+            self._items.append(request)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[JobRequest]:
+        """Next admitted job, or None on timeout / after close+empty."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cond.wait(remaining)
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop admission; waiting getters drain the remainder then None."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain_remaining(self) -> list:
+        """Remove and return every still-queued job (for checkpointing)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items

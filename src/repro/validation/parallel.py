@@ -564,11 +564,47 @@ class SweepRunner:
         if journal is not None:
             self.last_run_id = journal.run_id
             run_token = journal.run_id
-            manifest["chunk_size"] = chunk_size
-            effective = journal.ensure_manifest(manifest, resume=self.resume)
+            # Single-writer guard: two runs journaling under the same id
+            # (e.g. two concurrent --resume invocations) would interleave
+            # entries; the second fails fast with JournalLockedError.
+            journal.acquire_lock()
+            try:
+                manifest["chunk_size"] = chunk_size
+                effective = journal.ensure_manifest(manifest,
+                                                    resume=self.resume)
+            except BaseException:
+                journal.release_lock()
+                raise
             # Adopt the recorded chunk size so offsets line up on resume
             # regardless of the current --jobs value.
             chunk_size = int(effective.get("chunk_size", chunk_size))
+        try:
+            return self._run_journaled(
+                kernels, configs, journal, chunk_size, run_token,
+                seed=seed, num_cores=num_cores,
+                max_blocks_per_core=max_blocks_per_core,
+                scale_factor=scale_factor, stride_model=stride_model,
+                backend=backend,
+            )
+        finally:
+            if journal is not None:
+                journal.release_lock()
+
+    def _run_journaled(
+        self,
+        kernels: Sequence[KernelModel],
+        configs: Sequence[SimConfig],
+        journal: Optional[RunJournal],
+        chunk_size: int,
+        run_token: Optional[str],
+        *,
+        seed: int,
+        num_cores: int,
+        max_blocks_per_core: int,
+        scale_factor: float,
+        stride_model: str,
+        backend: str,
+    ) -> List[SweepResult]:
         chunks = self._build_chunks(
             kernels, configs, seed, num_cores, max_blocks_per_core,
             scale_factor, stride_model, backend,

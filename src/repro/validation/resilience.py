@@ -25,7 +25,13 @@ Error taxonomy
 ``worker_crash``    the worker process died (broken process pool)
 ``corrupt_artifact``an input artifact failed its integrity check
 ``simulation_error``the simulation itself raised
+``invalid_request`` a user-supplied input was missing or malformed
+``rejected``        admission control refused the work (overload/drain)
 ==================  =====================================================
+
+The last two kinds were added for the ``gmap serve`` service layer
+(:mod:`repro.service`), which shares this taxonomy so a failure looks the
+same whether it happened in a batch sweep or behind the daemon.
 """
 
 from __future__ import annotations
@@ -39,6 +45,11 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
+
+try:  # POSIX advisory locking; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback path
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.cache import default_cache_dir
 from repro.core.integrity import (
@@ -62,12 +73,16 @@ FAILURE_TIMEOUT = "timeout"
 FAILURE_WORKER_CRASH = "worker_crash"
 FAILURE_CORRUPT_ARTIFACT = "corrupt_artifact"
 FAILURE_SIMULATION_ERROR = "simulation_error"
+FAILURE_INVALID_REQUEST = "invalid_request"
+FAILURE_REJECTED = "rejected"
 
 FAILURE_KINDS = (
     FAILURE_TIMEOUT,
     FAILURE_WORKER_CRASH,
     FAILURE_CORRUPT_ARTIFACT,
     FAILURE_SIMULATION_ERROR,
+    FAILURE_INVALID_REQUEST,
+    FAILURE_REJECTED,
 )
 
 
@@ -154,7 +169,9 @@ class ChunkExecutionError(RuntimeError):
 # -- fault injection --------------------------------------------------------
 
 #: ``kind:kernel_index:config_offset[:mode[:seconds]]`` — e.g.
-#: ``crash:0:0``, ``hang:0:0:always:20``, ``raise:1:4:once``.
+#: ``crash:0:0``, ``hang:0:0:always:20``, ``raise:1:4:once``.  Either
+#: index may be ``*`` (match any), and several directives can be joined
+#: with ``;`` — extensions used by the ``gmap serve`` chaos harness.
 ENV_FAULT_INJECT = "GMAP_FAULT_INJECT"
 
 #: Sentinel file used by ``once`` faults so exactly one process fires.
@@ -167,9 +184,17 @@ WORKER_FAULT_KINDS = ("crash", "hang", "raise")
 ARTIFACT_FAULT_KINDS = ("corrupt",)
 
 
+#: Wildcard index: the directive matches any kernel index / config offset.
+FAULT_ANY = -1
+
+
 @dataclass(frozen=True)
 class FaultSpec:
-    """A parsed ``GMAP_FAULT_INJECT`` directive."""
+    """A parsed ``GMAP_FAULT_INJECT`` directive.
+
+    ``kernel_index`` / ``config_offset`` equal to :data:`FAULT_ANY` (spelled
+    ``*`` in the directive) match every chunk or job.
+    """
 
     kind: str
     kernel_index: int
@@ -178,12 +203,23 @@ class FaultSpec:
     hang_seconds: float = 30.0
 
     def matches(self, kernel_index: int, config_offset: int) -> bool:
-        return (self.kernel_index == kernel_index
-                and self.config_offset == config_offset)
+        return (self.kernel_index in (FAULT_ANY, kernel_index)
+                and self.config_offset in (FAULT_ANY, config_offset))
+
+
+def _parse_fault_index(part: str, text: str) -> int:
+    if part == "*":
+        return FAULT_ANY
+    try:
+        return int(part)
+    except ValueError:
+        raise ValueError(
+            f"bad fault index {part!r} in {text!r}: expected an integer or *"
+        ) from None
 
 
 def parse_fault_spec(text: Optional[str]) -> Optional[FaultSpec]:
-    """Parse a fault directive; None for unset/empty, ValueError when bad."""
+    """Parse a single fault directive; None for unset/empty, ValueError when bad."""
     if not text:
         return None
     parts = text.split(":")
@@ -199,16 +235,55 @@ def parse_fault_spec(text: Optional[str]) -> Optional[FaultSpec]:
     hang_seconds = float(parts[4]) if len(parts) > 4 else 30.0
     return FaultSpec(
         kind=kind,
-        kernel_index=int(parts[1]),
-        config_offset=int(parts[2]),
+        kernel_index=_parse_fault_index(parts[1], text),
+        config_offset=_parse_fault_index(parts[2], text),
         always=always,
         hang_seconds=hang_seconds,
     )
 
 
+def parse_fault_specs(text: Optional[str]) -> List[FaultSpec]:
+    """Parse a ``;``-separated list of fault directives (empty list if unset)."""
+    if not text:
+        return []
+    specs = []
+    for piece in text.split(";"):
+        piece = piece.strip()
+        if not piece:
+            continue
+        spec = parse_fault_spec(piece)
+        if spec is not None:
+            specs.append(spec)
+    return specs
+
+
 def active_fault() -> Optional[FaultSpec]:
-    """The fault directive currently in the environment, if any."""
-    return parse_fault_spec(os.environ.get(ENV_FAULT_INJECT))
+    """The first fault directive currently in the environment, if any."""
+    specs = active_faults()
+    return specs[0] if specs else None
+
+
+def active_faults() -> List[FaultSpec]:
+    """Every fault directive currently in the environment."""
+    return parse_fault_specs(os.environ.get(ENV_FAULT_INJECT))
+
+
+def arm_fault(spec: Optional[str], state: Optional[PathLike] = None) -> None:
+    """Install (or clear) a fault directive in this process's environment.
+
+    The service worker uses this to arm a per-job fault carried by a chaos
+    request: environment mutation stays centralised in the module that owns
+    ``GMAP_FAULT_INJECT``, and the worker process is disposable, so the
+    change cannot leak into sibling jobs.
+    """
+    if spec:
+        os.environ[ENV_FAULT_INJECT] = spec
+    else:
+        os.environ.pop(ENV_FAULT_INJECT, None)
+    if state is not None:
+        os.environ[ENV_FAULT_STATE] = str(state)
+    else:
+        os.environ.pop(ENV_FAULT_STATE, None)
 
 
 def claim_fault(spec: FaultSpec) -> bool:
@@ -249,12 +324,12 @@ def fire_worker_fault(spec: FaultSpec) -> None:
 
 
 def maybe_inject_worker_fault(kernel_index: int, config_offset: int) -> None:
-    """Worker hook: fire the environment fault if it targets this chunk."""
-    spec = active_fault()
-    if (spec is not None and spec.kind in WORKER_FAULT_KINDS
-            and spec.matches(kernel_index, config_offset)
-            and claim_fault(spec)):
-        fire_worker_fault(spec)
+    """Worker hook: fire every environment fault targeting this chunk."""
+    for spec in active_faults():
+        if (spec.kind in WORKER_FAULT_KINDS
+                and spec.matches(kernel_index, config_offset)
+                and claim_fault(spec)):
+            fire_worker_fault(spec)
 
 
 def maybe_corrupt_artifact(path: PathLike, kernel_index: int,
@@ -264,13 +339,13 @@ def maybe_corrupt_artifact(path: PathLike, kernel_index: int,
     Used by the fault harness to exercise the corrupt-entry quarantine path
     deterministically.  Returns True when the artifact was corrupted.
     """
-    spec = active_fault()
-    if (spec is None or spec.kind not in ARTIFACT_FAULT_KINDS
-            or not spec.matches(kernel_index, config_offset)
-            or not claim_fault(spec)):
-        return False
-    Path(path).write_bytes(b"\x00injected-corruption\x00")
-    return True
+    for spec in active_faults():
+        if (spec.kind in ARTIFACT_FAULT_KINDS
+                and spec.matches(kernel_index, config_offset)
+                and claim_fault(spec)):
+            Path(path).write_bytes(b"\x00injected-corruption\x00")
+            return True
+    return False
 
 
 # -- run journal ------------------------------------------------------------
@@ -298,6 +373,15 @@ class JournalMismatchError(ValueError):
     """``--resume`` pointed at a journal recorded for different inputs."""
 
 
+class JournalLockedError(RuntimeError):
+    """Another live process holds this run's journal lock.
+
+    Two concurrent writers interleaving chunk entries (or two ``--resume``
+    runs of the same run-id racing each other) would corrupt the journal's
+    completed-set; the lock makes the second run fail fast instead.
+    """
+
+
 class RunJournal:
     """Checkpoint journal of one sweep run: manifest + per-chunk entries.
 
@@ -323,6 +407,7 @@ class RunJournal:
         self.root = Path(journal_dir if journal_dir is not None
                          else default_journal_dir()) / run_id
         self.quarantined = 0
+        self._lock_fd: Optional[int] = None
 
     # -- paths --------------------------------------------------------------
 
@@ -330,8 +415,70 @@ class RunJournal:
     def manifest_path(self) -> Path:
         return self.root / "manifest.json"
 
+    @property
+    def lock_path(self) -> Path:
+        return self.root / "lock"
+
     def entry_path(self, kernel_index: int, config_offset: int) -> Path:
         return self.root / f"chunk-{kernel_index:04d}-{config_offset:06d}.json.gz"
+
+    # -- single-writer lock -------------------------------------------------
+
+    def acquire_lock(self) -> None:
+        """Take the run's exclusive writer lock, or fail fast.
+
+        Uses an ``fcntl.flock`` on ``<root>/lock`` where available — the
+        kernel releases it when the holder dies, so a crashed run never
+        wedges its journal.  Platforms without ``fcntl`` fall back to
+        ``O_EXCL`` lock-file creation (released in :meth:`release_lock`).
+        Re-acquiring a lock this object already holds is a no-op; a lock
+        held by anyone else raises :class:`JournalLockedError`.
+        """
+        if self._lock_fd is not None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(fd)
+                raise JournalLockedError(
+                    f"journal {self.run_id!r} is locked by another live "
+                    f"run (lock file {self.lock_path}); wait for it to "
+                    f"finish or use a different --run-id"
+                ) from None
+            os.truncate(fd, 0)
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            self._lock_fd = fd
+            return
+        try:  # pragma: no cover - non-posix fallback path
+            fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:  # pragma: no cover - non-posix fallback path
+            raise JournalLockedError(
+                f"journal {self.run_id!r} is locked (lock file "
+                f"{self.lock_path} exists); remove it if the previous run "
+                f"is dead"
+            ) from None
+        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        self._lock_fd = fd
+
+    def release_lock(self) -> None:
+        """Drop the writer lock taken by :meth:`acquire_lock` (idempotent)."""
+        if self._lock_fd is None:
+            return
+        fd, self._lock_fd = self._lock_fd, None
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            else:  # pragma: no cover - non-posix fallback path
+                self.lock_path.unlink(missing_ok=True)
+        except OSError:
+            pass
+        try:
+            os.close(fd)
+        except OSError:
+            pass
 
     # -- atomic write helper ------------------------------------------------
 
@@ -436,13 +583,17 @@ class RunJournal:
         self,
         kernel_index: int,
         config_offset: int,
-        expected_config_fingerprints: Sequence[str],
+        expected_config_fingerprints: Optional[Sequence[str]],
     ) -> Optional[List[Dict[str, Any]]]:
         """Load one chunk's entries, or None when absent or quarantined.
 
         A corrupt, checksum-failing, or wrong-config entry is moved to
         ``quarantine/`` and reported as a miss, so the chunk recomputes from
         source instead of poisoning the reassembled sweep.
+
+        ``expected_config_fingerprints=None`` skips the per-entry config
+        check — used by readers (the ``gmap serve`` checkpoint store) whose
+        entries are self-describing requests rather than sweep results.
         """
         path = self.entry_path(kernel_index, config_offset)
         try:
@@ -459,17 +610,40 @@ class RunJournal:
             self._quarantine(path)
             return None
         pairs = payload.get("pairs", [])
-        stored = [entry.get("config") for entry in pairs]
-        if stored != list(expected_config_fingerprints):
-            self._quarantine(path)
-            return None
+        if expected_config_fingerprints is not None:
+            stored = [entry.get("config") for entry in pairs]
+            if stored != list(expected_config_fingerprints):
+                self._quarantine(path)
+                return None
         return pairs
+
+    def discard_chunk(self, kernel_index: int, config_offset: int) -> None:
+        """Remove one chunk entry (best-effort; absent entries are fine)."""
+        try:
+            self.entry_path(kernel_index, config_offset).unlink()
+        except OSError:
+            pass
 
     def completed_chunks(self) -> List[Path]:
         """Entry files currently present (completed or stale)."""
         if not self.root.is_dir():
             return []
         return sorted(self.root.glob("chunk-*.json.gz"))
+
+    @staticmethod
+    def parse_entry_name(path: PathLike) -> Optional[tuple]:
+        """``(kernel_index, config_offset)`` of an entry file name, or None."""
+        stem = Path(path).name
+        if not stem.startswith("chunk-") or not stem.endswith(".json.gz"):
+            return None
+        body = stem[len("chunk-"):-len(".json.gz")]
+        first, sep, second = body.partition("-")
+        if not sep:
+            return None
+        try:
+            return int(first), int(second)
+        except ValueError:
+            return None
 
     def _quarantine(self, path: Path) -> None:
         quarantine_file(path, self.root / "quarantine")

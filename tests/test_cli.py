@@ -199,3 +199,64 @@ class TestValidateCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["validate", "fig99"])
+
+
+class TestTypedErrors:
+    """Operator mistakes exit code 2 with a one-line typed error — a
+    traceback from ``gmap`` always means a bug, never a bad input."""
+
+    def test_nonexistent_profile_path(self, capsys):
+        assert main(["inspect", "/no/such/profile.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("gmap inspect: error [invalid_request]")
+        assert "Traceback" not in err
+
+    def test_malformed_profile_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json at all")
+        assert main(["inspect", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "error [invalid_request]" in err
+        assert "Traceback" not in err
+
+    def test_unknown_benchmark_name(self, capsys):
+        assert main(["simulate", "definitely_not_a_benchmark"]) == 2
+        err = capsys.readouterr().err
+        assert "error [invalid_request]" in err
+        assert "unknown benchmark" in err
+
+    def test_corrupt_npz_trace_is_typed(self, tmp_path, capsys):
+        pytest.importorskip("numpy")
+        corrupt = tmp_path / "bad.trace.npz"
+        corrupt.write_bytes(b"PK\x03\x04 this is not a real zip")
+        assert main(["simulate", str(corrupt)]) == 2
+        err = capsys.readouterr().err
+        assert "error [corrupt_artifact]" in err
+
+    def test_generate_from_missing_profile(self, tmp_path, capsys):
+        assert main(["generate", str(tmp_path / "ghost.json"),
+                     "-o", str(tmp_path / "out.trace")]) == 2
+        assert "error [invalid_request]" in capsys.readouterr().err
+
+    def test_locked_journal_is_typed_rejected(self, tmp_path, capsys):
+        from repro.validation.resilience import RunJournal
+
+        holder = RunJournal("cli-lock", tmp_path)
+        holder.acquire_lock()
+        try:
+            code = main([
+                "validate", "fig6a", "--benchmarks", "vectoradd",
+                "--scale", "tiny", "--no-cache",
+                "--journal-dir", str(tmp_path), "--run-id", "cli-lock",
+            ])
+        finally:
+            holder.release_lock()
+        assert code == 2
+        assert "error [rejected]" in capsys.readouterr().err
+
+    def test_serve_subcommand_is_wired(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--queue-capacity" in out
+        assert "--drain-timeout" in out

@@ -1,0 +1,397 @@
+"""The ``gmap serve`` service layer: admission, supervision, drain/resume.
+
+Each mechanism is tested at its own seam — the queue and breaker as plain
+objects with injected clocks, the protocol as pure functions, the whole
+service through :class:`~repro.service.server.GmapService` without HTTP —
+so failures localise.  Chaos-style end-to-end runs (real processes, real
+faults, real listener) live in ``test_service_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.config import ENV_PREFIX, ServiceConfig
+from repro.service.degradation import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+    DegradationPolicy,
+)
+from repro.service.protocol import (
+    JobOutcome,
+    JobRequest,
+    RequestValidationError,
+    parse_json_body,
+    validate_submission,
+)
+from repro.service.queue import (
+    AdmissionQueue,
+    QueueClosedError,
+    QueueFullError,
+)
+from repro.service.server import GmapService
+
+
+def _wait_terminal(service, job_id, timeout=60.0):
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        state = service.job_status(job_id)
+        if state and state["status"] in ("completed", "failed"):
+            return state
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not terminate in {timeout}s")
+
+
+def _sim_payload(**extra):
+    payload = {
+        "kind": "simulate",
+        "params": {"target": "vectoradd", "scale": "tiny", "cores": 2},
+    }
+    payload.update(extra)
+    return payload
+
+
+# -- config -----------------------------------------------------------------
+
+class TestServiceConfig:
+    def test_defaults_are_valid(self):
+        config = ServiceConfig()
+        assert config.workers >= 1
+        assert config.queue_capacity >= 1
+        assert config.isolation == "process"
+
+    @pytest.mark.parametrize("field_name,bad", [
+        ("workers", 0), ("queue_capacity", 0),
+        ("job_timeout", 0.0), ("retries", -1), ("isolation", "vm"),
+    ])
+    def test_rejects_bad_values(self, field_name, bad):
+        with pytest.raises(ValueError):
+            ServiceConfig(**{field_name: bad})
+
+    def test_from_env_reads_prefixed_variables(self, monkeypatch):
+        monkeypatch.setenv(ENV_PREFIX + "WORKERS", "5")
+        monkeypatch.setenv(ENV_PREFIX + "JOB_TIMEOUT", "7.5")
+        monkeypatch.setenv(ENV_PREFIX + "JOURNAL", "no")
+        config = ServiceConfig.from_env()
+        assert config.workers == 5
+        assert config.job_timeout == 7.5
+        assert config.journal is False
+
+    def test_explicit_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_PREFIX + "WORKERS", "5")
+        assert ServiceConfig.from_env(workers=3).workers == 3
+
+
+# -- protocol ---------------------------------------------------------------
+
+class TestProtocol:
+    def test_request_roundtrip(self):
+        request = JobRequest(job_id="j1", kind="simulate",
+                             params={"target": "vectoradd"}, seq=7,
+                             backend="python",
+                             fault={"spec": "crash:*:*"})
+        assert JobRequest.from_dict(request.to_dict()) == request
+
+    def test_outcome_to_dict_omits_empty_fields(self):
+        payload = JobOutcome(status="queued").to_dict()
+        assert payload == {"status": "queued", "degraded": False,
+                           "attempts": 0}
+
+    def test_malformed_json_is_typed(self):
+        with pytest.raises(RequestValidationError):
+            parse_json_body(b"{nope")
+        with pytest.raises(RequestValidationError):
+            parse_json_body(b"\xff\xfe")
+
+    @pytest.mark.parametrize("payload", [
+        [],  # not an object
+        {"kind": "launch_missiles"},
+        {"kind": "simulate", "params": []},
+        {"kind": "simulate", "params": {}},  # missing target
+        {"kind": "profile", "params": {}},  # missing benchmark
+        {"kind": "generate", "params": {}},  # missing profile
+        {"kind": "validate", "params": {"experiment": "fig99"}},
+        {"kind": "simulate", "params": {"target": "x"}, "backend": 3},
+    ])
+    def test_invalid_submissions_rejected(self, payload):
+        with pytest.raises(RequestValidationError):
+            validate_submission(payload, max_input_bytes=1 << 20)
+
+    def test_fault_directive_needs_opt_in(self):
+        payload = _sim_payload(fault={"spec": "crash:*:*"})
+        with pytest.raises(RequestValidationError):
+            validate_submission(payload, max_input_bytes=1 << 20)
+        kind, params, backend, fault = validate_submission(
+            payload, max_input_bytes=1 << 20, allow_fault_injection=True)
+        assert fault == {"spec": "crash:*:*"}
+
+    def test_oversized_input_file_rejected_413(self, tmp_path):
+        big = tmp_path / "big.trace"
+        big.write_bytes(b"x" * 2048)
+        payload = {"kind": "simulate", "params": {"target": str(big)}}
+        with pytest.raises(RequestValidationError) as excinfo:
+            validate_submission(payload, max_input_bytes=1024)
+        assert excinfo.value.http_status == 413
+
+
+# -- admission queue --------------------------------------------------------
+
+class TestAdmissionQueue:
+    def _request(self, seq=0):
+        return JobRequest(job_id=f"j{seq}", kind="simulate", params={},
+                          seq=seq)
+
+    def test_fifo_order(self):
+        queue = AdmissionQueue(capacity=4)
+        for seq in range(3):
+            queue.submit(self._request(seq))
+        assert [queue.get(0.1).seq for _ in range(3)] == [0, 1, 2]
+
+    def test_sheds_at_capacity_with_retry_hint(self):
+        queue = AdmissionQueue(capacity=2, workers=1)
+        queue.submit(self._request(0))
+        queue.submit(self._request(1))
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(self._request(2))
+        assert excinfo.value.retry_after >= 1.0
+        assert queue.depth() == 2  # shedding never grows the queue
+
+    def test_retry_hint_tracks_job_duration(self):
+        queue = AdmissionQueue(capacity=8, workers=1)
+        for _ in range(20):
+            queue.note_job_seconds(10.0)
+        for seq in range(4):
+            queue.submit(self._request(seq))
+        assert queue.retry_after_hint() > 10.0
+
+    def test_closed_queue_rejects_and_drains(self):
+        queue = AdmissionQueue(capacity=4)
+        queue.submit(self._request(0))
+        queue.close()
+        with pytest.raises(QueueClosedError):
+            queue.submit(self._request(1))
+        assert [r.seq for r in queue.drain_remaining()] == [0]
+        assert queue.get(0.05) is None
+
+    def test_get_times_out(self):
+        assert AdmissionQueue(capacity=1).get(0.05) is None
+
+    def test_get_unblocks_on_close(self):
+        queue = AdmissionQueue(capacity=1)
+        results = []
+        thread = threading.Thread(
+            target=lambda: results.append(queue.get(5.0)))
+        thread.start()
+        queue.close()
+        thread.join(2.0)
+        assert not thread.is_alive()
+        assert results == [None]
+
+
+# -- circuit breaker --------------------------------------------------------
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_recovers(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+                                 clock=lambda: clock[0])
+        assert breaker.state == STATE_CLOSED
+        breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        clock[0] = 11.0  # cooldown elapsed: exactly one probe allowed
+        assert breaker.state == STATE_HALF_OPEN
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+
+    def test_policy_default_backend_is_never_broken(self):
+        policy = DegradationPolicy(backend="python", failure_threshold=1)
+        for _ in range(5):
+            policy.observe_job_failure("python")
+        backend, reasons = policy.effective_backend()
+        assert backend == "python"
+        assert reasons == []
+
+    def test_policy_demotes_with_open_circuit(self):
+        pytest.importorskip("numpy")
+        clock = [0.0]
+        policy = DegradationPolicy(backend="numpy", failure_threshold=1,
+                                   cooldown=100.0, clock=lambda: clock[0])
+        assert policy.effective_backend()[0] == "numpy"
+        policy.observe_job_failure("numpy")
+        backend, reasons = policy.effective_backend()
+        assert backend == "python"
+        assert reasons == ["circuit_open:numpy"]
+        assert policy.snapshot()["numpy"]["state"] == STATE_OPEN
+
+
+# -- service lifecycle (no HTTP) -------------------------------------------
+
+@pytest.fixture
+def service(tmp_path):
+    config = ServiceConfig(
+        workers=1, queue_capacity=8, job_timeout=60.0, retries=0,
+        journal=True, journal_dir=str(tmp_path / "journal"),
+        run_id="test", drain_timeout=2.0, allow_fault_injection=True,
+    )
+    svc = GmapService(config)
+    svc.start()
+    yield svc
+    svc.queue.close()
+    svc.stop()
+
+
+class TestGmapService:
+    def test_simulate_job_completes(self, service):
+        accepted = service.submit(_sim_payload())
+        state = _wait_terminal(service, accepted["job_id"])
+        assert state["status"] == "completed"
+        assert state["degraded"] is False
+        assert state["result"]["result"]["requests_issued"] > 0
+
+    def test_unknown_job_is_none(self, service):
+        assert service.job_status("nope") is None
+
+    def test_invalid_submission_never_enqueued(self, service):
+        with pytest.raises(RequestValidationError):
+            service.submit({"kind": "simulate", "params": {}})
+        assert service.queue.depth() == 0
+
+    def test_profile_and_generate_roundtrip(self, service):
+        accepted = service.submit({
+            "kind": "profile",
+            "params": {"benchmark": "vectoradd", "scale": "tiny"},
+        })
+        state = _wait_terminal(service, accepted["job_id"])
+        assert state["status"] == "completed"
+        profile = state["result"]["profile"]
+        accepted = service.submit({
+            "kind": "generate",
+            "params": {"profile": profile, "seed": 7},
+        })
+        state = _wait_terminal(service, accepted["job_id"])
+        assert state["status"] == "completed"
+        assert state["result"]["transactions"] > 0
+
+    def test_invalid_input_fails_typed(self, service):
+        accepted = service.submit({
+            "kind": "profile",
+            "params": {"benchmark": "/nonexistent/input.trace"},
+        })
+        state = _wait_terminal(service, accepted["job_id"])
+        assert state["status"] == "failed"
+        assert state["error_kind"] in ("invalid_request", "simulation_error")
+
+    def test_healthz_counters(self, service):
+        accepted = service.submit(_sim_payload())
+        _wait_terminal(service, accepted["job_id"])
+        health = service.healthz()
+        assert health["status"] == "ok"
+        assert health["counters"]["completed"] >= 1
+        assert health["queue_capacity"] == 8
+
+    def test_draining_service_rejects_503(self, service):
+        service.drain()
+        with pytest.raises(RequestValidationError) as excinfo:
+            service.submit(_sim_payload())
+        assert excinfo.value.http_status == 503
+
+
+class TestDrainResume:
+    def test_checkpointed_jobs_resume_under_original_ids(self, tmp_path):
+        config = ServiceConfig(
+            workers=1, queue_capacity=16, job_timeout=60.0,
+            journal=True, journal_dir=str(tmp_path / "journal"),
+            run_id="resume-test", drain_timeout=1.0,
+        )
+        first = GmapService(config)
+        first.start()
+        ids = [first.submit(_sim_payload())["job_id"] for _ in range(4)]
+        summary = first.drain()
+        first.stop()
+        assert summary["checkpointed"] >= 1
+        pending = [
+            job_id for job_id in ids
+            if first.job_status(job_id)["status"] == "checkpointed"
+        ]
+        assert len(pending) == summary["checkpointed"]
+
+        second = GmapService(config)
+        resumed = second.start()
+        try:
+            assert resumed == summary["checkpointed"]
+            for job_id in pending:
+                state = _wait_terminal(second, job_id)
+                assert state["status"] == "completed"
+            # Terminal checkpoints are discarded: a third boot is clean.
+            second.drain()
+        finally:
+            second.stop()
+        third = GmapService(config)
+        try:
+            assert third.start() == 0
+        finally:
+            third.queue.close()
+            third.stop()
+
+    def test_concurrent_server_on_same_journal_fails_fast(self, tmp_path):
+        from repro.validation.resilience import JournalLockedError
+
+        config = ServiceConfig(
+            workers=1, journal=True,
+            journal_dir=str(tmp_path / "journal"), run_id="locked",
+        )
+        first = GmapService(config)
+        first.start()
+        try:
+            second = GmapService(config)
+            with pytest.raises(JournalLockedError):
+                second.start()
+        finally:
+            first.queue.close()
+            first.stop()
+
+
+class TestThreadIsolationFallback:
+    def test_thread_mode_still_types_crashes(self, tmp_path):
+        config = ServiceConfig(
+            workers=1, isolation="thread", journal=False,
+            retries=0, allow_fault_injection=True,
+        )
+        service = GmapService(config)
+        service.start()
+        try:
+            state_file = tmp_path / "state"
+            accepted = service.submit(_sim_payload(
+                fault={"spec": "raise:*:*:always",
+                       "state": str(state_file)}))
+            state = _wait_terminal(service, accepted["job_id"])
+            assert state["status"] == "failed"
+            assert state["error_kind"] == "simulation_error"
+            accepted = service.submit(_sim_payload())
+            state = _wait_terminal(service, accepted["job_id"])
+            assert state["status"] == "completed"
+        finally:
+            service.queue.close()
+            service.stop()

@@ -1,0 +1,47 @@
+"""End-to-end chaos scenarios against a live ``gmap serve`` instance.
+
+Thin pytest bindings over :mod:`repro.service.chaos` — each scenario boots
+a real service (HTTP listener, process-isolated workers), injects its
+fault, and reports violations of the acceptance invariants (no crash,
+typed outcomes, bounded queue, labeled degradation, lossless
+drain/resume).  The CI ``service`` job additionally runs the harness as a
+standalone binary under a hard wall-clock timeout.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service import chaos
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(20170618)  # DAC'17 vintage
+
+
+@pytest.mark.parametrize("scenario", chaos.SCENARIOS,
+                         ids=lambda s: s.__name__)
+def test_chaos_scenario(scenario, rng, tmp_path):
+    result = scenario(tmp_path, rng, smoke=True)
+    assert result.ok, "; ".join(result.violations)
+
+
+def test_harness_main_smoke_report(tmp_path):
+    """The standalone entry point: exit 0 and a JSON report on success.
+
+    Runs a single scenario via ``--only`` — the parametrized test above
+    already covers the full matrix; this checks the binary surface.
+    """
+    out = tmp_path / "report.json"
+    code = chaos.main(["--smoke", "--seed", "99", "--out", str(out),
+                       "--only", "queue_flood"])
+    assert code == 0
+    import json
+
+    report = json.loads(out.read_text())
+    assert report["smoke"] is True
+    assert [s["name"] for s in report["scenarios"]] == ["queue_flood"]
+    assert all(s["ok"] for s in report["scenarios"])

@@ -408,3 +408,77 @@ class TestCliPartial:
 
         with pytest.raises(SystemExit):
             main(["validate", "fig6a", "--no-journal", "--resume"])
+
+
+class TestJournalLock:
+    """Single-writer locking: concurrent ``--resume`` runs fail fast."""
+
+    def test_acquire_release_and_reacquire(self, tmp_path):
+        journal = RunJournal("lock1", tmp_path)
+        journal.acquire_lock()
+        assert journal.lock_path.exists()
+        journal.acquire_lock()  # same holder: no-op
+        journal.release_lock()
+        journal.release_lock()  # idempotent
+
+    def test_second_holder_fails_fast(self, tmp_path):
+        from repro.validation.resilience import JournalLockedError
+
+        first = RunJournal("lock2", tmp_path)
+        first.acquire_lock()
+        try:
+            with pytest.raises(JournalLockedError, match="locked"):
+                RunJournal("lock2", tmp_path).acquire_lock()
+        finally:
+            first.release_lock()
+        RunJournal("lock2", tmp_path).acquire_lock()  # free again
+
+    def test_different_run_ids_do_not_contend(self, tmp_path):
+        a = RunJournal("lock3a", tmp_path)
+        b = RunJournal("lock3b", tmp_path)
+        a.acquire_lock()
+        b.acquire_lock()
+        a.release_lock()
+        b.release_lock()
+
+    def test_lock_released_when_holder_process_dies(self, tmp_path):
+        """flock is kernel-held: a dead holder never wedges the journal."""
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.validation.resilience import RunJournal\n"
+            f"j = RunJournal('lock4', {str(tmp_path)!r})\n"
+            "j.acquire_lock()\n"
+            "import os; os._exit(0)\n"  # die without release_lock()
+        )
+        subprocess.run([sys.executable, "-c", script], check=True,
+                       env=dict(os.environ, PYTHONPATH="src"),
+                       cwd=os.path.dirname(os.path.dirname(__file__)) or ".")
+        RunJournal("lock4", tmp_path).acquire_lock()  # not wedged
+
+    def test_journaled_sweep_refuses_locked_journal(self, tmp_path):
+        """The user-facing guarantee: a second ``--resume`` of a live run
+        exits with a typed error instead of corrupting the journal."""
+        from repro.validation.resilience import JournalLockedError
+
+        runner = SweepRunner(jobs=1, chunk_size=1, journal=True,
+                             journal_dir=tmp_path, run_id="live")
+        holder = RunJournal("live", tmp_path)
+        holder.acquire_lock()
+        try:
+            with pytest.raises(JournalLockedError):
+                runner.run(_kernels(), CONFIGS, num_cores=4)
+        finally:
+            holder.release_lock()
+        # The journal was not disturbed: the run now proceeds normally.
+        results = runner.run(_kernels(), CONFIGS, num_cores=4)
+        assert not results[0].failures
+
+    def test_sweep_releases_lock_after_run(self, tmp_path):
+        runner = SweepRunner(jobs=1, chunk_size=1, journal=True,
+                             journal_dir=tmp_path, run_id="released")
+        runner.run(_kernels(), CONFIGS, num_cores=4)
+        follower = RunJournal("released", tmp_path)
+        follower.acquire_lock()  # released cleanly: no contention
+        follower.release_lock()
