@@ -17,7 +17,11 @@ from typing import Any, Dict, List, Tuple
 
 from repro.analysis.engine import EngineConfig, lint_file
 from repro.analysis.rules import rule_ids
-from repro.analysis.verify import verify_profile_payload, verify_sim_config
+from repro.analysis.verify import (
+    verify_multi_config_report,
+    verify_profile_payload,
+    verify_sim_config,
+)
 
 #: rule id -> (relative path the fixture pretends to live at, bad source).
 LINT_FIXTURES: Dict[str, Tuple[str, str]] = {
@@ -213,6 +217,112 @@ def _config_fixtures() -> Dict[str, Any]:
     }
 
 
+def _minimal_multi_config() -> Dict[str, Any]:
+    """A smallest well-formed one-pass multi-config report to mutate."""
+    def stats(accesses: int, hits: int) -> Dict[str, int]:
+        return {"accesses": accesses, "hits": hits, "misses": accesses - hits}
+
+    def block() -> Dict[str, Any]:
+        return {
+            "requests_issued": 8,
+            "cycles": 64.0,
+            "l1": stats(8, 2),
+            "l2": stats(6, 1),
+        }
+
+    return {
+        "format": "gmap-multi-config",
+        "schema_version": 1,
+        "target": "fixture",
+        "backend": "numpy",
+        "num_configs": 2,
+        "results": [
+            {"config": "cfg-a", "result": block()},
+            {"config": "cfg-b", "result": block()},
+        ],
+        "oracle_fallbacks": [],
+    }
+
+
+def _multi_config_fixtures() -> Dict[str, Dict[str, Any]]:
+    fixtures: Dict[str, Dict[str, Any]] = {}
+
+    bad = _minimal_multi_config()
+    bad["num_configs"] = 3
+    fixtures["multiconfig-count"] = bad
+
+    bad = _minimal_multi_config()
+    bad["results"][0]["result"]["l1"]["hits"] = 5  # 5 + 6 != 8
+    fixtures["multiconfig-totals"] = bad
+
+    bad = _minimal_multi_config()
+    bad["results"][1]["result"]["cycles"] = 99.0
+    fixtures["multiconfig-trace-mismatch"] = bad
+
+    bad = _minimal_multi_config()
+    bad["results"][0] = {"config": "cfg-a"}  # stat block dropped
+    fixtures["multiconfig-bad-block"] = bad
+
+    bad = _minimal_multi_config()
+    bad["oracle_fallbacks"] = [{"index": 7, "reasons": ["prefetch"]}]
+    fixtures["multiconfig-fallback-index"] = bad
+
+    return fixtures
+
+
+def _determinism_traces() -> List[List[Tuple[int, int, int, int]]]:
+    """Tiny synthetic per-core streams mixing reuse, strides and stores."""
+    from repro.gpu.instructions import pack
+
+    cores = []
+    for core in range(2):
+        base = 0x1000_0000 + core * 0x4000
+        trace = []
+        for i in range(24):
+            trace.append(pack(80, base + (i % 6) * 128, 128, False))
+            trace.append(pack(88, base + i * 256, 32, i % 3 == 0))
+        cores.append(trace)
+    return cores
+
+
+def _memsim_determinism_lines() -> Tuple[bool, List[str]]:
+    """Replay one fixed trace twice per backend; any drift means the memsim
+    engine has picked up hidden state (the array backend must match the
+    python oracle bit-for-bit on supported configs)."""
+    from repro.memsim.config import PAPER_BASELINE
+    from repro.memsim.simulator import simulate_flat_trace
+
+    traces = _determinism_traces()
+    config = PAPER_BASELINE.with_(num_cores=len(traces))
+    lines: List[str] = []
+    ok = True
+    reference: Any = None
+    for backend in ("python", "numpy"):
+        label = f"memsim-determinism:{backend}"
+        try:
+            runs = [
+                simulate_flat_trace(traces, config, backend=backend).to_dict()
+                for _ in range(2)
+            ]
+        except ImportError:
+            lines.append(f"verify {label:<23} SKIPPED (no {backend})")
+            continue
+        stable = runs[0] == runs[1]
+        ok &= stable
+        lines.append(
+            f"verify {label:<23} {'OK' if stable else 'NONDETERMINISTIC'}")
+        if reference is None:
+            reference = runs[0]
+        else:
+            matches = runs[0] == reference
+            ok &= matches
+            lines.append(
+                f"verify {'memsim-backend-match':<23} "
+                f"{'OK' if matches else 'ORACLE MISMATCH'}"
+            )
+    return ok, lines
+
+
 def run_self_test() -> Tuple[bool, List[str]]:
     """Exercise every rule; returns ``(all_fired, report_lines)``."""
     lines: List[str] = []
@@ -263,6 +373,24 @@ def run_self_test() -> Tuple[bool, List[str]]:
         fired = any(f.rule == rule for f in findings)
         ok &= fired
         lines.append(f"verify {rule:<23} {'OK' if fired else 'MISSING'}")
+
+    for rule, payload in sorted(_multi_config_fixtures().items()):
+        findings = verify_multi_config_report(payload, origin="<selftest>")
+        fired = any(f.rule == rule for f in findings)
+        ok &= fired
+        lines.append(f"verify {rule:<23} {'OK' if fired else 'MISSING'}")
+
+    clean_multi = not verify_multi_config_report(
+        _minimal_multi_config(), "<selftest>")
+    ok &= clean_multi
+    lines.append(
+        f"verify {'clean-multiconfig-passes':<23} "
+        f"{'OK' if clean_multi else 'FALSE POSITIVE'}"
+    )
+
+    det_ok, det_lines = _memsim_determinism_lines()
+    ok &= det_ok
+    lines.extend(det_lines)
 
     # A well-formed payload/config must stay clean, or the gate would block
     # every legitimate sweep.

@@ -266,9 +266,105 @@ def verify_profile_file(path: PathLike) -> List[Finding]:
         return [_finding("corrupt-artifact", origin, str(exc))]
     except (OSError, ValueError) as exc:
         return [_finding("unreadable-artifact", origin, f"cannot read: {exc}")]
+    if payload.get("format") == "gmap-multi-config":
+        return verify_multi_config_report(payload, origin)
     if "kernels" in payload:
         return verify_application_payload(payload, origin)
     return verify_profile_payload(payload, origin)
+
+
+def verify_multi_config_report(
+    data: Mapping[str, Any], origin: str
+) -> List[Finding]:
+    """Validate the per-config stat blocks of a one-pass multi-config run.
+
+    The report (:func:`repro.memsim.simulator.multi_config_report`) replays
+    ONE fixed-order trace under N configurations, so two families of
+    invariants must hold across its ``results`` blocks:
+
+    * **count** — ``num_configs`` matches the number of emitted blocks, and
+      every ``oracle_fallbacks`` index points at one of them;
+    * **trace identity** — the request total and the replay cycle count are
+      properties of the trace, not the cache geometry: every block must
+      report the same ``requests_issued`` and ``cycles``.  (Per-level
+      access counts legitimately differ — sector splitting depends on the
+      config's line size — but within each block hits + misses must equal
+      accesses.)
+    """
+    findings: List[Finding] = []
+    results = data.get("results", [])
+    declared = data.get("num_configs")
+    if not isinstance(results, list) or not results:
+        findings.append(
+            _finding(
+                "multiconfig-count", origin,
+                "report has no per-config result blocks",
+            )
+        )
+        return findings
+    if declared != len(results):
+        findings.append(
+            _finding(
+                "multiconfig-count", origin,
+                f"num_configs declares {declared!r} but the report emits "
+                f"{len(results)} stat blocks",
+            )
+        )
+    blocks: List[Mapping[str, Any]] = []
+    for index, entry in enumerate(results):
+        block = entry.get("result") if isinstance(entry, Mapping) else None
+        if not isinstance(block, Mapping):
+            findings.append(
+                _finding(
+                    "multiconfig-bad-block", origin,
+                    f"results[{index}] carries no result stat block",
+                )
+            )
+            continue
+        blocks.append(block)
+        for level in ("l1", "l2"):
+            stats = block.get(level)
+            if not isinstance(stats, Mapping):
+                findings.append(
+                    _finding(
+                        "multiconfig-bad-block", origin,
+                        f"results[{index}] has no {level} stat block",
+                    )
+                )
+                continue
+            accesses = stats.get("accesses", 0)
+            hits = stats.get("hits", 0)
+            misses = stats.get("misses", 0)
+            if hits + misses != accesses:
+                findings.append(
+                    _finding(
+                        "multiconfig-totals", origin,
+                        f"results[{index}].{level}: hits {hits} + misses "
+                        f"{misses} != accesses {accesses}",
+                    )
+                )
+    for key in ("requests_issued", "cycles"):
+        values = {block.get(key) for block in blocks}
+        if len(values) > 1:
+            findings.append(
+                _finding(
+                    "multiconfig-trace-mismatch", origin,
+                    f"{key} differs across configs of the same trace: "
+                    f"{sorted(values, key=repr)[:4]} — the one-pass run "
+                    f"did not replay one identical access stream",
+                )
+            )
+    for fallback in data.get("oracle_fallbacks", []):
+        index = fallback.get("index") if isinstance(fallback, Mapping) else None
+        if not isinstance(index, int) or not 0 <= index < len(results):
+            findings.append(
+                _finding(
+                    "multiconfig-fallback-index", origin,
+                    f"oracle_fallbacks entry {fallback!r} does not point at "
+                    f"an emitted config block",
+                )
+            )
+    return findings
 
 
 def verify_trace_file(path: PathLike) -> List[Finding]:

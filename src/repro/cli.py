@@ -92,6 +92,19 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="warp scheduling policy (default: lrr)")
     p.add_argument("--dram-preset", default=None,
                    help="memory preset: gddr3-paper, gddr5, hbm2-like")
+    p.add_argument("--flat", action="store_true",
+                   help="fixed-order flat replay instead of the "
+                        "latency-feedback SIMT loop; --backend numpy then "
+                        "runs the array-resident memsim engine")
+    p.add_argument("--sweep", choices=("l1", "l2"), default=None,
+                   help="one-pass multi-config flat replay over this sweep "
+                        "grid (implies --flat; reduced grid unless --full)")
+    p.add_argument("--full", action="store_true",
+                   help="with --sweep: the full paper-sized grid instead of "
+                        "the reduced one")
+    p.add_argument("--out", default=None,
+                   help="with --sweep: write the per-config stat blocks as "
+                        "a JSON report (validated by 'gmap check')")
     _add_common(p)
 
     p = sub.add_parser("validate", help="original-vs-proxy accuracy for one figure")
@@ -137,6 +150,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=2,
                    help="retries per failing chunk before it is quarantined "
                         "as a ChunkFailure (default: 2)")
+    p.add_argument("--sim-mode", choices=("simt", "flat"), default="simt",
+                   help="per-point simulation: simt (latency-feedback loop, "
+                        "the default) or flat (fixed-order replay; each "
+                        "worker chunk becomes a one-pass multi-config run "
+                        "on --backend)")
     _add_common(p)
 
     p = sub.add_parser(
@@ -371,8 +389,53 @@ def _cmd_simulate(args) -> int:
         label = args.target
     config = PAPER_BASELINE.with_(num_cores=args.cores)
     config = _apply_sim_overrides(config, args)
+    if args.sweep:
+        return _cmd_simulate_sweep(args, assignments, label)
+    if args.flat:
+        from repro.gpu.executor import flat_drain
+
+        result = SimtSimulator(config, backend=args.backend).replay_flat(
+            flat_drain(assignments))
+        _print_result(f"{label} (flat replay)", result)
+        return 0
     result = SimtSimulator(config).run(assignments)
     _print_result(label, result)
+    return 0
+
+
+def _cmd_simulate_sweep(args, assignments, label: str) -> int:
+    """``gmap simulate --sweep``: one-pass multi-config flat replay."""
+    import json
+
+    from repro.gpu.executor import flat_drain
+    from repro.memsim.simulator import multi_config_report
+    from repro.validation import sweeps as sweep_grids
+
+    grids = {"l1": sweep_grids.l1_sweep, "l2": sweep_grids.l2_sweep}
+    configs = [
+        config.with_(num_cores=args.cores)
+        for config in grids[args.sweep](reduced=not args.full)
+    ]
+    report = multi_config_report(
+        flat_drain(assignments), configs, backend=args.backend, target=label)
+    print(f"== {label}: one-pass {args.sweep} sweep, "
+          f"{report['num_configs']} configs, backend={report['backend']}")
+    for entry in report["results"]:
+        block = entry["result"]
+        print(f"  {entry['config'][:12]}  "
+              f"L1 {block['l1']['misses']:>8}/{block['l1']['accesses']:<8} "
+              f"L2 {block['l2']['misses']:>8}/{block['l2']['accesses']:<8} "
+              f"cycles {block['cycles']:.0f}")
+    if report["oracle_fallbacks"]:
+        for fallback in report["oracle_fallbacks"]:
+            print(f"  config[{fallback['index']}] ran on the oracle: "
+                  + "; ".join(fallback["reasons"]))
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -490,10 +553,12 @@ def _cmd_validate(args) -> int:
         timeout=args.timeout, retries=args.retries,
         journal=use_journal, journal_dir=args.journal_dir,
         run_id=run_id, resume=resume, backend=args.backend,
+        sim_mode=args.sim_mode,
     )
     print(f"{spec.figure} ({spec.description}): metric={metric}, "
           f"{len(configs)} configs x {len(kernels)} benchmarks, "
-          f"jobs={jobs}, cache={'off' if args.no_cache else 'on'}")
+          f"jobs={jobs}, sim_mode={args.sim_mode}, "
+          f"cache={'off' if args.no_cache else 'on'}")
     if report.run_id:
         print(f"run id: {report.run_id} "
               f"(resume an interrupted run with --resume {report.run_id})")

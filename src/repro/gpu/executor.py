@@ -256,3 +256,49 @@ def assignments_from_traces(
         ]
         assignments.append(CoreAssignment(core_id=core_id, waves=waves))
     return assignments
+
+
+def flat_drain(
+    assignments: Sequence[CoreAssignment],
+    limit: Optional[int] = None,
+) -> List[List[AccessTuple]]:
+    """Drain core assignments into plain per-core traces (unit-latency LRR).
+
+    Algorithm 2's simplest warp-queue drain: within each resident wave the
+    warps take round-robin turns emitting one transaction per pass until
+    the wave empties, waves in order.  The result is the fixed-order
+    interleaving that :func:`repro.memsim.simulator.simulate_flat_trace`
+    replays — and the array-resident memsim backend batch-simulates.
+    ``limit`` caps the total emitted requests (Algorithm 2's ``J`` bound).
+
+    Identical drain model to
+    :meth:`repro.core.generator.ProxyGenerator.interleave_round_robin`,
+    exposed for pre-built assignments (trace files, originals) so both
+    sides of a validation pair can use the same flat replay path.
+    """
+    num_cores = 1 + max(
+        (a.core_id for a in assignments), default=-1
+    )
+    per_core: List[List[AccessTuple]] = [[] for _ in range(num_cores)]
+    emitted = 0
+    budget = limit if limit is not None else float("inf")
+    for assignment in assignments:
+        core_trace = per_core[assignment.core_id]
+        for wave in assignment.waves:
+            cursors = [0] * len(wave)
+            remaining = sum(len(w.transactions) for w in wave)
+            while remaining and emitted < budget:
+                for idx, warp in enumerate(wave):
+                    cursor = cursors[idx]
+                    if cursor < len(warp.transactions):
+                        core_trace.append(warp.transactions[cursor])
+                        cursors[idx] = cursor + 1
+                        remaining -= 1
+                        emitted += 1
+                        if emitted >= budget:
+                            break
+            if emitted >= budget:
+                break
+        if emitted >= budget:
+            break
+    return per_core

@@ -160,11 +160,35 @@ class _CoreState:
 
 
 class SimtSimulator:
-    """Runs core assignments through a fresh memory hierarchy."""
+    """Runs core assignments through a fresh memory hierarchy.
 
-    def __init__(self, config: SimConfig) -> None:
+    ``backend`` selects the memsim implementation for the *fixed-order*
+    replay path (:meth:`replay_flat`): ``"numpy"`` uses the array-resident
+    engine in :mod:`repro.memsim.vectorized` where the configuration
+    permits, ``"python"`` (the default) the scalar oracle.  The
+    latency-feedback loop (:meth:`run`) is inherently order-dependent and
+    always runs the scalar oracle regardless of backend.
+    """
+
+    def __init__(self, config: SimConfig, backend: Optional[str] = None) -> None:
+        from repro.core.backend import resolve_backend
+
         self.config = config
+        self.backend = resolve_backend(backend)
         self.hierarchy = MemoryHierarchy(config)
+
+    def replay_flat(
+        self, per_core_traces: Sequence[Sequence[AccessTuple]]
+    ) -> SimResult:
+        """Replay pre-interleaved per-core traces on this config.
+
+        Unlike :meth:`run` this uses a fresh hierarchy per call (flat
+        replay has no warp-queue state to carry over) and honours the
+        simulator's backend selection.
+        """
+        return simulate_flat_trace(
+            per_core_traces, self.config, backend=self.backend
+        )
 
     def run(
         self,
@@ -239,7 +263,9 @@ def simulate(
 
 
 def simulate_flat_trace(
-    per_core_traces: Sequence[Sequence[AccessTuple]], config: SimConfig
+    per_core_traces: Sequence[Sequence[AccessTuple]],
+    config: SimConfig,
+    backend: Optional[str] = None,
 ) -> SimResult:
     """Simulate pre-interleaved per-core traces (no scheduling feedback).
 
@@ -251,7 +277,22 @@ def simulate_flat_trace(
     carry no memory semantics here, but they still consume one issue slot:
     the core's clock advances past them, so a barrier-heavy core does not
     unfairly win every interleaving tie against cores doing real work.
+
+    With ``backend="numpy"`` the replay runs on the array-resident engine
+    (:mod:`repro.memsim.vectorized`), bit-identical for supported
+    configurations; configurations outside its matrix (prefetchers,
+    non-LRU replacement, ...) transparently replay on this scalar oracle.
     """
+    from repro.core.backend import resolve_backend
+
+    if resolve_backend(backend) == "numpy":
+        from repro.memsim import vectorized
+
+        if vectorized.np is not None:
+            try:
+                return vectorized.simulate_flat_numpy(per_core_traces, config)
+            except vectorized.UnsupportedConfigError:
+                pass  # out-of-matrix config: replay the oracle below
     hierarchy = MemoryHierarchy(config)
     clocks = [0.0] * len(per_core_traces)
     cursors = [0] * len(per_core_traces)
@@ -285,3 +326,53 @@ def simulate_flat_trace(
         requests_issued=issued,
         cycles=max(clocks, default=0.0),
     )
+
+
+#: Artifact format tag and schema version of one-pass multi-config reports.
+MULTI_CONFIG_FORMAT = "gmap-multi-config"
+MULTI_CONFIG_SCHEMA_VERSION = 1
+
+
+def multi_config_report(
+    per_core_traces: Sequence[Sequence[AccessTuple]],
+    configs: Sequence[SimConfig],
+    backend: Optional[str] = None,
+    target: str = "<trace>",
+) -> dict:
+    """One-pass multi-config flat replay, as a JSON-serialisable report.
+
+    The report is the artifact form of :func:`simulate_flat_multi`'s
+    per-config stat blocks; ``gmap check`` validates it with
+    :func:`repro.analysis.verify.verify_multi_config_report` (config count
+    matches, trace-level totals identical across configs).
+    ``oracle_fallbacks`` lists, per config index, the configuration-level
+    reasons the array backend declined (empty when every config ran on the
+    requested backend's fast path).
+    """
+    from repro.core.backend import resolve_backend
+    from repro.core.cache import config_fingerprint
+    from repro.memsim.vectorized import (
+        memsim_fallback_reasons,
+        simulate_flat_multi,
+    )
+
+    resolved = resolve_backend(backend)
+    results = simulate_flat_multi(per_core_traces, configs, backend=resolved)
+    fallbacks = []
+    if resolved == "numpy":
+        for index, config in enumerate(configs):
+            reasons = memsim_fallback_reasons(config)
+            if reasons:
+                fallbacks.append({"index": index, "reasons": reasons})
+    return {
+        "format": MULTI_CONFIG_FORMAT,
+        "schema_version": MULTI_CONFIG_SCHEMA_VERSION,
+        "target": target,
+        "backend": resolved,
+        "num_configs": len(configs),
+        "results": [
+            {"config": config_fingerprint(config), "result": result.to_dict()}
+            for config, result in zip(configs, results)
+        ],
+        "oracle_fallbacks": fallbacks,
+    }

@@ -31,6 +31,16 @@ STATE_CLOSED = "closed"
 STATE_OPEN = "open"
 STATE_HALF_OPEN = "half_open"
 
+#: Breaker stage for the array-resident memsim engine.  Simulation jobs
+#: exercise a different vectorized surface than profile/generate jobs, so
+#: each non-default backend gets a second, independent breaker per stage:
+#: a numpy-memsim failure storm demotes *simulate* jobs to the oracle
+#: without also demoting the (healthy) profile/generate array core.
+STAGE_MEMSIM = "memsim"
+
+#: All named stages a backend breaker can be split on.
+STAGES: Tuple[str, ...] = (STAGE_MEMSIM,)
+
 
 class CircuitBreaker:
     """Consecutive-failure breaker for one backend.
@@ -107,9 +117,12 @@ class CircuitBreaker:
 class DegradationPolicy:
     """Chooses each job's effective backend from breaker state.
 
-    One breaker per non-default backend in the fallback chain; the default
-    (python oracle) backend is never broken — it is the floor everything
-    degrades onto, so breaking it would leave nothing to run jobs with.
+    One breaker per non-default backend in the fallback chain — and one
+    more per (backend, stage) for each named stage in :data:`STAGES`, so
+    the memsim engine's health is tracked separately from the
+    profile/generate array core.  The default (python oracle) backend is
+    never broken — it is the floor everything degrades onto, so breaking
+    it would leave nothing to run jobs with.
     """
 
     def __init__(
@@ -121,25 +134,42 @@ class DegradationPolicy:
     ) -> None:
         self._requested = backend
         self._chain = fallback_chain(backend)
-        self._breakers: Dict[str, CircuitBreaker] = {
-            name: CircuitBreaker(failure_threshold, cooldown, clock)
-            for name in self._chain if name != DEFAULT_BACKEND
-        }
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        for name in self._chain:
+            if name == DEFAULT_BACKEND:
+                continue
+            self._breakers[name] = CircuitBreaker(
+                failure_threshold, cooldown, clock)
+            for stage in STAGES:
+                self._breakers[f"{name}:{stage}"] = CircuitBreaker(
+                    failure_threshold, cooldown, clock)
 
-    def effective_backend(self) -> Tuple[str, List[str]]:
-        """(backend to hand the worker, degradation reasons if demoted)."""
+    @staticmethod
+    def _key(name: str, stage: Optional[str]) -> str:
+        return f"{name}:{stage}" if stage else name
+
+    def effective_backend(
+        self, stage: Optional[str] = None
+    ) -> Tuple[str, List[str]]:
+        """(backend to hand the worker, degradation reasons if demoted).
+
+        ``stage`` selects the per-stage breaker (e.g.
+        :data:`STAGE_MEMSIM` for simulation jobs); ``None`` uses the
+        backend's base breaker.
+        """
         reasons: List[str] = []
         for name in self._chain:
-            breaker = self._breakers.get(name)
+            breaker = self._breakers.get(self._key(name, stage))
             if breaker is None or breaker.allow():
                 return name, reasons
-            reasons.append(f"circuit_open:{name}")
+            reasons.append(f"circuit_open:{self._key(name, stage)}")
         # Chain floor: the default backend has no breaker, so this line is
         # reachable only if the chain were empty — resolve defensively.
         return DEFAULT_BACKEND, reasons
 
     def observe(self, backend_used: str,
-                fallback_errors: List[Tuple[str, str]]) -> None:
+                fallback_errors: List[Tuple[str, str]],
+                stage: Optional[str] = None) -> None:
         """Feed one finished job's backend telemetry into the breakers.
 
         ``fallback_errors`` is :func:`run_with_fallback`'s list of
@@ -148,16 +178,17 @@ class DegradationPolicy:
         The backend that produced the result counts as a success.
         """
         for name, _error in fallback_errors:
-            breaker = self._breakers.get(name)
+            breaker = self._breakers.get(self._key(name, stage))
             if breaker is not None:
                 breaker.record_failure()
-        breaker = self._breakers.get(backend_used)
+        breaker = self._breakers.get(self._key(backend_used, stage))
         if breaker is not None:
             breaker.record_success()
 
-    def observe_job_failure(self, backend: str) -> None:
+    def observe_job_failure(self, backend: str,
+                            stage: Optional[str] = None) -> None:
         """A whole job died (crash/timeout) while using ``backend``."""
-        breaker = self._breakers.get(backend)
+        breaker = self._breakers.get(self._key(backend, stage))
         if breaker is not None:
             breaker.record_failure()
 

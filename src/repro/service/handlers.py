@@ -129,9 +129,30 @@ def _handle_generate(params: Dict[str, Any], backend: str) -> Dict[str, Any]:
 
 
 def _handle_simulate(params: Dict[str, Any], backend: str) -> Dict[str, Any]:
-    from repro.gpu.executor import assignments_from_traces, execute_kernel
+    """Simulate a benchmark or trace.
+
+    Three modes, selected by params:
+
+    * default — the latency-feedback SIMT loop (always the scalar oracle;
+      ``backend`` does not apply);
+    * ``flat: true`` — fixed-order flat replay on ``backend`` (the
+      array-resident memsim engine when ``numpy``);
+    * ``sweep: "l1" | "l2"`` — one-pass multi-config flat replay over that
+      sweep grid (``full: true`` for the paper-sized grid), returning the
+      per-config stat blocks ``gmap check`` validates.
+
+    The flat paths dispatch on ``backend``, so a numpy-memsim failure flows
+    through :func:`~repro.core.backend.run_with_fallback` (degraded result,
+    ``backend_fallback:numpy:...`` reason) and feeds the service's
+    per-stage memsim circuit breaker.
+    """
+    from repro.gpu.executor import (
+        assignments_from_traces,
+        execute_kernel,
+        flat_drain,
+    )
     from repro.memsim.config import PAPER_BASELINE
-    from repro.memsim.simulator import SimtSimulator
+    from repro.memsim.simulator import SimtSimulator, multi_config_report
     from repro.workloads import suite
 
     target = params["target"]
@@ -145,8 +166,30 @@ def _handle_simulate(params: Dict[str, Any], backend: str) -> Dict[str, Any]:
         kernel = suite.make(target, scale=params.get("scale", "small"))
         assignments = execute_kernel(kernel, cores)
     config = PAPER_BASELINE.with_(num_cores=cores)
+    sweep = params.get("sweep")
+    if sweep:
+        from repro.validation import sweeps as sweep_grids
+
+        grids = {"l1": sweep_grids.l1_sweep, "l2": sweep_grids.l2_sweep}
+        maker = grids.get(sweep)
+        if maker is None:
+            raise _InvalidRequest(
+                f"unknown sweep {sweep!r}; expected one of {sorted(grids)}")
+        configs = [
+            c.with_(num_cores=cores)
+            for c in maker(reduced=not params.get("full", False))
+        ]
+        report = multi_config_report(
+            flat_drain(assignments), configs, backend=backend, target=target)
+        return {"target": target, "sim_mode": "flat", **report}
+    if params.get("flat"):
+        result = SimtSimulator(config, backend=backend).replay_flat(
+            flat_drain(assignments))
+        return {"target": target, "sim_mode": "flat", "backend": backend,
+                "result": _sim_result_dict(result)}
     result = SimtSimulator(config).run(assignments)
-    return {"target": target, "result": _sim_result_dict(result)}
+    return {"target": target, "sim_mode": "simt",
+            "result": _sim_result_dict(result)}
 
 
 def _handle_validate(params: Dict[str, Any], backend: str) -> Dict[str, Any]:

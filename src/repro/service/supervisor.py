@@ -29,7 +29,7 @@ import traceback
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.service.config import ServiceConfig
-from repro.service.degradation import DegradationPolicy
+from repro.service.degradation import STAGE_MEMSIM, DegradationPolicy
 from repro.service.handlers import execute_job
 from repro.service.protocol import (
     STATUS_COMPLETED,
@@ -142,8 +142,12 @@ class Supervisor:
         """One job to a terminal outcome: attempts, deadlines, backoff."""
         attempts_allowed = 1 + self._config.retries
         last: Optional[JobOutcome] = None
+        # Simulation jobs exercise the array memsim engine, not the
+        # profile/generate core — route them through the per-stage breaker
+        # so each vectorized surface degrades (and recovers) independently.
+        stage = STAGE_MEMSIM if request.kind == "simulate" else None
         for attempt in range(1, attempts_allowed + 1):
-            backend, demotion_reasons = self._policy.effective_backend()
+            backend, demotion_reasons = self._policy.effective_backend(stage)
             started = time.monotonic()
             payload = self._run_attempt(request, backend)
             self._queue.note_job_seconds(time.monotonic() - started)
@@ -154,9 +158,10 @@ class Supervisor:
             if outcome.status == STATUS_COMPLETED:
                 self._policy.observe(
                     outcome.backend_used or backend,
-                    payload.get("fallback_errors") or [])
+                    payload.get("fallback_errors") or [],
+                    stage=stage)
                 return outcome
-            self._policy.observe_job_failure(backend)
+            self._policy.observe_job_failure(backend, stage=stage)
             last = outcome
             if attempt < attempts_allowed:
                 self._restarts += 1

@@ -7,13 +7,27 @@ proxy across a configuration sweep and compare metrics per configuration.
 
 The harness is the engine behind every Figure 6/7/8 bench target and the
 `gmap validate` CLI command.
+
+Two simulation modes drive each sweep point (``sim_mode``):
+
+``simt``
+    the default latency-feedback SIMT loop (:meth:`SimtSimulator.run`) —
+    warp scheduling reacts to simulated latency, so the interleaving is
+    order-dependent and always runs the scalar oracle;
+``flat``
+    fixed-order replay of Algorithm 2's round-robin drain
+    (:func:`~repro.gpu.executor.flat_drain`): the interleaving is static,
+    which makes the array-resident memsim backend applicable — and a whole
+    sweep collapses into a **one-pass multi-config** run
+    (:func:`replay_sweep`) where the trace is decoded once and every
+    configuration reuses the shared arrays.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.backend import resolve_backend
 from repro.core.cache import ArtifactCache, resolve_cache
@@ -21,13 +35,27 @@ from repro.core.generator import ProxyGenerator
 from repro.core.miniaturize import miniaturize_profile
 from repro.core.profile import GmapProfile
 from repro.core.profiler import GmapProfiler
-from repro.gpu.executor import CoreAssignment, execute_kernel
+from repro.gpu.executor import CoreAssignment, execute_kernel, flat_drain
+from repro.gpu.instructions import AccessTuple
 from repro.memsim.config import SimConfig
-from repro.memsim.simulator import SimtSimulator
+from repro.memsim.simulator import SimtSimulator, simulate_flat_trace
 from repro.memsim.stats import SimResult
 from repro.validation.metrics import SweepComparison
 from repro.validation.resilience import ChunkFailure
 from repro.workloads.base import KernelModel
+
+#: Simulation modes a sweep point can run under.
+SIM_MODES: Tuple[str, ...] = ("simt", "flat")
+
+
+def resolve_sim_mode(sim_mode: Optional[str]) -> str:
+    """Normalise a simulation-mode request; ``None`` means ``"simt"``."""
+    mode = (sim_mode or "simt").lower()
+    if mode not in SIM_MODES:
+        raise ValueError(
+            f"sim_mode must be one of {SIM_MODES}, got {sim_mode!r}"
+        )
+    return mode
 
 
 @dataclass
@@ -51,10 +79,28 @@ class BenchmarkPipeline:
     generation_seconds: float
     cache_key: Optional[str] = None
     from_cache: bool = False
+    #: Memoized flat drains (built on first ``flat``-mode use; the drain is
+    #: deterministic, so caching it per pipeline is free parallel-safety).
+    _original_flat: Optional[List[List[AccessTuple]]] = field(
+        default=None, repr=False, compare=False)
+    _proxy_flat: Optional[List[List[AccessTuple]]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
         return self.kernel.name
+
+    def original_flat(self) -> List[List[AccessTuple]]:
+        """The original's fixed-order per-core traces (Algorithm 2 drain)."""
+        if self._original_flat is None:
+            self._original_flat = flat_drain(self.original_assignments)
+        return self._original_flat
+
+    def proxy_flat(self) -> List[List[AccessTuple]]:
+        """The proxy's fixed-order per-core traces (Algorithm 2 drain)."""
+        if self._proxy_flat is None:
+            self._proxy_flat = flat_drain(self.proxy_assignments)
+        return self._proxy_flat
 
 
 def build_pipeline(
@@ -183,6 +229,8 @@ def simulate_pair(
     config: SimConfig,
     track_scheduling: bool = True,
     cache: Union[None, bool, ArtifactCache] = None,
+    sim_mode: str = "simt",
+    backend: Optional[str] = None,
 ) -> RunPair:
     """Simulate original and proxy under one configuration.
 
@@ -195,7 +243,20 @@ def simulate_pair(
     With a ``cache`` and a pipeline that carries a ``cache_key``, the whole
     result pair is memoized per configuration — a warm sweep point costs one
     cache read instead of two simulations.
+
+    ``sim_mode="flat"`` replays both streams in fixed order instead of the
+    latency-feedback loop; ``backend`` then selects the memsim
+    implementation (``"numpy"`` for the array-resident engine).  Flat pairs
+    have no scheduler feedback (``SchedP_self`` does not apply) and are not
+    pair-cached: the pair cache keys encode only (pipeline, config), and a
+    flat result must never shadow a SIMT one.
     """
+    if resolve_sim_mode(sim_mode) == "flat":
+        original = simulate_flat_trace(
+            pipeline.original_flat(), config, backend=backend)
+        proxy = simulate_flat_trace(
+            pipeline.proxy_flat(), config, backend=backend)
+        return RunPair(config=config, original=original, proxy=proxy)
     cache = resolve_cache(cache)
     pair_key = None
     if cache is not None and pipeline.cache_key is not None:
@@ -242,12 +303,49 @@ class SweepResult:
         )
 
 
+def replay_sweep(
+    pipeline: BenchmarkPipeline,
+    configs: Sequence[SimConfig],
+    backend: Optional[str] = None,
+) -> SweepResult:
+    """One-pass flat-replay sweep: N configs, one trace decode per stream.
+
+    Both the original's and the proxy's fixed-order traces are decoded once
+    (:class:`~repro.memsim.vectorized.FlatTraceArrays`) and fanned out to
+    every configuration through
+    :func:`~repro.memsim.vectorized.simulate_flat_multi` — the one-pass
+    multi-config path.  With ``backend="python"`` (or out-of-matrix
+    configurations) each config replays the scalar oracle instead,
+    bit-identical to calling :func:`simulate_pair` with
+    ``sim_mode="flat"`` per config.
+    """
+    from repro.memsim.vectorized import simulate_flat_multi
+
+    originals = simulate_flat_multi(
+        pipeline.original_flat(), configs, backend=backend)
+    proxies = simulate_flat_multi(
+        pipeline.proxy_flat(), configs, backend=backend)
+    result = SweepResult(benchmark=pipeline.name)
+    for config, original, proxy in zip(configs, originals, proxies):
+        result.pairs.append(
+            RunPair(config=config, original=original, proxy=proxy))
+    return result
+
+
 def run_sweep(
     pipeline: BenchmarkPipeline,
     configs: Sequence[SimConfig],
     cache: Union[None, bool, ArtifactCache] = None,
+    sim_mode: str = "simt",
+    backend: Optional[str] = None,
 ) -> SweepResult:
-    """Simulate one benchmark's original and proxy across a sweep."""
+    """Simulate one benchmark's original and proxy across a sweep.
+
+    ``sim_mode="flat"`` routes the whole sweep through the one-pass
+    multi-config path (:func:`replay_sweep`).
+    """
+    if resolve_sim_mode(sim_mode) == "flat":
+        return replay_sweep(pipeline, configs, backend=backend)
     cache = resolve_cache(cache)
     result = SweepResult(benchmark=pipeline.name)
     for config in configs:
@@ -316,6 +414,7 @@ def run_experiment(
     run_id: Optional[str] = None,
     resume: bool = False,
     backend: Optional[str] = None,
+    sim_mode: str = "simt",
 ) -> ExperimentReport:
     """The full per-figure evaluation loop: all benchmarks x all configs.
 
@@ -335,7 +434,9 @@ def run_experiment(
     ``backend`` picks the profiling/generation implementation (python
     reference or vectorized numpy array core) and is forwarded to every
     worker's ``build_pipeline`` so a parallel run uses one backend
-    throughout; ``None`` defers to ``GMAP_BACKEND``/default.
+    throughout; ``None`` defers to ``GMAP_BACKEND``/default.  With
+    ``sim_mode="flat"`` the backend also drives the memsim replay, and each
+    worker chunk runs as a one-pass multi-config sweep.
     """
     from repro.validation.parallel import SweepRunner
 
@@ -348,7 +449,7 @@ def run_experiment(
     )
     report = runner.run_experiment(
         kernels, configs, metric, seed=seed, num_cores=num_cores,
-        backend=backend,
+        backend=backend, sim_mode=sim_mode,
     )
     report.run_id = runner.last_run_id
     return report

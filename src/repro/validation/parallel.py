@@ -62,6 +62,8 @@ from repro.validation.harness import (
     RunPair,
     SweepResult,
     build_pipeline,
+    replay_sweep,
+    resolve_sim_mode,
     simulate_pair,
 )
 from repro.validation.resilience import (
@@ -101,6 +103,7 @@ class _SweepChunk:
     use_cache: bool
     cache_dir: Optional[str]
     backend: str = "python"
+    sim_mode: str = "simt"
 
 
 def _chunk_id(chunk: _SweepChunk) -> Tuple[int, int]:
@@ -144,14 +147,21 @@ def _run_chunk(chunk: _SweepChunk) -> Tuple[int, int, List[RunPair]]:
                 _WORKER_PIPELINES.popitem(last=False)
         else:
             _WORKER_PIPELINES.move_to_end(memo_key)
-        cache = _chunk_cache(chunk)
-        pairs = [
-            simulate_pair(
-                pipeline, config,
-                track_scheduling=chunk.track_scheduling, cache=cache,
-            )
-            for config in chunk.configs
-        ]
+        if chunk.sim_mode == "flat":
+            # One-pass multi-config: the chunk's whole config slice reuses
+            # one decode of each stream (flat pairs are not pair-cached).
+            pairs = replay_sweep(
+                pipeline, chunk.configs, backend=chunk.backend,
+            ).pairs
+        else:
+            cache = _chunk_cache(chunk)
+            pairs = [
+                simulate_pair(
+                    pipeline, config,
+                    track_scheduling=chunk.track_scheduling, cache=cache,
+                )
+                for config in chunk.configs
+            ]
         return chunk.kernel_index, chunk.config_offset, pairs
     except ChunkExecutionError:
         raise
@@ -292,6 +302,7 @@ class SweepRunner:
         scale_factor: float,
         stride_model: str,
         backend: str,
+        sim_mode: str,
     ) -> Dict[str, object]:
         return {
             "kernels": [kernel_fingerprint(k) for k in kernels],
@@ -303,6 +314,7 @@ class SweepRunner:
             "scale_factor": scale_factor,
             "stride_model": stride_model,
             "backend": backend,
+            "sim_mode": sim_mode,
             "track_scheduling": self.track_scheduling,
         }
 
@@ -324,6 +336,7 @@ class SweepRunner:
         scale_factor: float,
         stride_model: str,
         backend: str,
+        sim_mode: str,
         chunk_size: Optional[int] = None,
         run_token: Optional[str] = None,
     ) -> List[_SweepChunk]:
@@ -349,6 +362,7 @@ class SweepRunner:
                     use_cache=self.use_cache,
                     cache_dir=self.cache_dir,
                     backend=backend,
+                    sim_mode=sim_mode,
                 ))
         return chunks
 
@@ -544,6 +558,7 @@ class SweepRunner:
         scale_factor: float = 1.0,
         stride_model: str = "iid",
         backend: Optional[str] = None,
+        sim_mode: str = "simt",
     ) -> List[SweepResult]:
         """All benchmarks x all configs; one ordered SweepResult per kernel.
 
@@ -552,11 +567,16 @@ class SweepRunner:
         and, with a journal, a resumed run equals an uninterrupted one.
         Chunks that exhausted their retries surface as ``.failures`` on the
         affected :class:`SweepResult` instead of raising.
+
+        ``sim_mode="flat"`` makes every chunk a one-pass multi-config
+        flat replay (see :func:`~repro.validation.harness.replay_sweep`);
+        ``backend`` then also selects the memsim engine per chunk.
         """
         backend = resolve_backend(backend)
+        sim_mode = resolve_sim_mode(sim_mode)
         manifest = self._sweep_manifest(
             kernels, configs, seed, num_cores, max_blocks_per_core,
-            scale_factor, stride_model, backend,
+            scale_factor, stride_model, backend, sim_mode,
         )
         journal = self._resolve_journal(manifest)
         chunk_size = self._effective_chunk_size(len(kernels), len(configs))
@@ -584,7 +604,7 @@ class SweepRunner:
                 seed=seed, num_cores=num_cores,
                 max_blocks_per_core=max_blocks_per_core,
                 scale_factor=scale_factor, stride_model=stride_model,
-                backend=backend,
+                backend=backend, sim_mode=sim_mode,
             )
         finally:
             if journal is not None:
@@ -604,10 +624,11 @@ class SweepRunner:
         scale_factor: float,
         stride_model: str,
         backend: str,
+        sim_mode: str,
     ) -> List[SweepResult]:
         chunks = self._build_chunks(
             kernels, configs, seed, num_cores, max_blocks_per_core,
-            scale_factor, stride_model, backend,
+            scale_factor, stride_model, backend, sim_mode,
             chunk_size=chunk_size, run_token=run_token,
         )
 
@@ -666,6 +687,7 @@ class SweepRunner:
         scale_factor: float = 1.0,
         stride_model: str = "iid",
         backend: Optional[str] = None,
+        sim_mode: str = "simt",
     ) -> ExperimentReport:
         """Sweep every benchmark and aggregate one metric into a report."""
         sweeps = self.run(
@@ -673,7 +695,7 @@ class SweepRunner:
             seed=seed, num_cores=num_cores,
             max_blocks_per_core=max_blocks_per_core,
             scale_factor=scale_factor, stride_model=stride_model,
-            backend=backend,
+            backend=backend, sim_mode=sim_mode,
         )
         return ExperimentReport(
             metric=metric,

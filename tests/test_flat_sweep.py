@@ -1,0 +1,255 @@
+"""Flat sim_mode wiring: harness, sweep runner, service, verify report.
+
+The tentpole engine's cross-validation lives in
+``test_vectorized_memsim.py``; this file covers the plumbing around it —
+``sim_mode="flat"`` through :func:`simulate_pair` / :func:`run_sweep` /
+:class:`SweepRunner`, the one-pass multi-config report artifact and its
+``gmap check`` rules, the simulate job handler's flat/sweep modes, and the
+per-stage memsim circuit breaker.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.backend import numpy_available
+from repro.memsim.config import CacheConfig, DramConfig, SimConfig
+from repro.memsim.simulator import (
+    MULTI_CONFIG_FORMAT,
+    MULTI_CONFIG_SCHEMA_VERSION,
+    multi_config_report,
+    simulate_flat_trace,
+)
+from repro.service.degradation import STAGE_MEMSIM, DegradationPolicy
+from repro.service.handlers import execute_job
+from repro.validation.harness import (
+    build_pipeline,
+    replay_sweep,
+    resolve_sim_mode,
+    run_sweep,
+    simulate_pair,
+)
+from repro.validation.parallel import SweepRunner
+from repro.workloads import suite
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    kernel = suite.make("kmeans", "tiny")
+    return build_pipeline(kernel, num_cores=4, seed=7)
+
+
+def fast_config(**overrides) -> SimConfig:
+    defaults = dict(
+        num_cores=4,
+        l1=CacheConfig(size=16 * 1024, assoc=4, line_size=128),
+        l2=CacheConfig(size=256 * 1024, assoc=8, line_size=128,
+                       hit_latency=30, banks=8),
+        dram=DramConfig(channels=4),
+    )
+    defaults.update(overrides)
+    return SimConfig(**defaults)
+
+
+class TestSimMode:
+    def test_resolve_defaults_to_simt(self):
+        assert resolve_sim_mode(None) == "simt"
+        assert resolve_sim_mode("SIMT") == "simt"
+        assert resolve_sim_mode("flat") == "flat"
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_sim_mode("turbo")
+
+    def test_flat_pair_is_fixed_order_replay(self, pipeline):
+        """A flat pair must equal a direct flat-trace replay of the
+        pipeline's drained assignments — no scheduling feedback."""
+        config = fast_config()
+        pair = simulate_pair(pipeline, config, sim_mode="flat")
+        direct = simulate_flat_trace(
+            pipeline.original_flat(), config, backend="python")
+        assert pair.original.to_dict() == direct.to_dict()
+        assert pair.config == config
+
+    def test_flat_differs_from_simt(self, pipeline):
+        """Flat replay has no latency feedback, so it is a different
+        experiment from the SIMT loop — the modes must not be conflated
+        (which is also why flat pairs never enter the pair cache)."""
+        config = fast_config()
+        flat = simulate_pair(pipeline, config, sim_mode="flat")
+        simt = simulate_pair(pipeline, config, sim_mode="simt")
+        assert flat.original.cycles != simt.original.cycles
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_run_sweep_flat_matches_replay_sweep(self, pipeline, backend):
+        configs = [fast_config(), fast_config(
+            l1=CacheConfig(size=32 * 1024, assoc=4, line_size=128))]
+        swept = run_sweep(pipeline, configs, sim_mode="flat",
+                          backend=backend)
+        replayed = replay_sweep(pipeline, configs, backend=backend)
+        assert [p.original.to_dict() for p in swept.pairs] == \
+            [p.original.to_dict() for p in replayed.pairs]
+        assert [p.proxy.to_dict() for p in swept.pairs] == \
+            [p.proxy.to_dict() for p in replayed.pairs]
+
+
+class TestSweepRunnerFlat:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_serial_flat_matches_harness(self, backend):
+        kernel = suite.make("kmeans", "tiny")
+        configs = [fast_config(), fast_config(
+            l1=CacheConfig(size=32 * 1024, assoc=4, line_size=128))]
+        swept = SweepRunner(jobs=1, use_cache=False).run(
+            [kernel], configs, num_cores=4, seed=7,
+            sim_mode="flat", backend=backend)
+        reference = replay_sweep(
+            build_pipeline(kernel, num_cores=4, seed=7), configs,
+            backend="python")
+        assert len(swept) == 1
+        assert [p.original.to_dict() for p in swept[0].pairs] == \
+            [p.original.to_dict() for p in reference.pairs]
+
+    def test_parallel_flat_matches_serial(self):
+        kernel = suite.make("vectoradd", "tiny")
+        configs = [fast_config(), fast_config(
+            l1=CacheConfig(size=8 * 1024, assoc=2, line_size=128))]
+        serial = SweepRunner(jobs=1, use_cache=False).run(
+            [kernel], configs, num_cores=4, sim_mode="flat")
+        parallel = SweepRunner(jobs=2, use_cache=False).run(
+            [kernel], configs, num_cores=4, sim_mode="flat")
+        assert [p.original.to_dict() for p in serial[0].pairs] == \
+            [p.original.to_dict() for p in parallel[0].pairs]
+
+    def test_rejects_unknown_sim_mode(self):
+        kernel = suite.make("vectoradd", "tiny")
+        with pytest.raises(ValueError):
+            SweepRunner(jobs=1).run(
+                [kernel], [fast_config()], num_cores=4, sim_mode="warp")
+
+
+class TestMultiConfigReport:
+    @pytest.fixture(scope="class")
+    def report(self, request):
+        from repro.gpu.executor import execute_kernel, flat_drain
+
+        kernel = suite.make("vectoradd", "tiny")
+        traces = flat_drain(execute_kernel(kernel, 4))
+        configs = [fast_config(), fast_config(
+            l1=CacheConfig(size=32 * 1024, assoc=4, line_size=128))]
+        return multi_config_report(
+            traces, configs, backend="python", target="vectoradd")
+
+    def test_shape(self, report):
+        assert report["format"] == MULTI_CONFIG_FORMAT
+        assert report["schema_version"] == MULTI_CONFIG_SCHEMA_VERSION
+        assert report["num_configs"] == 2
+        assert len(report["results"]) == 2
+        for entry in report["results"]:
+            assert isinstance(entry["config"], str)
+            block = entry["result"]
+            for level in ("l1", "l2"):
+                stats = block[level]
+                assert stats["hits"] + stats["misses"] == stats["accesses"]
+
+    def test_passes_verifier(self, report):
+        from repro.analysis.verify import verify_multi_config_report
+
+        assert verify_multi_config_report(report, "<test>") == []
+
+    def test_verifier_rules_fire(self, report):
+        import copy
+
+        from repro.analysis.verify import verify_multi_config_report
+
+        bad = copy.deepcopy(report)
+        bad["num_configs"] = 9
+        bad["results"][0]["result"]["cycles"] += 1
+        bad["results"][1]["result"]["l1"]["hits"] += 1
+        rules = {
+            f.rule for f in verify_multi_config_report(bad, "<test>")
+        }
+        assert {"multiconfig-count", "multiconfig-trace-mismatch",
+                "multiconfig-totals"} <= rules
+
+    def test_check_dispatches_on_format(self, report, tmp_path):
+        import json
+
+        from repro.analysis.verify import verify_profile_file
+
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report), encoding="utf-8")
+        assert verify_profile_file(path) == []
+
+
+class TestSimulateHandler:
+    def _run(self, params, backend="python"):
+        request = {"kind": "simulate", "params": params}
+        outcome = execute_job(request, backend)
+        assert outcome["ok"], outcome.get("error")
+        return outcome["result"]
+
+    def test_default_is_simt(self):
+        result = self._run({"target": "vectoradd", "scale": "tiny",
+                            "cores": 4})
+        assert result["sim_mode"] == "simt"
+
+    def test_flat_mode(self):
+        result = self._run({"target": "vectoradd", "scale": "tiny",
+                            "cores": 4, "flat": True})
+        assert result["sim_mode"] == "flat"
+        assert result["result"]["requests_issued"] > 0
+
+    def test_sweep_mode_returns_report(self):
+        result = self._run({"target": "vectoradd", "scale": "tiny",
+                            "cores": 4, "sweep": "l1"})
+        assert result["format"] == MULTI_CONFIG_FORMAT
+        assert result["num_configs"] == len(result["results"]) == 6
+
+    def test_unknown_sweep_is_invalid_request(self):
+        request = {"kind": "simulate",
+                   "params": {"target": "vectoradd", "scale": "tiny",
+                              "sweep": "l3"}}
+        outcome = execute_job(request, "python")
+        assert not outcome["ok"]
+        assert outcome["error_kind"] == "invalid_request"
+
+
+@pytest.mark.skipif(not numpy_available(),
+                    reason="DegradationPolicy(backend='numpy') needs numpy")
+class TestMemsimStageBreaker:
+    def test_stage_breaker_is_independent(self):
+        policy = DegradationPolicy(
+            backend="numpy", failure_threshold=2, cooldown=60.0,
+            clock=lambda: 0.0)
+        for _ in range(2):
+            policy.observe_job_failure("numpy", stage=STAGE_MEMSIM)
+        backend, reasons = policy.effective_backend(STAGE_MEMSIM)
+        assert backend == "python"
+        assert reasons == ["circuit_open:numpy:memsim"]
+        # The base breaker (profile/generate jobs) is untouched.
+        backend, reasons = policy.effective_backend(None)
+        assert backend == "numpy"
+        assert reasons == []
+
+    def test_base_breaker_does_not_demote_memsim(self):
+        policy = DegradationPolicy(
+            backend="numpy", failure_threshold=2, cooldown=60.0,
+            clock=lambda: 0.0)
+        for _ in range(2):
+            policy.observe_job_failure("numpy")
+        assert policy.effective_backend(None)[0] == "python"
+        assert policy.effective_backend(STAGE_MEMSIM)[0] == "numpy"
+
+    def test_stage_success_closes_breaker(self):
+        clock = {"now": 0.0}
+        policy = DegradationPolicy(
+            backend="numpy", failure_threshold=1, cooldown=10.0,
+            clock=lambda: clock["now"])
+        policy.observe_job_failure("numpy", stage=STAGE_MEMSIM)
+        assert policy.effective_backend(STAGE_MEMSIM)[0] == "python"
+        clock["now"] = 11.0  # cooldown over: half-open probe allowed
+        assert policy.effective_backend(STAGE_MEMSIM)[0] == "numpy"
+        policy.observe("numpy", [], stage=STAGE_MEMSIM)
+        assert policy.effective_backend(STAGE_MEMSIM)[0] == "numpy"
