@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Fleet service benchmark: writes BENCH_serve.json.
+
+Thin launcher around :mod:`repro.service.bench` (also reachable as
+``gmap bench-serve``), kept as a script so CI and operators can run it
+without installing the package:
+
+    python scripts/bench_serve.py --smoke --out BENCH_serve.json
+
+Phases and gates are documented in the module; the short version:
+single-replica baseline, N-replica fleet throughput (``scaling_x``),
+open-loop 2x overload (shed rate + tail latency), and SIGKILL recovery
+time — with ``gates.zero_failed`` asserting that nothing beyond
+deliberate shedding went wrong anywhere in the run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.service.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

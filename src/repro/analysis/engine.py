@@ -51,6 +51,12 @@ class EngineConfig:
         "validation/resilience.py",
     )
     sim_path_prefixes: Tuple[str, ...] = ("core/", "memsim/", "gpu/")
+    #: Packages under the service-backoff discipline: every wait must go
+    #: through :mod:`repro.service.backoff` (jittered, bounded).
+    service_path_prefixes: Tuple[str, ...] = ("service/",)
+    #: The one module allowed to call ``time.sleep`` in the service layer —
+    #: the backoff helper itself.
+    backoff_exempt: Tuple[str, ...] = ("service/backoff.py",)
     exclude_parts: Tuple[str, ...] = ("__pycache__",)
 
 
@@ -75,6 +81,11 @@ class LintContext:
     @property
     def env_reads_allowed(self) -> bool:
         return self.rel_path.endswith(self.config.env_read_allowed)
+
+    @property
+    def in_service_path(self) -> bool:
+        return (self.rel_path.startswith(self.config.service_path_prefixes)
+                and not self.rel_path.endswith(self.config.backoff_exempt))
 
     def resolve(self, node: ast.expr) -> Optional[str]:
         """Canonical dotted name of an attribute/name chain, if importable.

@@ -43,8 +43,8 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
 
 def get_rules() -> List[Rule]:
     """Fresh instances of every registered rule."""
-    # Importing the module triggers registration on first use.
-    from repro.analysis.rules import determinism  # noqa: F401
+    # Importing the modules triggers registration on first use.
+    from repro.analysis.rules import determinism, robustness  # noqa: F401
 
     return [rule_class() for rule_class in _REGISTRY]
 

@@ -1,0 +1,104 @@
+"""Robustness rules: the service layer's wait discipline.
+
+One rule, two shapes.  ``repro/service`` runs a fleet: blind
+``time.sleep`` calls synchronise retry storms (every rebooted replica
+hammers the same instant), and ``while True`` loops with no exit turn a
+dead dependency into a hung fleet.  Both waits have sanctioned spellings
+in :mod:`repro.service.backoff` — ``sleep_backoff`` (jittered,
+interruptible) and ``poll_until`` (deadline-bounded) — so a raw spelling
+in the service packages is always a finding, never a style choice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, List
+
+from repro.analysis.rules import Rule, RuleHit, register
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.engine import LintContext
+
+
+def _contains_exit(nodes: List[ast.stmt], *, own_level: bool) -> bool:
+    """Can control leave the enclosing loop from these statements?
+
+    ``break`` counts only at the loop's own level (``own_level``); a
+    ``return``/``raise`` propagates out from anywhere except a nested
+    function or class body.  Deliberately conservative: an exit hidden
+    behind a helper call is not chased, so the rule can miss an exit and
+    stay silent — it never invents one.
+    """
+    for stmt in nodes:
+        if own_level and isinstance(stmt, ast.Break):
+            return True
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return True
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue  # its returns don't leave *this* loop
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            # A nested loop swallows breaks but not returns/raises.
+            if _contains_exit(stmt.body + stmt.orelse, own_level=False):
+                return True
+            continue
+        if isinstance(stmt, ast.Try):
+            blocks = stmt.body + stmt.orelse + stmt.finalbody
+            for handler in stmt.handlers:
+                blocks = blocks + handler.body
+            if _contains_exit(blocks, own_level=own_level):
+                return True
+            continue
+        if isinstance(stmt, (ast.If, ast.With, ast.AsyncWith)):
+            if _contains_exit(
+                    stmt.body + getattr(stmt, "orelse", []),
+                    own_level=own_level):
+                return True
+    return False
+
+
+@register
+class ServiceBackoffRule(Rule):
+    """Raw waits in the service layer.
+
+    Flags, inside ``repro/service`` (except ``backoff.py`` itself):
+
+    * direct ``time.sleep`` calls — use
+      :func:`repro.service.backoff.sleep_backoff` (jittered, wakeable) or
+      an ``Event.wait`` with a bound;
+    * ``while True`` loops with no reachable ``break``/``return``/
+      ``raise`` — use :func:`repro.service.backoff.poll_until`, which has
+      no spelling of "poll forever".
+    """
+
+    id = "service-backoff"
+    node_types = (ast.Call, ast.While)
+
+    def check(self, node: ast.AST, ctx: "LintContext") -> Iterator[RuleHit]:
+        if not ctx.in_service_path:
+            return
+        if isinstance(node, ast.Call):
+            if ctx.resolve(node.func) == "time.sleep":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "direct time.sleep() in the service layer "
+                    "synchronises retry storms; use "
+                    "repro.service.backoff.sleep_backoff (jittered, "
+                    "interruptible) or poll_until (bounded)",
+                )
+            return
+        assert isinstance(node, ast.While)
+        test = node.test
+        is_forever = isinstance(test, ast.Constant) and test.value is True
+        if not is_forever:
+            return
+        if _contains_exit(node.body, own_level=True):
+            return
+        yield (
+            node.lineno,
+            node.col_offset,
+            "unbounded `while True` retry loop in the service layer "
+            "turns a dead dependency into a hung fleet; use "
+            "repro.service.backoff.poll_until with a deadline",
+        )

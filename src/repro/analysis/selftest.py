@@ -73,6 +73,20 @@ LINT_FIXTURES: Dict[str, Tuple[str, str]] = {
         "core/fixture.py",
         "def broken(:\n",
     ),
+    "service-backoff": (
+        "service/fixture.py",
+        "import time\n"
+        "def retry(fn):\n"
+        "    fn()\n"
+        "    time.sleep(1.0)\n",
+    ),
+    "service-backoff:unbounded-loop": (
+        "service/fixture.py",
+        "def wait_for(check):\n"
+        "    while True:\n"
+        "        if check():\n"
+        "            print('ready')\n",
+    ),
 }
 
 #: Seeded RNG construction in every supported spelling; a false positive
@@ -86,6 +100,24 @@ CLEAN_RNG_FIXTURE: Tuple[str, str] = (
     "a = default_rng(1234)\n"
     "b = np.random.default_rng(seed=7)\n"
     "c = Generator(PCG64(99))\n",
+)
+
+#: The sanctioned service-layer wait spellings, plus a bounded ``while
+#: True`` and an out-of-scope sleep; a false positive on any of these
+#: would block the whole service package.
+CLEAN_BACKOFF_FIXTURE: Tuple[str, str] = (
+    "service/fixture.py",
+    "from repro.service.backoff import poll_until, sleep_backoff\n"
+    "def wait(ready, stop):\n"
+    "    sleep_backoff(1, base=0.1)\n"
+    "    poll_until(ready, timeout=5.0, wake=stop)\n"
+    "    stop.wait(0.5)\n"
+    "    while True:\n"
+    "        if ready():\n"
+    "            break\n"
+    "        if not poll_until(ready, timeout=1.0):\n"
+    "            return False\n"
+    "    return True\n",
 )
 
 
@@ -341,17 +373,22 @@ def run_self_test() -> Tuple[bool, List[str]]:
             lines.append(f"lint  {key:<24} {'OK' if fired else 'MISSING'}")
             path.unlink()
 
-        rel_path, source = CLEAN_RNG_FIXTURE
-        path = root / rel_path
-        path.write_text(source, encoding="utf-8")
-        findings = lint_file(path, root=root, config=EngineConfig())
-        clean_rng = not any(f.rule == "unseeded-random" for f in findings)
-        ok &= clean_rng
-        lines.append(
-            f"lint  {'seeded-rng-passes':<24} "
-            f"{'OK' if clean_rng else 'FALSE POSITIVE'}"
-        )
-        path.unlink()
+        for label, rule, (rel_path, source) in (
+            ("seeded-rng-passes", "unseeded-random", CLEAN_RNG_FIXTURE),
+            ("backoff-helpers-pass", "service-backoff",
+             CLEAN_BACKOFF_FIXTURE),
+        ):
+            path = root / rel_path
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+            findings = lint_file(path, root=root, config=EngineConfig())
+            clean = not any(f.rule == rule for f in findings)
+            ok &= clean
+            lines.append(
+                f"lint  {label:<24} "
+                f"{'OK' if clean else 'FALSE POSITIVE'}"
+            )
+            path.unlink()
 
     untested = (
         set(rule_ids())

@@ -220,6 +220,36 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", default=None,
                    help="compute backend for job handlers (python or numpy; "
                         "default: $GMAP_BACKEND or python)")
+    p.add_argument("--replica-id", default=None,
+                   help="stable label of this replica within a fleet "
+                        "(default: r0)")
+    p.add_argument("--shared-cache-dir", default=None,
+                   help="fleet-shared single-flight result cache directory "
+                        "(default: disabled)")
+    p.add_argument("--replicas", type=int, default=None, metavar="N",
+                   help="run N supervised replicas behind a front-door "
+                        "router instead of a single server (default: 1)")
+    p.add_argument("--router-port", type=int, default=None,
+                   help="router listen port with --replicas (default: 0 = "
+                        "ephemeral, printed on startup)")
+
+    p = sub.add_parser(
+        "bench-serve",
+        help="closed-loop service benchmark: saturation throughput, tail "
+             "latency, overload shedding, kill-recovery (BENCH_serve.json)",
+    )
+    p.add_argument("--out", default="BENCH_serve.json",
+                   help="report path (default: BENCH_serve.json)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny deterministic run for CI gates")
+    p.add_argument("--seed", type=int, default=1234,
+                   help="workload RNG seed (default: 1234)")
+    p.add_argument("--replicas", type=int, default=3,
+                   help="fleet size for the scaling phase (default: 3)")
+    p.add_argument("--require-scaling", type=float, default=None,
+                   metavar="X",
+                   help="fail unless fleet throughput >= X * single-replica "
+                        "(CI multi-core runners only)")
 
     return parser
 
@@ -594,6 +624,24 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    if args.replicas is not None and args.replicas > 1:
+        from repro.service.fleet import FleetConfig, serve_fleet
+
+        fleet_config = FleetConfig(
+            replicas=args.replicas,
+            router_host=args.host or "127.0.0.1",
+            router_port=args.router_port or 0,
+            workers=args.serve_workers or 2,
+            queue_capacity=args.queue_capacity or 32,
+            job_timeout=args.job_timeout or 120.0,
+            retries=args.retries if args.retries is not None else 1,
+            isolation=args.isolation,
+            backend=args.backend,
+            allow_fault_injection=args.allow_fault_injection,
+            shared_cache_dir=args.shared_cache_dir,
+        )
+        return serve_fleet(fleet_config)
+
     from repro.service.config import ServiceConfig
     from repro.service.server import serve_forever
 
@@ -606,8 +654,18 @@ def _cmd_serve(args) -> int:
         isolation=args.isolation,
         allow_fault_injection=args.allow_fault_injection or None,
         backend=args.backend,
+        replica_id=args.replica_id,
+        shared_cache_dir=args.shared_cache_dir,
     )
     return serve_forever(config)
+
+
+def _cmd_bench_serve(args) -> int:
+    from repro.service.bench import run_bench
+
+    return run_bench(out=args.out, smoke=args.smoke, seed=args.seed,
+                     replicas=args.replicas,
+                     require_scaling=args.require_scaling)
 
 
 #: Expected error type -> taxonomy kind for the CLI's exit-2 path.  These
@@ -654,6 +712,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "validate": _cmd_validate,
         "check": _cmd_check,
         "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,297 @@
+"""Shared cross-replica result cache with single-flight coalescing.
+
+This is the fleet-tier promotion of the content-addressed artifact cache
+(:mod:`repro.core.cache`): where that cache memoizes *pipeline internals*
+(profiles, traces, result pairs) for one process tree, this one memoizes
+whole **job results** keyed by the job's pipeline key — the content hash of
+``(kind, params, backend)`` — and is shared by every replica of a
+``gmap serve`` fleet through a common directory.
+
+Two fleet problems are solved here:
+
+* **request coalescing** — identical pipeline keys in flight anywhere in
+  the fleet collapse to one worker execution.  The builder of a key holds
+  an ``fcntl`` file lock for the duration of the build; concurrent
+  submitters (same replica or siblings) block on the lock and then read
+  the stored entry instead of re-executing.  The lock is kernel-owned, so
+  a builder that is SIGKILLed mid-build releases it implicitly and the
+  next waiter simply becomes the builder — crash-safe single flight with
+  no janitor process;
+* **poison containment** — every entry embeds a SHA-256 checksum
+  (:mod:`repro.core.integrity`).  A poisoned/truncated/bit-rotted entry is
+  *quarantined* (moved to ``quarantine/`` for post-mortem) and rebuilt
+  from source, never served.  The chaos harness drives this path
+  deterministically through the ``GMAP_FAULT_INJECT`` corrupt hook.
+
+Every observation is recorded in the process-wide
+:data:`~repro.core.integrity.integrity_events` ledger under
+``shared_cache_hit`` / ``shared_cache_built`` / ``shared_cache_coalesced``
+/ ``shared_cache_poisoned``, which is how job outcomes (and the thundering
+-herd chaos scenario) count executions without any new protocol surface.
+
+``fcntl`` is POSIX-only; where it is missing the tier degrades to a plain
+shared cache — still content-addressed and checksummed, just without
+cross-process coalescing.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+try:  # pragma: no cover - exercised only where fcntl is missing
+    import fcntl
+    _HAVE_FCNTL = True
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
+    _HAVE_FCNTL = False
+
+from repro.core.integrity import (
+    integrity_events,
+    payload_checksum,
+    quarantine_file,
+    verify_payload,
+)
+
+PathLike = Union[str, Path]
+
+#: Bump when the entry layout changes; stale entries then miss.
+SHARED_CACHE_SCHEMA = 1
+
+#: Entry statuses reported by :meth:`SharedResultCache.single_flight`.
+STATUS_HIT = "hit"                # fast path: entry already on disk
+STATUS_BUILT = "built"            # this caller executed the build
+STATUS_COALESCED = "coalesced"    # waited on the builder, read its entry
+STATUS_UNCACHED = "uncached"      # built, result not eligible for storage
+
+#: Integrity-ledger event kind per status (plus the poison counter).
+EVENT_BY_STATUS = {
+    STATUS_HIT: "shared_cache_hit",
+    STATUS_BUILT: "shared_cache_built",
+    STATUS_COALESCED: "shared_cache_coalesced",
+    STATUS_UNCACHED: "shared_cache_uncached",
+}
+EVENT_POISONED = "shared_cache_poisoned"
+
+
+def job_key(kind: str, params: Dict[str, Any], backend: Optional[str]) -> str:
+    """The pipeline key of a service job: content hash of its inputs.
+
+    Two submissions with the same kind, params, and effective backend are
+    the same unit of work fleet-wide — same key, one execution.  ``fault``
+    directives are *not* part of the key (they alter execution, not the
+    artifact a clean run would produce).
+    """
+    blob = json.dumps(
+        {"schema": SHARED_CACHE_SCHEMA, "kind": kind,
+         "params": params, "backend": backend or ""},
+        sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class SharedResultCache:
+    """Content-addressed job-result store with fcntl single-flight.
+
+    Layout under ``root``::
+
+        results/<k[:2]>/<key>.json.gz    checksummed gzipped-JSON entries
+        locks/<k[:2]>/<key>.lock         per-key build locks (empty files)
+        quarantine/                      poisoned entries, moved aside
+
+    ``clock`` is injectable for deterministic tests (monotonic seconds).
+    """
+
+    def __init__(
+        self,
+        root: PathLike,
+        *,
+        lock_timeout: float = 300.0,
+        poll_interval: float = 0.05,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.root = Path(root)
+        self.lock_timeout = lock_timeout
+        self.poll_interval = poll_interval
+        self._clock = clock
+        self._pause = threading.Event()  # never set: interruptible waits
+
+    # -- paths --------------------------------------------------------------
+
+    def entry_path(self, key: str) -> Path:
+        return self.root / "results" / key[:2] / f"{key}.json.gz"
+
+    def _lock_path(self, key: str) -> Path:
+        return self.root / "locks" / key[:2] / f"{key}.lock"
+
+    # -- raw entry IO --------------------------------------------------------
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored entry body, or None on miss/quarantine.
+
+        A present-but-poisoned entry (checksum mismatch, truncation,
+        malformed JSON) is quarantined and reported as a miss — the caller
+        rebuilds; the poison is never served.
+        """
+        path = self.entry_path(key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self._poisoned(path)
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != SHARED_CACHE_SCHEMA
+                or not verify_payload(payload)):
+            self._poisoned(path)
+            return None
+        body = payload.get("body")
+        return body if isinstance(body, dict) else None
+
+    def store(self, key: str, body: Dict[str, Any]) -> bool:
+        """Atomically persist an entry; returns False on IO failure.
+
+        A read-only or full shared directory must never fail the job — the
+        result is still returned to the caller, just not shared.
+        """
+        payload: Dict[str, Any] = {
+            "schema": SHARED_CACHE_SCHEMA, "key": key, "body": body,
+        }
+        payload["checksum"] = payload_checksum(payload)
+        path = self.entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as raw:
+                    with gzip.open(raw, "wt", encoding="utf-8") as fh:
+                        json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self._maybe_inject_poison(path)
+        return True
+
+    def _poisoned(self, path: Path) -> None:
+        integrity_events.record(EVENT_POISONED)
+        quarantine_file(path, self.root / "quarantine")
+
+    @staticmethod
+    def _maybe_inject_poison(path: Path) -> None:
+        """Chaos hook: corrupt the just-written entry when a fault is armed.
+
+        Reuses the PR 2 ``GMAP_FAULT_INJECT`` corrupt directive so the
+        quarantine-and-rebuild path is exercised deterministically by the
+        chaos harness; a no-op unless a fault is armed in this process.
+        """
+        from repro.validation.resilience import maybe_corrupt_artifact
+
+        maybe_corrupt_artifact(path, 0, 0)
+
+    # -- single flight -------------------------------------------------------
+
+    def single_flight(
+        self,
+        key: str,
+        build: Callable[[], Dict[str, Any]],
+        *,
+        cacheable: Callable[[Dict[str, Any]], bool] = lambda body: True,
+    ) -> Tuple[Dict[str, Any], str]:
+        """One fleet-wide execution per key: returns ``(body, status)``.
+
+        ``build`` runs at most once across every process sharing ``root``
+        for concurrently in-flight calls with the same key.  ``cacheable``
+        vetoes storage (degraded results are returned but never shared).
+        Statuses: :data:`STATUS_HIT`, :data:`STATUS_BUILT`,
+        :data:`STATUS_COALESCED`, :data:`STATUS_UNCACHED`.
+        """
+        body = self.load(key)
+        if body is not None:
+            self._note(STATUS_HIT)
+            return body, STATUS_HIT
+        handle = self._acquire(key)
+        if handle is None:
+            # Could not lock (timeout or no fcntl): build uncoalesced.
+            return self._build_and_store(key, build, cacheable)
+        try:
+            # Another process may have built the entry while we waited on
+            # (or raced for) the lock — serve its artifact, don't rebuild.
+            body = self.load(key)
+            if body is not None:
+                self._note(STATUS_COALESCED)
+                return body, STATUS_COALESCED
+            result = self._build_and_store(key, build, cacheable)
+        finally:
+            self._release(handle)
+        return result
+
+    def _build_and_store(
+        self,
+        key: str,
+        build: Callable[[], Dict[str, Any]],
+        cacheable: Callable[[Dict[str, Any]], bool],
+    ) -> Tuple[Dict[str, Any], str]:
+        body = build()
+        if isinstance(body, dict) and cacheable(body):
+            self.store(key, body)
+            self._note(STATUS_BUILT)
+            return body, STATUS_BUILT
+        self._note(STATUS_UNCACHED)
+        return body, STATUS_UNCACHED
+
+    @staticmethod
+    def _note(status: str) -> None:
+        integrity_events.record(EVENT_BY_STATUS[status])
+
+    # -- locking -------------------------------------------------------------
+
+    def _acquire(self, key: str):
+        """A held lock handle, or None (timeout / platform without fcntl).
+
+        Non-blocking attempts in a bounded jittered-interval loop rather
+        than one blocking ``flock``: the loop observes ``lock_timeout``, so
+        a wedged builder degrades this caller to an uncoalesced build
+        instead of hanging it forever (its own job deadline is the only
+        other backstop).
+        """
+        if not _HAVE_FCNTL:
+            return None
+        path = self._lock_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = open(path, "a+b")
+        except OSError:
+            return None
+        deadline = self._clock() + self.lock_timeout
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return handle
+            except OSError:
+                if self._clock() >= deadline:
+                    handle.close()
+                    return None
+                self._pause.wait(self.poll_interval)
+
+    @staticmethod
+    def _release(handle) -> None:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        except OSError:
+            pass
+        finally:
+            handle.close()

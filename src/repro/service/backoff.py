@@ -1,0 +1,108 @@
+"""Jittered exponential backoff and bounded polling for the service layer.
+
+Every wait in ``repro/service`` goes through this module.  The discipline
+is enforced by the ``service-backoff`` lint rule (`gmap check`): a direct
+``time.sleep`` or an unbounded ``while True`` retry loop in the service
+packages is a finding, because blind sleeps synchronise retry storms
+(every rebooted replica hammers the same instant) and unbounded loops turn
+a dead dependency into a hung fleet.
+
+Three primitives:
+
+* :func:`backoff_delay` — pure function from attempt number to delay, with
+  deterministic *decorrelated jitter* when given a seeded RNG (chaos and
+  tests inject one; production draws from a per-process seeded instance);
+* :func:`sleep_backoff` — the sanctioned sleep point for retry loops;
+* :func:`poll_until` — bounded condition polling with a deadline, the
+  sanctioned replacement for ``while True: check(); sleep()``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional
+
+#: Hard ceiling on any single backoff delay, seconds.
+MAX_DELAY = 30.0
+
+#: Per-process jitter source.  Seeded so two runs of one process produce the
+#: same schedule (deterministic chaos replays); distinct processes decorrelate
+#: through their distinct attempt histories, not through entropy.
+_process_rng = random.Random(0x67AD)
+_rng_lock = threading.Lock()
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base: float = 0.1,
+    cap: float = 5.0,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Delay before retry number ``attempt`` (1-based), seconds.
+
+    Exponential growth with full jitter: uniform in
+    ``(base/2, min(cap, base * 2**(attempt-1)))``, so concurrent retriers
+    spread out instead of thundering back in lockstep.  ``rng`` makes the
+    schedule deterministic for tests; omitted, a process-wide seeded
+    instance is used.
+    """
+    if attempt < 1:
+        attempt = 1
+    ceiling = min(min(cap, MAX_DELAY), base * (2 ** (attempt - 1)))
+    floor = min(base / 2.0, ceiling)
+    if rng is None:
+        with _rng_lock:
+            return _process_rng.uniform(floor, ceiling)
+    return rng.uniform(floor, ceiling)
+
+
+def sleep_backoff(
+    attempt: int,
+    *,
+    base: float = 0.1,
+    cap: float = 5.0,
+    rng: Optional[random.Random] = None,
+    wake: Optional[threading.Event] = None,
+) -> float:
+    """Sleep for a jittered backoff delay; returns the delay slept.
+
+    ``wake`` (when given) turns the sleep into an interruptible wait, so a
+    draining supervisor is never stuck inside a retry pause.
+    """
+    delay = backoff_delay(attempt, base=base, cap=cap, rng=rng)
+    if wake is not None:
+        wake.wait(delay)
+    else:
+        time.sleep(delay)
+    return delay
+
+
+def poll_until(
+    predicate: Callable[[], bool],
+    *,
+    timeout: float,
+    interval: float = 0.05,
+    wake: Optional[threading.Event] = None,
+) -> bool:
+    """Poll ``predicate`` until true or ``timeout`` elapses.
+
+    Returns the final truth value — the caller decides whether a deadline
+    miss is an error.  The deadline makes every service-layer wait finite:
+    there is no spelling of "poll forever" through this helper.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        if predicate():
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        pause = min(interval, remaining)
+        if wake is not None:
+            if wake.wait(pause):
+                return predicate()
+        else:
+            time.sleep(pause)

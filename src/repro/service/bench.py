@@ -1,0 +1,236 @@
+"""``gmap bench-serve``: the fleet's performance and resilience report.
+
+Four phases, each against a fresh fleet (own shared-cache tempdir, so no
+phase warms another's cache):
+
+1. **single** — closed-loop saturation of one replica: the scaling
+   baseline;
+2. **fleet** — the same workload against N replicas: ``scaling_x`` is the
+   throughput ratio (gated only under ``--require-scaling``, because a
+   single-core machine cannot scale by adding processes);
+3. **overload** — open-loop arrivals at 2x the fleet's measured
+   saturation throughput: reports the shed rate and tail latency under
+   deliberate overload (sheds are *correct* here; failures are not);
+4. **recovery** — SIGKILL one replica mid-run: reports the time until
+   the fleet is back to full strength and asserts zero non-shed
+   failures across the kill.
+
+The JSON report (``BENCH_serve.json``, ``schema`` 1) is consumed by the
+CI ``fleet`` job, which gates on schema validity and the zero-failure
+invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.service.backoff import poll_until
+from repro.service.fleet import Fleet, FleetConfig
+from repro.service.loadgen import LoadReport, ReqGenEngine, Workload
+
+BENCH_SCHEMA = 1
+
+#: Upper bound on kill -> full-strength recovery, seconds (gate).
+RECOVERY_BOUND_SECONDS = 60.0
+
+#: Report keys every phase block must carry (schema gate).
+_REPORT_KEYS = ("submitted", "completed", "failed", "shed", "lost",
+                "throughput_rps", "latency_ms")
+
+
+def _fleet_config(replicas: int, smoke: bool) -> FleetConfig:
+    return FleetConfig(
+        replicas=replicas,
+        workers=1 if smoke else 2,
+        queue_capacity=4 if smoke else 16,
+        job_timeout=60.0,
+        isolation="thread" if smoke else None,
+        health_interval=0.2,
+        restart_base=0.1,
+        boot_timeout=60.0,
+    )
+
+
+def _closed_phase(replicas: int, smoke: bool, seed: int,
+                  requests: int, clients: int,
+                  scale: str) -> LoadReport:
+    with Fleet(_fleet_config(replicas, smoke)) as fleet:
+        engine = ReqGenEngine(seed=seed, key_diversity=2 * requests,
+                              scale=scale)
+        workload = Workload(fleet.router_url, engine, job_deadline=60.0)
+        return workload.run_closed(clients=clients, max_requests=requests)
+
+
+def _overload_phase(replicas: int, smoke: bool, seed: int,
+                    rate: float, duration: float,
+                    scale: str) -> LoadReport:
+    with Fleet(_fleet_config(replicas, smoke)) as fleet:
+        engine = ReqGenEngine(seed=seed, key_diversity=64, scale=scale)
+        workload = Workload(fleet.router_url, engine, job_deadline=60.0)
+        return workload.run_open(rate=rate, duration=duration)
+
+
+def _recovery_phase(replicas: int, smoke: bool, seed: int,
+                    requests: int, scale: str) -> Dict[str, Any]:
+    with Fleet(_fleet_config(replicas, smoke)) as fleet:
+        engine = ReqGenEngine(seed=seed, key_diversity=2 * requests,
+                              scale=scale)
+        workload = Workload(fleet.router_url, engine, job_deadline=60.0)
+        result: Dict[str, LoadReport] = {}
+        thread = threading.Thread(
+            target=lambda: result.update(report=workload.run_closed(
+                clients=max(2, replicas), max_requests=requests)),
+            daemon=True)
+        thread.start()
+        threading.Event().wait(0.3)  # let the loop reach steady state
+        killed_at = time.monotonic()
+        fleet.kill_replica(0)
+        # Recovery is kill -> (monitor notices the death) -> full strength;
+        # without the first wait a fast check could race the monitor and
+        # read "all routable" before the corpse is even discovered.
+        noticed = poll_until(
+            lambda: not fleet.endpoints[0].routable, timeout=30.0)
+        recovered = noticed and fleet.wait_routable(replicas, timeout=60.0)
+        recovery_seconds = time.monotonic() - killed_at
+        thread.join(120.0)
+        report = result.get("report")
+        return {
+            "killed_slot": 0,
+            "recovered": recovered,
+            "kill_to_routable_seconds": round(recovery_seconds, 3),
+            "report": report.to_dict() if report else None,
+            "counters": fleet.snapshot()["counters"],
+        }
+
+
+def validate_report(doc: Dict[str, Any]) -> Optional[str]:
+    """None when ``doc`` matches the BENCH_serve schema, else the reason.
+
+    Kept importable (CI and tests call it) so the gate and the producer
+    cannot drift apart.
+    """
+    if doc.get("schema") != BENCH_SCHEMA:
+        return f"schema must be {BENCH_SCHEMA}, got {doc.get('schema')}"
+    for phase in ("single", "fleet"):
+        block = doc.get(phase)
+        if not isinstance(block, dict):
+            return f"missing phase block {phase!r}"
+        for key in _REPORT_KEYS:
+            if key not in block:
+                return f"{phase} block missing {key!r}"
+    overload = doc.get("overload")
+    if not isinstance(overload, dict) or "report" not in overload \
+            or "offered_rate_rps" not in overload:
+        return "overload block missing report/offered_rate_rps"
+    recovery = doc.get("recovery")
+    if not isinstance(recovery, dict) \
+            or "kill_to_routable_seconds" not in recovery:
+        return "recovery block missing kill_to_routable_seconds"
+    if not isinstance(doc.get("gates"), dict):
+        return "missing gates block"
+    return None
+
+
+def run_bench(
+    out: str = "BENCH_serve.json",
+    smoke: bool = False,
+    seed: int = 1234,
+    replicas: int = 3,
+    require_scaling: Optional[float] = None,
+) -> int:
+    """Run all four phases and write the gated report; 0 iff every gate
+    holds.  ``require_scaling`` arms the fleet-over-single throughput
+    gate (CI multi-core runners only — one core cannot scale)."""
+    scale = "tiny" if smoke else "small"
+    requests = 12 if smoke else 60
+    clients_single = 2
+    clients_fleet = max(2, 2 * replicas)
+    overload_duration = 3.0 if smoke else 10.0
+
+    print(f"bench-serve: phase 1/4 single-replica baseline "
+          f"({requests} reqs)", flush=True)
+    single = _closed_phase(1, smoke, seed, requests, clients_single, scale)
+    print(f"bench-serve: phase 2/4 {replicas}-replica fleet", flush=True)
+    fleet = _closed_phase(replicas, smoke, seed + 1, requests,
+                          clients_fleet, scale)
+    single_rps = single.to_dict()["throughput_rps"]
+    fleet_rps = fleet.to_dict()["throughput_rps"]
+    scaling_x = fleet_rps / single_rps if single_rps > 0 else 0.0
+
+    offered = max(2.0, 2.0 * fleet_rps)
+    print(f"bench-serve: phase 3/4 overload at {offered:.1f} rps "
+          f"(2x saturation)", flush=True)
+    overload = _overload_phase(replicas, smoke, seed + 2, offered,
+                               overload_duration, scale)
+    print("bench-serve: phase 4/4 replica-kill recovery", flush=True)
+    recovery = _recovery_phase(replicas, smoke, seed + 3, requests, scale)
+
+    phases = [single.to_dict(), fleet.to_dict(), overload.to_dict()]
+    recovery_report = recovery.get("report") or {}
+    failed = sum(p["failed"] + p["lost"] for p in phases)
+    failed += (recovery_report.get("failed", 0)
+               + recovery_report.get("lost", 0))
+    gates: Dict[str, Any] = {
+        "zero_failed": failed == 0,
+        "recovery_bounded": bool(
+            recovery["recovered"]
+            and recovery["kill_to_routable_seconds"]
+            <= RECOVERY_BOUND_SECONDS),
+        "scaling": (None if require_scaling is None
+                    else scaling_x >= require_scaling),
+    }
+    doc = {
+        "schema": BENCH_SCHEMA,
+        "smoke": smoke,
+        "seed": seed,
+        "replicas": replicas,
+        "single": single.to_dict(),
+        "fleet": fleet.to_dict(),
+        "scaling_x": round(scaling_x, 3),
+        "overload": {
+            "offered_rate_rps": round(offered, 3),
+            "report": overload.to_dict(),
+        },
+        "recovery": recovery,
+        "gates": gates,
+    }
+    problem = validate_report(doc)
+    gates["schema_valid"] = problem is None
+    doc["ok"] = all(v for v in gates.values() if v is not None) \
+        and problem is None
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"bench-serve: single {single_rps:.1f} rps, fleet "
+          f"{fleet_rps:.1f} rps ({scaling_x:.2f}x), overload shed rate "
+          f"{overload.to_dict()['shed_rate']:.2f}, recovery "
+          f"{recovery['kill_to_routable_seconds']:.2f}s -> {out}",
+          flush=True)
+    if problem is not None:
+        print(f"bench-serve: SCHEMA INVALID: {problem}", flush=True)
+    return 0 if doc["ok"] else 1
+
+
+def main(argv=None) -> int:
+    """CLI entry point for ``gmap bench-serve`` / ``scripts/bench_serve.py``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.bench",
+        description="fleet benchmark -> BENCH_serve.json")
+    parser.add_argument("--out", default="BENCH_serve.json")
+    parser.add_argument("--smoke", action="store_true")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--require-scaling", type=float, default=None)
+    args = parser.parse_args(argv)
+    return run_bench(out=args.out, smoke=args.smoke, seed=args.seed,
+                     replicas=args.replicas,
+                     require_scaling=args.require_scaling)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,8 +30,9 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.service.backoff import poll_until
 from repro.service.config import ServiceConfig
 from repro.service.server import GmapService, ServeHTTPServer
 
@@ -114,13 +115,18 @@ def _submit(base: str, payload: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
 def _wait_terminal(base: str, job_id: str,
                    timeout: float) -> Optional[Dict[str, Any]]:
     """Poll one job until a terminal status, or None on deadline."""
-    deadline = time.monotonic() + min(timeout, WAIT_LIMIT)
-    while time.monotonic() < deadline:
+    terminal: List[Dict[str, Any]] = []
+
+    def _settled() -> bool:
         status, payload = _request(f"{base}/jobs/{job_id}")
         if status == 200 and payload.get("status") in (
                 "completed", "failed", "rejected"):
-            return payload
-        time.sleep(0.05)
+            terminal.append(payload)
+            return True
+        return False
+
+    if poll_until(_settled, timeout=min(timeout, WAIT_LIMIT)):
+        return terminal[0]
     return None
 
 
@@ -398,6 +404,224 @@ def scenario_drain_resume(tmp: Path, rng: random.Random,
     return result
 
 
+# -- fleet scenarios --------------------------------------------------------
+
+def _fleet_config(smoke: bool, **overrides):
+    from repro.service.fleet import FleetConfig
+
+    defaults = dict(
+        replicas=2, workers=1 if smoke else 2, queue_capacity=16,
+        job_timeout=30.0, isolation="thread", health_interval=0.2,
+        restart_base=0.1, boot_timeout=WAIT_LIMIT,
+    )
+    defaults.update(overrides)
+    return FleetConfig(**defaults)
+
+
+def scenario_replica_kill(tmp: Path, rng: random.Random,
+                          smoke: bool) -> ScenarioResult:
+    """SIGKILL one replica under closed-loop load: zero non-shed failures
+    (orphans reassigned by the router) and the fleet returns to full
+    strength via supervised restart."""
+    result = ScenarioResult("replica_kill")
+    from repro.service.fleet import Fleet
+    from repro.service.loadgen import ReqGenEngine, Workload
+
+    total = 16 if smoke else 40
+    with Fleet(_fleet_config(smoke)) as fleet:
+        engine = ReqGenEngine(seed=rng.randrange(1 << 30),
+                              key_diversity=total, scale="small")
+        workload = Workload(fleet.router_url, engine,
+                            job_deadline=WAIT_LIMIT)
+        holder: Dict[str, Any] = {}
+        thread = threading.Thread(
+            target=lambda: holder.update(report=workload.run_closed(
+                clients=3, max_requests=total)),
+            daemon=True)
+        thread.start()
+        if not poll_until(lambda: workload.progress() >= total // 4,
+                          timeout=WAIT_LIMIT):
+            result.violations.append("workload never reached steady state")
+        fleet.kill_replica(0)
+        thread.join(2 * WAIT_LIMIT)
+        report = holder.get("report")
+        if report is None:
+            result.violations.append("workload thread never finished")
+            return result
+        stats = report.to_dict()
+        if stats["failed"] or stats["lost"]:
+            result.violations.append(
+                f"non-shed failures across a replica kill: "
+                f"{stats['failed']} failed, {stats['lost']} lost "
+                f"({stats['errors']})")
+        if not fleet.wait_routable(2, timeout=WAIT_LIMIT):
+            result.violations.append(
+                "killed replica never restarted to routable")
+        counters = fleet.snapshot()["counters"]
+        result.notes.append(
+            f"{stats['completed']}/{stats['submitted']} completed, "
+            f"{counters['reassigned']} reassigned, "
+            f"{counters['spilled']} spilled")
+    return result
+
+
+def scenario_router_partition(tmp: Path, rng: random.Random,
+                              smoke: bool) -> ScenarioResult:
+    """SIGSTOP a replica (alive but unreachable): the monitor must route
+    around it, jobs keep completing, and a SIGCONT lets it rejoin."""
+    result = ScenarioResult("router_partition")
+    from repro.service.fleet import Fleet
+
+    with Fleet(_fleet_config(smoke, health_failures=2)) as fleet:
+        fleet.pause_replica(0)
+        if not poll_until(lambda: not fleet.endpoints[0].routable,
+                          timeout=WAIT_LIMIT):
+            result.violations.append(
+                "monitor never declared the paused replica down")
+            return result
+        for _ in range(4 if smoke else 8):
+            status, accepted = _submit(fleet.router_url, _sim_job())
+            if status != 202:
+                result.violations.append(
+                    f"submit during partition returned HTTP {status}")
+                continue
+            outcome = _wait_terminal(
+                fleet.router_url, accepted["job_id"], WAIT_LIMIT)
+            if outcome is None or outcome["status"] != "completed":
+                result.violations.append(
+                    f"job during partition did not complete: {outcome}")
+        fleet.resume_replica(0)
+        if not fleet.wait_routable(2, timeout=WAIT_LIMIT):
+            result.violations.append(
+                "resumed replica never rejoined the rotation")
+        else:
+            result.notes.append("partitioned replica rejoined after SIGCONT")
+    return result
+
+
+def scenario_cache_poison(tmp: Path, rng: random.Random,
+                          smoke: bool) -> ScenarioResult:
+    """A fault-corrupted shared-cache entry must be quarantined and
+    rebuilt on next access — poison is never served as a result."""
+    result = ScenarioResult("cache_poison")
+    shared = tmp / f"shared-poison-{rng.randrange(1 << 30)}"
+    state = tmp / f"poison-state-{rng.randrange(1 << 30)}"
+    server = _LiveServer(_config(
+        tmp, run_id="poison", workers=1, retries=0,
+        shared_cache_dir=str(shared)))
+    try:
+        fault = {"spec": "corrupt:*:*", "state": str(state)}
+        status, accepted = _submit(server.base, _sim_job(fault))
+        if status != 202:
+            result.violations.append(f"submit returned HTTP {status}")
+            return result
+        first = _wait_terminal(server.base, accepted["job_id"], WAIT_LIMIT)
+        if first is None or first["status"] != "completed":
+            result.violations.append(
+                f"fault-carrying job did not complete: {first}")
+            return result
+        # Same pipeline key, no fault: must detect the poisoned entry,
+        # quarantine it, rebuild, and return a *clean* result.
+        status, accepted = _submit(server.base, _sim_job())
+        second = _wait_terminal(server.base, accepted["job_id"], WAIT_LIMIT)
+        if second is None or second["status"] != "completed":
+            result.violations.append(
+                f"job after poisoning did not complete: {second}")
+            return result
+        events = second.get("integrity_events") or {}
+        if not events.get("shared_cache_poisoned"):
+            result.violations.append(
+                f"poisoned entry was not detected: events {events}")
+        if not events.get("shared_cache_built"):
+            result.violations.append(
+                f"poisoned entry was not rebuilt: events {events}")
+        if second.get("result") != first.get("result"):
+            result.violations.append(
+                "rebuilt result differs from the original")
+        quarantined = list((shared / "quarantine").glob("*")) \
+            if (shared / "quarantine").exists() else []
+        if not quarantined:
+            result.violations.append(
+                "no quarantined entry on disk after poisoning")
+        # Third hit must now be served clean from the rebuilt entry.
+        status, accepted = _submit(server.base, _sim_job())
+        third = _wait_terminal(server.base, accepted["job_id"], WAIT_LIMIT)
+        if third is None or third["status"] != "completed" or not (
+                third.get("integrity_events") or {}).get("shared_cache_hit"):
+            result.violations.append(
+                f"rebuilt entry not served as a clean hit: {third}")
+        else:
+            result.notes.append(
+                "poison quarantined, rebuilt, then served clean")
+    finally:
+        server.shutdown()
+    return result
+
+
+def scenario_thundering_herd(tmp: Path, rng: random.Random,
+                             smoke: bool) -> ScenarioResult:
+    """M concurrent submissions of one pipeline key across two replica
+    processes: the shared single-flight tier must build exactly once."""
+    result = ScenarioResult("thundering_herd")
+    from repro.service.fleet import Fleet
+
+    herd = 6 if smoke else 10
+    payload = {
+        "kind": "simulate",
+        "params": {"target": "transpose", "scale": "small", "cores": 2},
+    }
+    # Process isolation on purpose: each job's integrity-event delta is
+    # measured inside its own forked worker, so the build/hit counts are
+    # exact (thread workers share one process-wide ledger and overlapping
+    # deltas double-count) — and the single-flight lock is exercised
+    # across real process boundaries.
+    with Fleet(_fleet_config(smoke, workers=2, isolation=None)) as fleet:
+        bases = [ep.base_url for ep in fleet.endpoints]
+        accepted: List[Tuple[str, str]] = []  # (base, job_id)
+        errors: List[str] = []
+        lock = threading.Lock()
+
+        def _one(index: int) -> None:
+            base = bases[index % len(bases)]  # herd spans both processes
+            status, body = _submit(base, dict(payload))
+            with lock:
+                if status == 202:
+                    accepted.append((base, body["job_id"]))
+                else:
+                    errors.append(f"HTTP {status}")
+
+        threads = [threading.Thread(target=_one, args=(i,), daemon=True)
+                   for i in range(herd)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(WAIT_LIMIT)
+        if errors:
+            result.violations.append(f"herd submissions refused: {errors}")
+        built = hits = coalesced = uncached = 0
+        for base, job_id in accepted:
+            outcome = _wait_terminal(base, job_id, WAIT_LIMIT)
+            if outcome is None or outcome["status"] != "completed":
+                result.violations.append(
+                    f"herd job {job_id} did not complete: {outcome}")
+                continue
+            events = outcome.get("integrity_events") or {}
+            built += events.get("shared_cache_built", 0)
+            hits += events.get("shared_cache_hit", 0)
+            coalesced += events.get("shared_cache_coalesced", 0)
+            uncached += events.get("shared_cache_uncached", 0)
+        if built != 1:
+            result.violations.append(
+                f"expected exactly 1 build for {herd} identical jobs, "
+                f"got {built} (hits {hits}, coalesced {coalesced}, "
+                f"uncached {uncached})")
+        else:
+            result.notes.append(
+                f"1 build, {coalesced} coalesced, {hits} hits "
+                f"across {len(bases)} replicas")
+    return result
+
+
 SCENARIOS = (
     scenario_worker_kill_retries,
     scenario_worker_kill_exhausts,
@@ -405,19 +629,28 @@ SCENARIOS = (
     scenario_corrupt_artifact,
     scenario_queue_flood,
     scenario_drain_resume,
+    scenario_replica_kill,
+    scenario_router_partition,
+    scenario_cache_poison,
+    scenario_thundering_herd,
 )
 
 
 def run_chaos(smoke: bool = False, seed: int = 1234,
               tmp: Optional[Path] = None,
-              only: Optional[str] = None) -> List[ScenarioResult]:
-    """Execute the scenarios (all, or the ``only``-named one), in order."""
+              only: Optional[Union[str, List[str]]] = None,
+              ) -> List[ScenarioResult]:
+    """Execute the scenarios (all, or the ``only``-named ones), in order."""
     rng = random.Random(seed)
+    wanted = None if only is None else (
+        {only} if isinstance(only, str) else set(only))
     selected = [s for s in SCENARIOS
-                if only is None or s.__name__ == f"scenario_{only}"]
-    if not selected:
+                if wanted is None
+                or s.__name__[len("scenario_"):] in wanted]
+    if not selected or (wanted is not None
+                        and len(selected) != len(wanted)):
         names = ", ".join(s.__name__[len("scenario_"):] for s in SCENARIOS)
-        raise ValueError(f"unknown scenario {only!r}; available: {names}")
+        raise ValueError(f"unknown scenario in {only!r}; available: {names}")
     results = []
     tmpdir = tempfile.TemporaryDirectory(prefix="gmap-chaos-") \
         if tmp is None else None
@@ -442,8 +675,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--out", default=None,
                         help="write a JSON report to this path")
     parser.add_argument("--only", default=None, metavar="SCENARIO",
-                        help="run a single scenario by name "
-                             "(e.g. queue_flood)")
+                        nargs="+",
+                        help="run only the named scenario(s) "
+                             "(e.g. queue_flood replica_kill)")
     args = parser.parse_args(argv)
     results = run_chaos(smoke=args.smoke, seed=args.seed, only=args.only)
     failures = 0

@@ -62,6 +62,12 @@ class ServiceConfig:
     isolation: str = "process"
     #: Accept chaos fault directives attached to requests (tests only).
     allow_fault_injection: bool = False
+    #: Stable label of this replica within a fleet (surfaced in
+    #: ``/healthz`` and ``/readyz`` for per-replica attribution).
+    replica_id: str = "r0"
+    #: Directory of the fleet-shared single-flight result cache
+    #: (:mod:`repro.core.shared_cache`); None disables the tier.
+    shared_cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:

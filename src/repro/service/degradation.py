@@ -47,6 +47,16 @@ class CircuitBreaker:
 
     ``clock`` is injectable for deterministic tests; it must be a
     monotonic seconds source.
+
+    Half-open concurrency is capped at **one probe per cooldown window**
+    via a probe *lease*: admitting the probe takes the lease, and until it
+    is returned (``record_success`` / ``record_failure``) or expires (a
+    full extra cooldown — the probe's worker died unreported), every other
+    ``allow()`` keeps skipping the backend.  Success evidence arriving
+    while the breaker is OPEN with no probe in flight is *stale* — it comes
+    from a job admitted before the breaker tripped — and is ignored for
+    state transitions, so a single straggler cannot close the breaker and
+    release an unbounded burst onto a still-broken backend.
     """
 
     def __init__(
@@ -64,7 +74,8 @@ class CircuitBreaker:
         self._lock = threading.Lock()
         self._failures = 0
         self._opened_at: Optional[float] = None
-        self._probing = False
+        #: Lease timestamp of the in-flight half-open probe, if any.
+        self._probe_started: Optional[float] = None
 
     @property
     def state(self) -> str:
@@ -78,30 +89,47 @@ class CircuitBreaker:
             return STATE_HALF_OPEN
         return STATE_OPEN
 
+    def _probe_outstanding_locked(self) -> bool:
+        if self._probe_started is None:
+            return False
+        if self._clock() - self._probe_started >= self._cooldown:
+            # Lease expired: the probe's worker died without reporting.
+            self._probe_started = None
+            return False
+        return True
+
     def allow(self) -> bool:
         """May the next job use this backend?
 
-        In half-open state exactly one caller gets True (the probe); the
-        rest keep skipping until the probe reports back.
+        In half-open state exactly one caller per cooldown window gets
+        True (the probe); the rest keep skipping until the probe reports
+        back or its lease expires.
         """
         with self._lock:
             state = self._state_locked()
             if state == STATE_CLOSED:
                 return True
-            if state == STATE_HALF_OPEN and not self._probing:
-                self._probing = True
+            if (state == STATE_HALF_OPEN
+                    and not self._probe_outstanding_locked()):
+                self._probe_started = self._clock()
                 return True
             return False
 
     def record_success(self) -> None:
         with self._lock:
-            self._failures = 0
-            self._opened_at = None
-            self._probing = False
+            state = self._state_locked()
+            probing = self._probe_outstanding_locked()
+            if state == STATE_CLOSED or probing:
+                # A closed-state success, or the probe reporting back.
+                self._failures = 0
+                self._opened_at = None
+                self._probe_started = None
+            # Otherwise: stale evidence from a job admitted before the
+            # breaker opened — ignore it, the probe decides recovery.
 
     def record_failure(self) -> None:
         with self._lock:
-            self._probing = False
+            self._probe_started = None
             self._failures += 1
             if self._failures >= self._threshold:
                 self._opened_at = self._clock()
@@ -111,6 +139,7 @@ class CircuitBreaker:
             return {
                 "state": self._state_locked(),
                 "consecutive_failures": self._failures,
+                "probe_in_flight": self._probe_outstanding_locked(),
             }
 
 

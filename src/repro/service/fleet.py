@@ -1,0 +1,401 @@
+"""Multi-replica ``gmap serve``: process supervision behind one router.
+
+A :class:`Fleet` boots N replica processes (each the full single-server
+stack of :mod:`repro.service.server`, spawned as ``gmap serve`` child
+processes on ephemeral ports), wires them behind one
+:class:`~repro.service.router.RouterHTTPServer` front door, and runs a
+monitor loop that:
+
+* **health-checks** every replica's ``/readyz`` (queue depth, EWMA job
+  seconds — the router's load signal) on a fixed cadence;
+* **declares down** a replica whose process exited or whose probes failed
+  ``health_failures`` times in a row, and asks the router to reassign its
+  non-terminal jobs;
+* **restarts** dead replicas with jittered exponential backoff
+  (:func:`~repro.service.backoff.backoff_delay`), under a flap budget: a
+  replica that dies more than ``flap_budget`` times inside
+  ``flap_window`` seconds is *parked* — taken out of rotation for a
+  human, instead of burning the machine in a crash loop;
+* lets a merely-partitioned replica (unreachable but alive, e.g.
+  ``SIGSTOP``) rejoin rotation the moment its probes succeed again.
+
+Replicas run with the journal disabled: in a fleet the *router* is the
+reassignment authority, and a journal-resumed job racing its reassigned
+twin would double-execute side-effecting work.  Identical pipeline keys
+remain single-flight through the shared cache tier either way.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from repro.service.backoff import backoff_delay, poll_until
+from repro.service.router import (
+    ReplicaEndpoint,
+    RouterCore,
+    RouterHTTPServer,
+    http_json,
+    start_router,
+)
+
+_READY_RE = re.compile(r"listening on (http://[\d.]+:\d+)")
+
+#: Lines of replica stdout/stderr kept per replica for diagnostics.
+_LOG_KEEP = 50
+
+
+@dataclass
+class FleetConfig:
+    """Knobs of the fleet supervisor (replica knobs pass through)."""
+
+    replicas: int = 3
+    router_host: str = "127.0.0.1"
+    router_port: int = 0
+    #: Per-replica worker slots / queue depth (forwarded to each replica).
+    workers: int = 2
+    queue_capacity: int = 32
+    job_timeout: float = 120.0
+    retries: int = 1
+    isolation: Optional[str] = None
+    backend: Optional[str] = None
+    allow_fault_injection: bool = False
+    #: Fleet-shared single-flight cache root (created under a tempdir
+    #: when unset — the tier is what makes reassignment dedupe-safe).
+    shared_cache_dir: Optional[str] = None
+    #: Seconds between health probes of every replica.
+    health_interval: float = 0.5
+    #: Consecutive probe failures before a live process is declared down.
+    health_failures: int = 3
+    #: Restart backoff base/cap, seconds.
+    restart_base: float = 0.2
+    restart_cap: float = 5.0
+    #: Flap detection: more than ``flap_budget`` deaths inside
+    #: ``flap_window`` seconds parks the replica.
+    flap_window: float = 30.0
+    flap_budget: int = 5
+    #: Seconds to wait for a replica's ready line at boot.
+    boot_timeout: float = 30.0
+    extra_env: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        if self.flap_budget < 1:
+            raise ValueError(
+                f"flap_budget must be >= 1, got {self.flap_budget}")
+
+
+class ReplicaProcess:
+    """One supervised ``gmap serve`` child and its stdout reader."""
+
+    def __init__(self, slot: int, config: FleetConfig,
+                 shared_cache_dir: str) -> None:
+        self.slot = slot
+        self._config = config
+        self._shared_cache_dir = shared_cache_dir
+        self._proc: Optional[subprocess.Popen] = None
+        self._reader: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._base_url: Optional[str] = None
+        self._log: Deque[str] = deque(maxlen=_LOG_KEEP)
+
+    def _argv(self) -> List[str]:
+        cfg = self._config
+        argv = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--serve-workers", str(cfg.workers),
+            "--queue-capacity", str(cfg.queue_capacity),
+            "--job-timeout", str(cfg.job_timeout),
+            "--retries", str(cfg.retries),
+            "--replica-id", f"r{self.slot}",
+            "--shared-cache-dir", self._shared_cache_dir,
+            "--no-journal",
+        ]
+        if cfg.isolation:
+            argv += ["--isolation", cfg.isolation]
+        if cfg.backend:
+            argv += ["--backend", cfg.backend]
+        if cfg.allow_fault_injection:
+            argv += ["--allow-fault-injection"]
+        return argv
+
+    def start(self) -> None:
+        env = dict(os.environ)
+        env.update(self._config.extra_env)
+        self._ready = threading.Event()
+        self._base_url = None
+        self._proc = subprocess.Popen(
+            self._argv(), stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, start_new_session=True)
+        self._reader = threading.Thread(
+            target=self._read_output, name=f"gmap-replica-r{self.slot}-out",
+            daemon=True)
+        self._reader.start()
+
+    def _read_output(self) -> None:
+        proc = self._proc
+        assert proc is not None and proc.stdout is not None
+        for line in proc.stdout:
+            line = line.rstrip("\n")
+            self._log.append(line)
+            match = _READY_RE.search(line)
+            if match:
+                self._base_url = match.group(1)
+                self._ready.set()
+        proc.stdout.close()
+
+    def wait_ready(self, timeout: float) -> Optional[str]:
+        """Base URL once the ready line appears, or None on timeout."""
+        if self._ready.wait(timeout):
+            return self._base_url
+        return None
+
+    @property
+    def base_url(self) -> Optional[str]:
+        return self._base_url
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    def alive(self) -> bool:
+        return self._proc is not None and self._proc.poll() is None
+
+    def tail(self) -> List[str]:
+        return list(self._log)
+
+    def terminate(self, grace: float = 10.0) -> None:
+        """SIGTERM (drain) then SIGKILL the replica."""
+        proc = self._proc
+        if proc is None:
+            return
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(grace)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(5.0)
+        if self._reader is not None:
+            self._reader.join(2.0)
+
+    def kill(self) -> None:
+        """SIGKILL immediately (chaos: no drain, no goodbye)."""
+        proc = self._proc
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait(5.0)
+
+
+class Fleet:
+    """N supervised replicas + router + health/restart monitor."""
+
+    def __init__(self, config: FleetConfig) -> None:
+        self.config = config
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if config.shared_cache_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="gmap-fleet-")
+            self.shared_cache_dir = os.path.join(self._tmp.name, "shared")
+        else:
+            self.shared_cache_dir = config.shared_cache_dir
+        self.endpoints = [
+            ReplicaEndpoint(slot, f"r{slot}")
+            for slot in range(config.replicas)
+        ]
+        self.core = RouterCore(self.endpoints)
+        self.replicas: List[ReplicaProcess] = [
+            ReplicaProcess(slot, config, self.shared_cache_dir)
+            for slot in range(config.replicas)
+        ]
+        self._death_times: List[Deque[float]] = [
+            deque(maxlen=max(2 * config.flap_budget, 8))
+            for _ in range(config.replicas)
+        ]
+        self._restart_not_before: List[float] = [0.0] * config.replicas
+        self._restart_attempt: List[int] = [0] * config.replicas
+        self._parked: List[bool] = [False] * config.replicas
+        self._stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._router_server: Optional[RouterHTTPServer] = None
+        self._router_stop = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def router_url(self) -> str:
+        assert self._router_server is not None, "fleet not started"
+        return self._router_server.base_url
+
+    def start(self, wait_ready: bool = True) -> None:
+        os.makedirs(self.shared_cache_dir, exist_ok=True)
+        for replica in self.replicas:
+            replica.start()
+        self._router_server, _thread, self._router_stop = start_router(
+            self.core, self.config.router_host, self.config.router_port)
+        if wait_ready:
+            deadline = time.monotonic() + self.config.boot_timeout
+            for slot, replica in enumerate(self.replicas):
+                remaining = max(0.1, deadline - time.monotonic())
+                base = replica.wait_ready(remaining)
+                if base is None:
+                    tail = "\n".join(replica.tail()[-10:])
+                    raise RuntimeError(
+                        f"replica r{slot} never became ready:\n{tail}")
+                self.endpoints[slot].set_base_url(base)
+            self._probe_all()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="gmap-fleet-monitor", daemon=True)
+        self._monitor.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(5.0)
+        for replica in self.replicas:
+            replica.terminate(grace=self.config.job_timeout / 4 + 2.0)
+        if self._router_stop is not None:
+            self._router_stop()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+
+    def __enter__(self) -> "Fleet":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- chaos hooks ---------------------------------------------------------
+
+    def kill_replica(self, slot: int) -> None:
+        """SIGKILL one replica (the monitor will notice and recover)."""
+        self.replicas[slot].kill()
+
+    def pause_replica(self, slot: int) -> None:
+        """SIGSTOP: alive but unreachable — a network partition stand-in."""
+        pid = self.replicas[slot].pid
+        if pid is not None:
+            os.kill(pid, signal.SIGSTOP)
+
+    def resume_replica(self, slot: int) -> None:
+        pid = self.replicas[slot].pid
+        if pid is not None:
+            os.kill(pid, signal.SIGCONT)
+
+    def wait_routable(self, count: int, timeout: float) -> bool:
+        """Block until >= ``count`` replicas are routable (or timeout)."""
+        return poll_until(
+            lambda: sum(1 for ep in self.endpoints if ep.routable) >= count,
+            timeout=timeout, interval=0.1, wake=self._stop)
+
+    # -- monitor -------------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.wait(self.config.health_interval):
+            self._tick()
+
+    def _tick(self, now: Optional[float] = None) -> None:
+        now = time.monotonic() if now is None else now
+        for slot, replica in enumerate(self.replicas):
+            if self._parked[slot]:
+                continue
+            if not replica.alive():
+                self._handle_death(slot, now)
+                continue
+            base = replica.base_url
+            if base is None:
+                continue  # booting: ready line not seen yet
+            endpoint = self.endpoints[slot]
+            if endpoint.base_url != base:
+                endpoint.set_base_url(base)
+            self._probe(slot, base)
+
+    def _probe_all(self) -> None:
+        for slot, endpoint in enumerate(self.endpoints):
+            base = endpoint.base_url
+            if base is not None:
+                self._probe(slot, base)
+
+    def _probe(self, slot: int, base: str) -> None:
+        endpoint = self.endpoints[slot]
+        try:
+            status, body = http_json("GET", f"{base}/readyz", timeout=2.0)
+        except OSError:
+            status, body = 0, {}
+        if status == 200 and body.get("ready"):
+            endpoint.mark_healthy(body)
+            self._restart_attempt[slot] = 0
+            return
+        if endpoint.mark_probe_failed(self.config.health_failures):
+            # Transition to down: unreachable though the process lives
+            # (partition, wedged listener).  Reroute its jobs; if it is
+            # merely slow the resubmissions dedupe through single flight.
+            self.core.reassign_from(slot)
+
+    def _handle_death(self, slot: int, now: float) -> None:
+        endpoint = self.endpoints[slot]
+        if endpoint.mark_down():
+            # Fresh death: record, budget-check, schedule the restart.
+            deaths = self._death_times[slot]
+            deaths.append(now)
+            recent = [t for t in deaths if now - t <= self.config.flap_window]
+            if len(recent) > self.config.flap_budget:
+                self._parked[slot] = True
+                endpoint.mark_parked()
+                self.core.reassign_from(slot)
+                return
+            self._restart_attempt[slot] += 1
+            self._restart_not_before[slot] = now + backoff_delay(
+                self._restart_attempt[slot],
+                base=self.config.restart_base, cap=self.config.restart_cap)
+            self.core.reassign_from(slot)
+        if now < self._restart_not_before[slot]:
+            return
+        replica = self.replicas[slot]
+        replica.terminate(grace=0.5)  # reap the corpse
+        replica.start()
+        endpoint.note_restart()
+        base = replica.wait_ready(self.config.boot_timeout)
+        if base is not None:
+            endpoint.set_base_url(base)
+            self._probe(slot, base)
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        snap = self.core.fleet_snapshot()
+        snap["parked"] = [s for s, p in enumerate(self._parked) if p]
+        snap["shared_cache_dir"] = self.shared_cache_dir
+        return snap
+
+
+def serve_fleet(config: FleetConfig, ready_line: bool = True) -> int:
+    """Boot a fleet and block until SIGTERM/SIGINT stops it (CLI entry)."""
+    fleet = Fleet(config)
+    stop = threading.Event()
+
+    def _on_signal(_signum, _frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    fleet.start()
+    try:
+        if ready_line:
+            print(f"router listening on {fleet.router_url} "
+                  f"({config.replicas} replicas)", flush=True)
+        stop.wait()
+    finally:
+        fleet.stop()
+    return 0

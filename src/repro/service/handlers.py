@@ -239,17 +239,30 @@ class _InvalidRequest(ValueError):
     """Raised by handlers for inputs that passed admission but cannot run."""
 
 
+def _shareable(kind: str, params: Dict[str, Any]) -> bool:
+    """May this job's result flow through the shared single-flight tier?
+
+    Jobs with filesystem side effects (``output``) must execute per
+    submission — a cache hit would silently skip the write.
+    """
+    return kind in _HANDLERS and "output" not in params
+
+
 def execute_job(request: Dict[str, Any],
-                effective_backend: Optional[str]) -> Dict[str, Any]:
+                effective_backend: Optional[str],
+                shared_cache_dir: Optional[str] = None) -> Dict[str, Any]:
     """Run one job to a well-typed outcome dict. Never raises for expected
     failures; unexpected exceptions propagate (the supervisor types them).
 
     Returns ``{"ok", "result" | ("error_kind", "error"), "backend_used",
-    "degraded_reasons", "integrity_events"}``.
+    "degraded_reasons", "integrity_events"}``.  With ``shared_cache_dir``
+    set the execution runs through the fleet-shared single-flight cache
+    (:mod:`repro.core.shared_cache`): identical pipeline keys in flight
+    anywhere in the fleet collapse to one build.
     """
     fault = request.get("fault")
     if not fault:
-        return _execute(request, effective_backend)
+        return _execute(request, effective_backend, shared_cache_dir)
     # Arm the chaos directive, then fire any immediate worker fault
     # (crash/hang) exactly as the sweep engine's workers would.  Disarm in
     # all cases: under thread isolation the environment is the server's,
@@ -259,13 +272,14 @@ def execute_job(request: Dict[str, Any],
     resilience.arm_fault(fault.get("spec"), fault.get("state"))
     try:
         maybe_inject_worker_fault(0, 0)
-        return _execute(request, effective_backend)
+        return _execute(request, effective_backend, shared_cache_dir)
     finally:
         resilience.arm_fault(None, None)
 
 
 def _execute(request: Dict[str, Any],
-             effective_backend: Optional[str]) -> Dict[str, Any]:
+             effective_backend: Optional[str],
+             shared_cache_dir: Optional[str] = None) -> Dict[str, Any]:
     kind = request["kind"]
     params = dict(request.get("params") or {})
     handler = _HANDLERS.get(kind)
@@ -273,11 +287,28 @@ def _execute(request: Dict[str, Any],
         return _failure(FAILURE_INVALID_REQUEST, f"unknown job kind {kind!r}")
     before = integrity_events.snapshot()
     degraded_reasons: List[str] = []
-    try:
+
+    def _run() -> Dict[str, Any]:
         result, backend_used, fallback_errors = run_with_fallback(
             lambda name: handler(params, name),
             backend=effective_backend,
         )
+        return {
+            "result": result,
+            "backend_used": backend_used,
+            "fallback_errors": fallback_errors,
+        }
+
+    try:
+        if shared_cache_dir and _shareable(kind, params):
+            from repro.core.shared_cache import SharedResultCache, job_key
+
+            cache = SharedResultCache(shared_cache_dir)
+            key = job_key(kind, params, effective_backend)
+            body, _status = cache.single_flight(
+                key, _run, cacheable=_clean_body)
+        else:
+            body = _run()
     except FileNotFoundError as exc:
         return _failure(FAILURE_INVALID_REQUEST, f"input not found: {exc}")
     except _InvalidRequest as exc:
@@ -287,6 +318,8 @@ def _execute(request: Dict[str, Any],
     except (ValueError, KeyError, OSError) as exc:
         return _failure(
             FAILURE_SIMULATION_ERROR, f"{type(exc).__name__}: {exc}")
+    result = body["result"]
+    fallback_errors = [tuple(pair) for pair in body.get("fallback_errors", [])]
     events = integrity_events.delta(before)
     if any(events.get(kind_, 0) for kind_ in _REBUILD_EVENT_KINDS):
         degraded_reasons.append("artifact_rebuilt")
@@ -297,11 +330,20 @@ def _execute(request: Dict[str, Any],
     return {
         "ok": True,
         "result": result,
-        "backend_used": backend_used,
+        "backend_used": body.get("backend_used"),
         "fallback_errors": fallback_errors,
         "degraded_reasons": degraded_reasons,
         "integrity_events": events,
     }
+
+
+def _clean_body(body: Dict[str, Any]) -> bool:
+    """Only undegraded results are shared: a fallback-tainted or partial
+    result is returned to its submitter but never served to the fleet."""
+    if body.get("fallback_errors"):
+        return False
+    result = body.get("result")
+    return not (isinstance(result, dict) and result.get("partial"))
 
 
 def _failure(kind: str, message: str) -> Dict[str, Any]:

@@ -1,0 +1,456 @@
+"""Closed- and open-loop load generation against a serve/router endpoint.
+
+Three pieces, kept separable so chaos scenarios and the benchmark harness
+can reuse them:
+
+* :class:`Req` — one request: payload in, timing and terminal status out;
+* :class:`ReqGenEngine` — seeded request source.  Synthetic mode draws
+  from a bounded pool of pipeline-key variants (``key_diversity``), so
+  coalescing pressure on the shared single-flight tier is a dial, not an
+  accident; replay mode re-issues a recorded JSONL stream; every run can
+  record what it issued for later replay;
+* :class:`Workload` — the driving loop.  **Closed-loop** (``clients`` in
+  lockstep: submit, poll to terminal, repeat) measures capacity;
+  **open-loop** (fixed arrival rate, latency clocked from the *intended*
+  arrival — no coordinated omission) measures behaviour under load you
+  don't control, which is where shedding and tail latency live.
+
+The report counts a shed (429/503 with a typed ``rejected`` kind) as
+*shed*, not failed: under deliberate overload shedding is the correct
+behaviour, and the chaos gates assert ``failed == 0`` while allowing
+``shed > 0``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from queue import Empty, Queue
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+from repro.service.backoff import poll_until, sleep_backoff
+from repro.service.router import http_json
+from repro.service.protocol import TERMINAL_STATUSES
+
+#: Synthetic mix: (kind, params template) weighted choices.  Tiny scales —
+#: the workload exercises the *service*, not the simulator's throughput.
+_SYNTH_TARGETS = ("vectoradd", "transpose", "reduction")
+
+#: Default per-job completion deadline, seconds.
+DEFAULT_JOB_DEADLINE = 60.0
+
+
+@dataclass
+class Req:
+    """One generated request and (after driving) its observed outcome."""
+
+    payload: Dict[str, Any]
+    #: Wall time the request was *meant* to start (open-loop pacing).
+    intended_at: float = 0.0
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+    status: str = "pending"   # completed | failed | shed | lost
+    job_id: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def latency(self) -> float:
+        return max(0.0, self.finished_at - self.intended_at)
+
+
+class ReqGenEngine:
+    """Seeded request source: synthetic mix or recorded-trace replay."""
+
+    def __init__(
+        self,
+        seed: int = 1234,
+        key_diversity: int = 4,
+        scale: str = "tiny",
+        replay: Optional[Iterable[Dict[str, Any]]] = None,
+        record_to: Optional[TextIO] = None,
+    ) -> None:
+        if key_diversity < 1:
+            raise ValueError(
+                f"key_diversity must be >= 1, got {key_diversity}")
+        self._rng = random.Random(seed)
+        self._record_to = record_to
+        self._replay = list(replay) if replay is not None else None
+        self._replay_pos = 0
+        self._lock = threading.Lock()
+        # Pre-draw the key pool: key_diversity distinct payloads the
+        # synthetic stream cycles through with random weights.
+        self._pool: List[Dict[str, Any]] = []
+        for i in range(key_diversity):
+            target = _SYNTH_TARGETS[i % len(_SYNTH_TARGETS)]
+            self._pool.append({
+                "kind": "simulate",
+                "params": {
+                    "target": target,
+                    "scale": scale,
+                    "cores": 1 + (i % 2),
+                },
+            })
+
+    @classmethod
+    def from_trace(cls, path: str, **kwargs) -> "ReqGenEngine":
+        with open(path, "r", encoding="utf-8") as fh:
+            replay = [json.loads(line) for line in fh if line.strip()]
+        return cls(replay=replay, **kwargs)
+
+    def next(self) -> Optional[Dict[str, Any]]:
+        """Next payload, or None when a replay stream is exhausted."""
+        with self._lock:
+            if self._replay is not None:
+                if self._replay_pos >= len(self._replay):
+                    return None
+                payload = dict(self._replay[self._replay_pos])
+                self._replay_pos += 1
+            else:
+                payload = json.loads(json.dumps(
+                    self._rng.choice(self._pool)))
+            if self._record_to is not None:
+                self._record_to.write(json.dumps(payload) + "\n")
+            return payload
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one workload run."""
+
+    mode: str
+    duration_seconds: float
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    lost: int = 0
+    latencies_ms: List[float] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+
+    @staticmethod
+    def _pct(sorted_values: List[float], q: float) -> float:
+        if not sorted_values:
+            return 0.0
+        pos = q * (len(sorted_values) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(sorted_values) - 1)
+        frac = pos - lo
+        return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+    def to_dict(self) -> Dict[str, Any]:
+        lat = sorted(self.latencies_ms)
+        done = self.completed
+        duration = max(self.duration_seconds, 1e-9)
+        return {
+            "mode": self.mode,
+            "duration_seconds": round(self.duration_seconds, 3),
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "shed": self.shed,
+            "lost": self.lost,
+            "shed_rate": (self.shed / self.submitted
+                          if self.submitted else 0.0),
+            "throughput_rps": done / duration,
+            "latency_ms": {
+                "p50": round(self._pct(lat, 0.50), 3),
+                "p90": round(self._pct(lat, 0.90), 3),
+                "p99": round(self._pct(lat, 0.99), 3),
+                "max": round(lat[-1], 3) if lat else 0.0,
+            },
+            "errors": self.errors[:10],
+        }
+
+
+class Workload:
+    """Drive an endpoint with requests from a :class:`ReqGenEngine`."""
+
+    def __init__(
+        self,
+        base_url: str,
+        engine: ReqGenEngine,
+        job_deadline: float = DEFAULT_JOB_DEADLINE,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self._base = base_url.rstrip("/")
+        self._engine = engine
+        self._deadline = job_deadline
+        self._poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._reqs: List[Req] = []
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    # -- one request through to terminal -------------------------------------
+
+    def _drive(self, req: Req) -> None:
+        req.submitted_at = time.monotonic()
+        status, body = 0, {}
+        # The front door itself can drop a connection mid-failover; a
+        # bounded retry keeps a client-side blip from counting as a fleet
+        # failure.  Replica deaths are already the router's problem.
+        for attempt in range(1, 4):
+            try:
+                status, body = http_json(
+                    "POST", f"{self._base}/jobs", req.payload)
+                break
+            except OSError as exc:
+                if attempt == 3 or self._stop.is_set():
+                    req.finished_at = time.monotonic()
+                    req.status = "lost"
+                    req.error = f"submit transport: {type(exc).__name__}"
+                    return
+                sleep_backoff(attempt, base=0.05, cap=0.5, wake=self._stop)
+        if status in (429, 503):
+            req.finished_at = time.monotonic()
+            req.status = "shed"
+            return
+        if status != 202:
+            req.finished_at = time.monotonic()
+            req.status = "failed"
+            req.error = f"submit http {status}: {body.get('error')}"
+            return
+        req.job_id = body.get("job_id")
+        state: Dict[str, Any] = {}
+
+        def _terminal() -> bool:
+            nonlocal state
+            if self._stop.is_set():
+                return True
+            try:
+                code, job = http_json(
+                    "GET", f"{self._base}/jobs/{req.job_id}")
+            except OSError:
+                return False
+            if code == 200:
+                state = job
+            return job.get("status") in TERMINAL_STATUSES
+
+        poll_until(_terminal, timeout=self._deadline,
+                   interval=self._poll_interval, wake=self._stop)
+        req.finished_at = time.monotonic()
+        terminal = state.get("status")
+        if terminal == "completed":
+            req.status = "completed"
+        elif terminal in TERMINAL_STATUSES:
+            req.status = "failed"
+            req.error = (f"{state.get('failure_kind') or terminal}: "
+                         f"{state.get('error') or ''}")
+        else:
+            req.status = "lost"
+            req.error = f"no terminal state in {self._deadline}s"
+
+    def _track(self, req: Req) -> None:
+        with self._lock:
+            self._reqs.append(req)
+
+    def progress(self) -> int:
+        """Requests issued so far (chaos scenarios time kills off this)."""
+        with self._lock:
+            return len(self._reqs)
+
+    # -- closed loop ---------------------------------------------------------
+
+    def run_closed(
+        self,
+        clients: int,
+        max_requests: Optional[int] = None,
+        duration: Optional[float] = None,
+    ) -> LoadReport:
+        """``clients`` synchronous loops: submit, await terminal, repeat."""
+        budget = threading.Semaphore(max_requests) if max_requests else None
+        started = time.monotonic()
+        deadline = started + duration if duration else None
+
+        def _client() -> None:
+            while not self._stop.is_set():
+                if deadline is not None and time.monotonic() >= deadline:
+                    return
+                if budget is not None and not budget.acquire(blocking=False):
+                    return
+                payload = self._engine.next()
+                if payload is None:
+                    return
+                req = Req(payload=payload, intended_at=time.monotonic())
+                self._track(req)
+                self._drive(req)
+
+        threads = [
+            threading.Thread(target=_client, name=f"loadgen-c{i}",
+                             daemon=True)
+            for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return self._report("closed", time.monotonic() - started)
+
+    # -- open loop -----------------------------------------------------------
+
+    def run_open(
+        self,
+        rate: float,
+        duration: float,
+        max_clients: int = 32,
+    ) -> LoadReport:
+        """Fixed arrival rate for ``duration`` seconds.
+
+        Arrivals are paced on a fixed schedule; a bounded worker pool
+        drives them to terminal.  When every worker is busy the arrival
+        still *happens* (queued with its intended timestamp), so measured
+        latency includes the wait — no coordinated omission.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        work: "Queue[Req]" = Queue()
+
+        def _worker() -> None:
+            while not self._stop.is_set():
+                try:
+                    req = work.get(timeout=0.2)
+                except Empty:
+                    if arrivals_done.is_set():
+                        return
+                    continue
+                self._drive(req)
+                work.task_done()
+
+        arrivals_done = threading.Event()
+        workers = [
+            threading.Thread(target=_worker, name=f"loadgen-w{i}",
+                             daemon=True)
+            for i in range(max_clients)
+        ]
+        for t in workers:
+            t.start()
+        started = time.monotonic()
+        period = 1.0 / rate
+        n = 0
+        while not self._stop.is_set():
+            now = time.monotonic()
+            if now - started >= duration:
+                break
+            next_at = started + n * period
+            if now < next_at:
+                # Paced wait until the next scheduled arrival (interruptible).
+                self._stop.wait(min(next_at - now, 0.5))
+                continue
+            payload = self._engine.next()
+            if payload is None:
+                break
+            req = Req(payload=payload, intended_at=next_at)
+            self._track(req)
+            work.put(req)
+            n += 1
+        arrivals_done.set()
+        for t in workers:
+            t.join(self._deadline + 5.0)
+        return self._report("open", time.monotonic() - started)
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(self, mode: str, duration: float) -> LoadReport:
+        report = LoadReport(mode=mode, duration_seconds=duration)
+        with self._lock:
+            reqs = list(self._reqs)
+        for req in reqs:
+            report.submitted += 1
+            if req.status == "completed":
+                report.completed += 1
+                report.latencies_ms.append(req.latency * 1000.0)
+            elif req.status == "shed":
+                report.shed += 1
+            elif req.status == "lost":
+                report.lost += 1
+                if req.error:
+                    report.errors.append(req.error)
+            elif req.status == "failed":
+                report.failed += 1
+                if req.error:
+                    report.errors.append(req.error)
+        return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; exits 0 iff the run had no failed or lost requests
+    (sheds are expected under deliberate overload and do not fail it)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.loadgen",
+        description="drive a gmap serve endpoint (single server or router) "
+                    "with a seeded synthetic or replayed workload")
+    parser.add_argument("--base-url", required=True,
+                        help="endpoint, e.g. http://127.0.0.1:8080")
+    parser.add_argument("--mode", choices=("closed", "open"),
+                        default="closed")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="closed-loop concurrency (default: 4)")
+    parser.add_argument("--rate", type=float, default=4.0,
+                        help="open-loop arrivals/second (default: 4)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds to run (default: open 10, closed "
+                             "until --requests)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="closed-loop total request budget")
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--key-diversity", type=int, default=4,
+                        help="distinct pipeline keys in the synthetic mix "
+                             "(default: 4)")
+    parser.add_argument("--scale", default="tiny",
+                        help="workload kernel scale (default: tiny)")
+    parser.add_argument("--job-deadline", type=float,
+                        default=DEFAULT_JOB_DEADLINE)
+    parser.add_argument("--replay", default=None, metavar="JSONL",
+                        help="re-issue a recorded request stream")
+    parser.add_argument("--record", default=None, metavar="JSONL",
+                        help="record the issued request stream")
+    parser.add_argument("--out", default=None,
+                        help="write the JSON report here (default: stdout)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny deterministic run (closed, 3 clients, "
+                             "12 requests)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.mode = "closed"
+        args.clients = 3
+        args.requests = args.requests or 12
+    record_fh = open(args.record, "w", encoding="utf-8") \
+        if args.record else None
+    try:
+        if args.replay:
+            engine = ReqGenEngine.from_trace(
+                args.replay, seed=args.seed, record_to=record_fh)
+        else:
+            engine = ReqGenEngine(
+                seed=args.seed, key_diversity=args.key_diversity,
+                scale=args.scale, record_to=record_fh)
+        workload = Workload(args.base_url, engine,
+                            job_deadline=args.job_deadline)
+        if args.mode == "closed":
+            report = workload.run_closed(
+                clients=args.clients, max_requests=args.requests,
+                duration=args.duration)
+        else:
+            report = workload.run_open(
+                rate=args.rate, duration=args.duration or 10.0)
+    finally:
+        if record_fh is not None:
+            record_fh.close()
+    payload = report.to_dict()
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+    print(text)
+    return 0 if (payload["failed"] == 0 and payload["lost"] == 0) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

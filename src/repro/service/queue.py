@@ -73,6 +73,30 @@ class AdmissionQueue:
         with self._cond:
             return self._closed
 
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def avg_job_seconds(self) -> float:
+        """Current value of the job-duration EWMA, seconds."""
+        with self._cond:
+            return self._avg_job_seconds
+
+    def snapshot(self) -> dict:
+        """Load snapshot for ``/readyz``: everything a router needs to
+        weigh this replica against its siblings (depth, capacity, worker
+        count, and the duration EWMA that prices the backlog)."""
+        with self._cond:
+            backlog = len(self._items)
+            return {
+                "queue_depth": backlog,
+                "queue_capacity": self._capacity,
+                "workers": self._workers,
+                "avg_job_seconds": self._avg_job_seconds,
+                "est_wait_seconds": (
+                    backlog * self._avg_job_seconds / self._workers),
+            }
+
     def note_job_seconds(self, seconds: float) -> None:
         """Feed a completed job's duration into the retry-after EWMA."""
         if seconds < 0:

@@ -1,0 +1,460 @@
+"""Fleet front door: sticky routing, failover, and job reassignment.
+
+The router is the only address clients see.  It owns three responsibilities
+the single-replica server cannot:
+
+* **placement** — submissions are routed *sticky by pipeline key*
+  (rendezvous hashing over the routable replicas), so identical jobs land
+  on the same replica and coalesce in its in-process caches before they
+  even reach the fleet-shared single-flight tier.  Side-effecting jobs
+  (chaos faults, ``output`` params) skip stickiness and go to the replica
+  with the shortest estimated queue wait instead;
+* **failover** — a replica that refuses connections is skipped mid-submit
+  (spill to the next candidate in rendezvous order) and marked suspect for
+  the fleet monitor to confirm;
+* **reassignment** — the router records every accepted job's payload.
+  When the monitor declares a replica down, the router resubmits that
+  replica's non-terminal jobs (same ``job_id``) to a healthy one.  The
+  shared cache's ``flock``-based single flight makes the resubmission
+  safe: if the dead replica already built the artifact the resubmitted
+  job is a cache hit, and a mid-build death released the build lock with
+  the process, so exactly one live builder proceeds.
+
+The router deliberately holds *no* job results of its own beyond a cache
+of terminal outcomes — replicas stay the source of truth for running jobs,
+which keeps the front door restartable without a journal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import itertools
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.shared_cache import job_key
+from repro.service.protocol import (
+    FAILURE_INVALID_REQUEST,
+    FAILURE_REJECTED,
+    TERMINAL_STATUSES,
+)
+
+#: Per-request HTTP timeout toward a replica, seconds.  Short: anything
+#: slower than this is effectively down for routing purposes.
+REPLICA_TIMEOUT = 5.0
+
+
+def http_json(
+    method: str,
+    url: str,
+    body: Optional[Dict[str, Any]] = None,
+    timeout: float = REPLICA_TIMEOUT,
+) -> Tuple[int, Dict[str, Any]]:
+    """One JSON request/response exchange; raises OSError family on
+    transport failure, returns (status, parsed body) otherwise."""
+    data = None if body is None else json.dumps(body).encode()
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode() or "{}")
+    except urllib.error.HTTPError as exc:
+        raw = exc.read().decode() if exc.fp else ""
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            payload = {"error": raw}
+        return exc.code, payload
+    except http.client.HTTPException as exc:
+        # A peer dying mid-response surfaces as IncompleteRead /
+        # BadStatusLine — transport death, not an HTTP answer.  Normalise
+        # to the OSError family every caller already treats as "peer down".
+        raise ConnectionError(f"{type(exc).__name__}: {exc}") from exc
+
+
+class ReplicaEndpoint:
+    """Runtime view of one replica, shared by router and fleet monitor.
+
+    The fleet monitor writes liveness and telemetry; router handler
+    threads read them when ranking candidates.  ``base_url`` is None until
+    the replica prints its ready line.
+    """
+
+    def __init__(self, slot: int, replica_id: str) -> None:
+        self.slot = slot
+        self.replica_id = replica_id
+        self._lock = threading.Lock()
+        self._base_url: Optional[str] = None
+        self._healthy = False
+        self._parked = False
+        self._consecutive_failures = 0
+        self._telemetry: Dict[str, Any] = {}
+        self._restarts = 0
+
+    # -- monitor-side updates ------------------------------------------------
+
+    def set_base_url(self, base_url: Optional[str]) -> None:
+        with self._lock:
+            self._base_url = base_url
+            if base_url is None:
+                self._healthy = False
+                self._telemetry = {}
+
+    def mark_healthy(self, telemetry: Dict[str, Any]) -> None:
+        with self._lock:
+            self._healthy = True
+            self._consecutive_failures = 0
+            self._telemetry = dict(telemetry)
+
+    def mark_probe_failed(self, threshold: int) -> bool:
+        """Record one failed health probe; True once the replica crosses
+        ``threshold`` consecutive failures (transition to down)."""
+        with self._lock:
+            self._consecutive_failures += 1
+            was_healthy = self._healthy
+            if self._consecutive_failures >= threshold:
+                self._healthy = False
+            return was_healthy and not self._healthy
+
+    def mark_down(self) -> bool:
+        """Force down (process exit observed); True if it was healthy."""
+        with self._lock:
+            was = self._healthy
+            self._healthy = False
+            self._base_url = None
+            self._telemetry = {}
+            return was
+
+    def mark_parked(self) -> None:
+        with self._lock:
+            self._parked = True
+            self._healthy = False
+
+    def note_restart(self) -> None:
+        with self._lock:
+            self._restarts += 1
+
+    # -- router-side reads ---------------------------------------------------
+
+    @property
+    def base_url(self) -> Optional[str]:
+        with self._lock:
+            return self._base_url
+
+    @property
+    def routable(self) -> bool:
+        with self._lock:
+            return self._healthy and self._base_url is not None
+
+    def est_wait_seconds(self) -> float:
+        with self._lock:
+            try:
+                return float(self._telemetry.get("est_wait_seconds", 0.0))
+            except (TypeError, ValueError):
+                return 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "slot": self.slot,
+                "replica_id": self.replica_id,
+                "base_url": self._base_url,
+                "healthy": self._healthy,
+                "parked": self._parked,
+                "consecutive_probe_failures": self._consecutive_failures,
+                "restarts": self._restarts,
+                "telemetry": dict(self._telemetry),
+            }
+
+
+class _JobRecord:
+    __slots__ = ("payload", "slot", "terminal", "reassignments")
+
+    def __init__(self, payload: Dict[str, Any], slot: int) -> None:
+        self.payload = payload
+        self.slot = slot
+        self.terminal: Optional[Dict[str, Any]] = None
+        self.reassignments = 0
+
+
+class RouterCore:
+    """Placement, failover, and reassignment logic (HTTP-free, testable)."""
+
+    def __init__(self, endpoints: List[ReplicaEndpoint]) -> None:
+        self._endpoints = endpoints
+        self._jobs: Dict[str, _JobRecord] = {}
+        self._jobs_lock = threading.Lock()
+        self._seq = itertools.count()
+        self._counters = {
+            "routed": 0, "shed": 0, "spilled": 0, "reassigned": 0,
+        }
+
+    # -- candidate ranking ---------------------------------------------------
+
+    def _routable(self) -> List[ReplicaEndpoint]:
+        return [ep for ep in self._endpoints if ep.routable]
+
+    @staticmethod
+    def _rendezvous_order(
+        key: str, candidates: List[ReplicaEndpoint]
+    ) -> List[ReplicaEndpoint]:
+        """Highest-random-weight order: stable per key, and removing one
+        replica only remaps that replica's keys (minimal disruption)."""
+        def weight(ep: ReplicaEndpoint) -> str:
+            return hashlib.sha256(
+                f"{key}|{ep.replica_id}".encode()).hexdigest()
+        return sorted(candidates, key=weight, reverse=True)
+
+    def candidates_for(self, payload: Dict[str, Any]) -> List[
+            ReplicaEndpoint]:
+        """Replicas to try, best first; empty when nothing is routable."""
+        routable = self._routable()
+        if not routable:
+            return []
+        params = payload.get("params")
+        params = params if isinstance(params, dict) else {}
+        sticky = payload.get("fault") is None and "output" not in params
+        if not sticky:
+            return sorted(routable, key=lambda ep: ep.est_wait_seconds())
+        key = job_key(str(payload.get("kind")), params,
+                      payload.get("backend"))
+        return self._rendezvous_order(key, routable)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, payload: Any) -> Tuple[int, Dict[str, Any]]:
+        if not isinstance(payload, dict):
+            return 400, {"error": "request body must be a JSON object",
+                         "error_kind": FAILURE_INVALID_REQUEST}
+        payload = dict(payload)
+        job_id = str(payload.get("job_id") or f"fleet-{next(self._seq):08d}")
+        payload["job_id"] = job_id
+        candidates = self.candidates_for(payload)
+        if not candidates:
+            return 503, {"error": "no routable replicas",
+                         "error_kind": FAILURE_REJECTED, "job_id": job_id}
+        return self._place(job_id, payload, candidates)
+
+    def _place(
+        self,
+        job_id: str,
+        payload: Dict[str, Any],
+        candidates: List[ReplicaEndpoint],
+    ) -> Tuple[int, Dict[str, Any]]:
+        shed_response: Optional[Tuple[int, Dict[str, Any]]] = None
+        tried = 0
+        for endpoint in candidates:
+            base = endpoint.base_url
+            if base is None:
+                continue
+            tried += 1
+            try:
+                status, body = http_json("POST", f"{base}/jobs", payload)
+            except OSError:
+                endpoint.mark_probe_failed(threshold=1)
+                self._counters["spilled"] += 1
+                continue
+            if status == 202:
+                with self._jobs_lock:
+                    record = self._jobs.get(job_id)
+                    if record is None:
+                        self._jobs[job_id] = _JobRecord(
+                            payload, endpoint.slot)
+                    else:  # reassignment path keeps the original payload
+                        record.slot = endpoint.slot
+                self._counters["routed"] += 1
+                body.setdefault("job_id", job_id)
+                body["replica"] = endpoint.replica_id
+                return 202, body
+            if status == 429:
+                # At capacity — a *healthy* refusal; spill sideways and
+                # keep the largest Retry-After if everyone sheds.
+                shed_response = (status, body)
+                self._counters["spilled"] += 1
+                continue
+            # Typed refusal (400 invalid, 503 draining...): authoritative.
+            if status == 503:
+                shed_response = (status, body)
+                continue
+            body.setdefault("job_id", job_id)
+            return status, body
+        if shed_response is not None:
+            self._counters["shed"] += 1
+            status, body = shed_response
+            body.setdefault("job_id", job_id)
+            return status, body
+        return 503, {"error": f"all {tried} routable replicas unreachable",
+                     "error_kind": FAILURE_REJECTED, "job_id": job_id}
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        with self._jobs_lock:
+            record = self._jobs.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}",
+                         "error_kind": FAILURE_INVALID_REQUEST}
+        if record.terminal is not None:
+            return 200, dict(record.terminal)
+        endpoint = self._endpoints[record.slot]
+        base = endpoint.base_url
+        if base is not None:
+            try:
+                status, body = http_json("GET", f"{base}/jobs/{job_id}")
+            except OSError:
+                status, body = 0, {}
+            if status == 200:
+                if body.get("status") in TERMINAL_STATUSES:
+                    with self._jobs_lock:
+                        record.terminal = dict(body)
+                body["replica"] = endpoint.replica_id
+                return 200, body
+        # Replica gone, unreachable, or lost the job (restart): resubmit
+        # under the same id so the client's handle stays valid.
+        requeued = self._reassign_record(job_id, record)
+        if requeued:
+            return 200, {"job_id": job_id, "status": "queued",
+                         "reassigned": True}
+        return 200, {"job_id": job_id, "status": "queued",
+                     "reassigned": False,
+                     "note": "awaiting a routable replica"}
+
+    # -- reassignment --------------------------------------------------------
+
+    def _reassign_record(self, job_id: str, record: _JobRecord) -> bool:
+        candidates = self.candidates_for(record.payload)
+        candidates = [ep for ep in candidates if ep.slot != record.slot]
+        if not candidates:
+            candidates = self.candidates_for(record.payload)
+        if not candidates:
+            return False
+        status, _body = self._place(job_id, record.payload, candidates)
+        if status == 202:
+            record.reassignments += 1
+            self._counters["reassigned"] += 1
+            return True
+        return False
+
+    def reassign_from(self, slot: int) -> int:
+        """Resubmit every non-terminal job assigned to ``slot``; returns
+        the number successfully requeued elsewhere.  Safe to call more
+        than once — already-settled jobs are skipped and the shared-cache
+        single flight dedupes any overlap."""
+        with self._jobs_lock:
+            orphans = [(job_id, record)
+                       for job_id, record in self._jobs.items()
+                       if record.slot == slot and record.terminal is None]
+        moved = 0
+        for job_id, record in orphans:
+            if self._reassign_record(job_id, record):
+                moved += 1
+        return moved
+
+    # -- introspection -------------------------------------------------------
+
+    def fleet_snapshot(self) -> Dict[str, Any]:
+        with self._jobs_lock:
+            tracked = len(self._jobs)
+            settled = sum(
+                1 for r in self._jobs.values() if r.terminal is not None)
+            counters = dict(self._counters)
+        return {
+            "replicas": [ep.snapshot() for ep in self._endpoints],
+            "routable": sum(1 for ep in self._endpoints if ep.routable),
+            "jobs_tracked": tracked,
+            "jobs_settled": settled,
+            "counters": counters,
+        }
+
+    def ready(self) -> bool:
+        return any(ep.routable for ep in self._endpoints)
+
+
+class _RouterHandler(BaseHTTPRequestHandler):
+    server: "RouterHTTPServer"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *_args) -> None:  # quiet by default
+        pass
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status == 429 and "retry_after" in payload:
+            self.send_header("Retry-After", str(payload["retry_after"]))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/jobs":
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = json.loads(self.rfile.read(length).decode() or "null")
+        except (ValueError, json.JSONDecodeError):
+            self._send_json(400, {"error": "invalid JSON body",
+                                  "error_kind": FAILURE_INVALID_REQUEST})
+            return
+        status, body = self.server.core.submit(payload)
+        self._send_json(status, body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        core = self.server.core
+        if self.path.startswith("/jobs/"):
+            status, body = core.lookup(self.path[len("/jobs/"):])
+            self._send_json(status, body)
+        elif self.path == "/healthz":
+            self._send_json(200, {"status": "ok", "role": "router",
+                                  "routable": core.fleet_snapshot()[
+                                      "routable"]})
+        elif self.path == "/readyz":
+            ready = core.ready()
+            self._send_json(200 if ready else 503,
+                            {"ready": ready, "role": "router"})
+        elif self.path == "/fleet":
+            self._send_json(200, core.fleet_snapshot())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """Threaded front-door listener around one :class:`RouterCore`."""
+
+    daemon_threads = True
+
+    def __init__(self, core: RouterCore, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.core = core
+        super().__init__((host, port), _RouterHandler)
+
+    @property
+    def base_url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def start_router(
+    core: RouterCore, host: str = "127.0.0.1", port: int = 0,
+) -> Tuple[RouterHTTPServer, threading.Thread, Callable[[], None]]:
+    """Start a router server thread; returns (server, thread, stop)."""
+    server = RouterHTTPServer(core, host, port)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.2},
+        name="gmap-router", daemon=True)
+    thread.start()
+
+    def stop() -> None:
+        server.shutdown()
+        server.server_close()
+        thread.join(5.0)
+
+    return server, thread, stop

@@ -24,6 +24,7 @@ with a full queue).
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 import uuid
@@ -234,6 +235,8 @@ class GmapService:
             counters = dict(self._counters)
         return {
             "status": "draining" if self._draining.is_set() else "ok",
+            "replica_id": self.config.replica_id,
+            "pid": os.getpid(),
             "queue_depth": self.queue.depth(),
             "queue_capacity": self.queue.capacity,
             "running": len(self.supervisor.running_jobs()),
@@ -245,6 +248,23 @@ class GmapService:
     def ready(self) -> bool:
         return (not self._draining.is_set()
                 and self.queue.depth() < self.queue.capacity)
+
+    def readyz(self) -> Dict[str, Any]:
+        """Admission readiness *with load telemetry*.
+
+        The queue snapshot (depth, capacity, workers, duration EWMA) rides
+        along so a fleet router can weigh replicas by expected wait instead
+        of blind round-robin — the EWMA is per-process, so this endpoint is
+        the only place a sibling can observe it.
+        """
+        payload: Dict[str, Any] = {
+            "ready": self.ready(),
+            "replica_id": self.config.replica_id,
+            "draining": self._draining.is_set(),
+            "running": len(self.supervisor.running_jobs()),
+        }
+        payload.update(self.queue.snapshot())
+        return payload
 
     def note_rejected(self) -> None:
         with self._jobs_lock:
@@ -311,10 +331,8 @@ class _ServeHandler(BaseHTTPRequestHandler):
             self._send_json(200, self.service.healthz())
             return
         if self.path == "/readyz":
-            if self.service.ready():
-                self._send_json(200, {"ready": True})
-            else:
-                self._send_json(503, {"ready": False})
+            payload = self.service.readyz()
+            self._send_json(200 if payload["ready"] else 503, payload)
             return
         if self.path.startswith("/jobs/"):
             job_id = self.path[len("/jobs/"):]

@@ -28,6 +28,7 @@ import time
 import traceback
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.service.backoff import sleep_backoff
 from repro.service.config import ServiceConfig
 from repro.service.degradation import STAGE_MEMSIM, DegradationPolicy
 from repro.service.handlers import execute_job
@@ -46,10 +47,12 @@ from repro.validation.resilience import (
 
 
 def _worker_main(conn, request: Dict[str, Any],
-                 effective_backend: Optional[str]) -> None:
+                 effective_backend: Optional[str],
+                 shared_cache_dir: Optional[str] = None) -> None:
     """Worker process entry point: run the job, ship the outcome dict."""
     try:
-        payload = execute_job(request, effective_backend)
+        payload = execute_job(request, effective_backend,
+                              shared_cache_dir=shared_cache_dir)
     except BaseException as exc:  # ship the traceback, don't lose it
         payload = {
             "ok": False,
@@ -165,8 +168,8 @@ class Supervisor:
             last = outcome
             if attempt < attempts_allowed:
                 self._restarts += 1
-                backoff = self._config.restart_backoff * (2 ** (attempt - 1))
-                time.sleep(min(backoff, 5.0))
+                sleep_backoff(attempt, base=self._config.restart_backoff,
+                              cap=5.0, wake=self._stop)
         assert last is not None
         return last
 
@@ -190,7 +193,8 @@ class Supervisor:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, request.to_dict(), backend),
+            args=(child_conn, request.to_dict(), backend,
+                  self._config.shared_cache_dir),
             daemon=True,
         )
         proc.start()
@@ -230,7 +234,9 @@ class Supervisor:
         under both isolation modes.
         """
         try:
-            return execute_job(request.to_dict(), backend)
+            return execute_job(
+                request.to_dict(), backend,
+                shared_cache_dir=self._config.shared_cache_dir)
         except SystemExit as exc:
             return {
                 "ok": False,

@@ -135,3 +135,76 @@ class TestServiceReportsDegradation:
         assert used == "python"
         assert errors
         assert degraded.to_dict() == oracle.to_dict()
+
+
+class TestHalfOpenProbeDiscipline:
+    """Regressions for the breaker's probe *lease* (robustness PR).
+
+    The failure shape being pinned: a breaker that admits an unbounded
+    burst the instant its cooldown elapses, or that lets a straggler
+    success from before the trip close it, re-exposes every queued job to
+    a still-broken backend.  Half-open must admit exactly one probe per
+    cooldown window, and only the probe's own report may close it.
+    """
+
+    @staticmethod
+    def _tripped(cooldown=10.0):
+        from repro.service.degradation import CircuitBreaker
+
+        clock = [0.0]
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=cooldown,
+                                 clock=lambda: clock[0])
+        breaker.record_failure()
+        breaker.record_failure()
+        return breaker, clock
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = self._tripped()
+        clock[0] = 10.0
+        assert breaker.allow() is True  # the probe
+        # A burst of concurrent callers while the probe is in flight: all
+        # must keep skipping the backend.
+        assert [breaker.allow() for _ in range(8)] == [False] * 8
+        assert breaker.snapshot()["probe_in_flight"] is True
+
+    def test_stale_success_while_open_is_ignored(self):
+        breaker, clock = self._tripped()
+        clock[0] = 3.0  # still OPEN, no probe admitted
+        breaker.record_success()  # straggler from a pre-trip job
+        from repro.service.degradation import STATE_OPEN
+
+        assert breaker.state == STATE_OPEN
+        assert breaker.allow() is False
+
+    def test_probe_success_closes_for_everyone(self):
+        breaker, clock = self._tripped()
+        clock[0] = 10.0
+        assert breaker.allow()
+        breaker.record_success()  # the probe reporting back
+        assert [breaker.allow() for _ in range(4)] == [True] * 4
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["probe_in_flight"] is False
+
+    def test_probe_failure_starts_a_new_cooldown(self):
+        breaker, clock = self._tripped()
+        clock[0] = 10.0
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.allow() is False  # OPEN again
+        clock[0] = 19.9  # new cooldown runs from the probe failure
+        assert breaker.allow() is False
+        clock[0] = 20.0
+        assert breaker.allow() is True  # next window's probe
+
+    def test_dead_probe_lease_expires(self):
+        """A probe whose worker dies unreported must not wedge the breaker
+        half-open forever: the lease expires after one extra cooldown."""
+        breaker, clock = self._tripped()
+        clock[0] = 10.0
+        assert breaker.allow()  # probe admitted, then its worker dies
+        clock[0] = 15.0
+        assert breaker.allow() is False  # lease still held
+        clock[0] = 20.0  # a full cooldown after the lease was taken
+        assert breaker.snapshot()["probe_in_flight"] is False
+        assert breaker.allow() is True  # a new probe may go

@@ -1,0 +1,402 @@
+"""Tests for the fleet front door, load generator, and bench schema.
+
+``RouterCore`` is deliberately HTTP-free: these tests replace the module's
+``http_json`` with an in-memory fake fleet, so placement, spill, shed, and
+reassignment semantics are exercised without sockets.  One compact live
+test at the end boots a real two-replica fleet end to end.
+"""
+
+import io
+import json
+
+import pytest
+
+import repro.service.router as router_mod
+from repro.service.bench import BENCH_SCHEMA, validate_report
+from repro.service.loadgen import LoadReport, ReqGenEngine
+from repro.service.router import ReplicaEndpoint, RouterCore
+
+
+# -- in-memory fleet fake ---------------------------------------------------
+
+class FakeReplica:
+    """Accepts jobs, completes them on first lookup; togglable failure."""
+
+    def __init__(self):
+        self.jobs = {}
+        self.shed = False          # 429 every submit
+        self.down = False          # transport error on any request
+        self.job_status = "completed"
+
+    def handle(self, method, path, body):
+        if self.down:
+            raise ConnectionError("replica down")
+        if method == "POST" and path == "/jobs":
+            if self.shed:
+                return 429, {"error": "queue full", "retry_after": 1,
+                             "error_kind": "rejected"}
+            job_id = body["job_id"]
+            self.jobs[job_id] = dict(body)
+            return 202, {"job_id": job_id, "status": "queued"}
+        if method == "GET" and path.startswith("/jobs/"):
+            job_id = path[len("/jobs/"):]
+            if job_id not in self.jobs:
+                return 404, {"error": "unknown job"}
+            return 200, {"job_id": job_id, "status": self.job_status,
+                         "result": {"ok": True}}
+        return 404, {"error": path}
+
+
+class FakeFleet:
+    def __init__(self, n, monkeypatch):
+        self.replicas = [FakeReplica() for _ in range(n)]
+        self.endpoints = []
+        for slot in range(n):
+            ep = ReplicaEndpoint(slot, f"r{slot}")
+            ep.set_base_url(f"http://fake-{slot}")
+            ep.mark_healthy({"est_wait_seconds": 0.0})
+            self.endpoints.append(ep)
+        self.core = RouterCore(self.endpoints)
+        monkeypatch.setattr(router_mod, "http_json", self._http_json)
+
+    def _http_json(self, method, url, body=None, timeout=None):
+        prefix = "http://fake-"
+        assert url.startswith(prefix), url
+        slot_str, _, path = url[len(prefix):].partition("/")
+        return self.replicas[int(slot_str)].handle(method, "/" + path, body)
+
+    def jobs_per_replica(self):
+        return [len(r.jobs) for r in self.replicas]
+
+
+def _payload(**params):
+    merged = {"target": "vectoradd", "scale": "tiny", "cores": 2}
+    merged.update(params)
+    return {"kind": "simulate", "params": merged}
+
+
+@pytest.fixture
+def fleet3(monkeypatch):
+    return FakeFleet(3, monkeypatch)
+
+
+# -- placement --------------------------------------------------------------
+
+class TestPlacement:
+    def test_submit_accepts_and_names_replica(self, fleet3):
+        status, body = fleet3.core.submit(_payload())
+        assert status == 202
+        assert body["replica"] in {"r0", "r1", "r2"}
+        assert body["job_id"].startswith("fleet-")
+
+    def test_sticky_same_key_lands_same_replica(self, fleet3):
+        for _ in range(6):
+            status, _body = fleet3.core.submit(_payload())
+            assert status == 202
+        counts = fleet3.jobs_per_replica()
+        assert sorted(counts) == [0, 0, 6]  # one replica owns the key
+
+    def test_distinct_keys_spread(self, fleet3):
+        for i in range(24):
+            status, _body = fleet3.core.submit(_payload(cores=i))
+            assert status == 202
+        # Rendezvous hashing over 24 distinct keys should not collapse
+        # onto a single replica.
+        assert sum(1 for c in fleet3.jobs_per_replica() if c > 0) >= 2
+
+    def test_rendezvous_minimal_disruption(self, fleet3):
+        payload = _payload()
+        before = [ep.slot for ep in fleet3.core.candidates_for(payload)]
+        fleet3.endpoints[before[0]].mark_down()
+        after = [ep.slot for ep in fleet3.core.candidates_for(payload)]
+        # Losing the top candidate only removes it; the rest keep order.
+        assert after == before[1:]
+
+    def test_fault_jobs_route_by_load_not_key(self, fleet3):
+        fleet3.endpoints[0].mark_healthy({"est_wait_seconds": 9.0})
+        fleet3.endpoints[1].mark_healthy({"est_wait_seconds": 0.1})
+        fleet3.endpoints[2].mark_healthy({"est_wait_seconds": 4.0})
+        chaos = dict(_payload(), fault={"spec": "kill:*:*"})
+        order = [ep.slot for ep in fleet3.core.candidates_for(chaos)]
+        assert order == [1, 2, 0]  # least estimated wait first
+
+    def test_output_jobs_route_by_load(self, fleet3):
+        fleet3.endpoints[0].mark_healthy({"est_wait_seconds": 9.0})
+        fleet3.endpoints[1].mark_healthy({"est_wait_seconds": 0.1})
+        fleet3.endpoints[2].mark_healthy({"est_wait_seconds": 2.0})
+        side_effect = _payload(output="/tmp/x.json")
+        assert fleet3.core.candidates_for(side_effect)[0].slot == 1
+
+    def test_invalid_payload_rejected(self, fleet3):
+        status, body = fleet3.core.submit(["not", "a", "dict"])
+        assert status == 400
+        assert body["error_kind"] == "invalid_request"
+
+    def test_no_routable_replicas(self, fleet3):
+        for ep in fleet3.endpoints:
+            ep.mark_down()
+        status, body = fleet3.core.submit(_payload())
+        assert status == 503
+        assert body["error_kind"] == "rejected"
+
+
+# -- failover ---------------------------------------------------------------
+
+class TestFailover:
+    def test_spill_past_dead_replica(self, fleet3):
+        payload = _payload()
+        top = fleet3.core.candidates_for(payload)[0]
+        fleet3.replicas[top.slot].down = True
+        status, body = fleet3.core.submit(payload)
+        assert status == 202
+        assert body["replica"] != top.replica_id
+        assert fleet3.core.fleet_snapshot()["counters"]["spilled"] == 1
+        assert not top.routable  # one transport error marks it suspect
+
+    def test_all_shed_returns_429(self, fleet3):
+        for replica in fleet3.replicas:
+            replica.shed = True
+        status, body = fleet3.core.submit(_payload())
+        assert status == 429
+        assert body["retry_after"] == 1
+        assert fleet3.core.fleet_snapshot()["counters"]["shed"] == 1
+
+    def test_partial_shed_spills_sideways(self, fleet3):
+        payload = _payload()
+        top = fleet3.core.candidates_for(payload)[0]
+        fleet3.replicas[top.slot].shed = True
+        status, body = fleet3.core.submit(payload)
+        assert status == 202
+        assert body["replica"] != top.replica_id
+
+
+# -- lookup and reassignment ------------------------------------------------
+
+class TestLookupReassign:
+    def test_lookup_caches_terminal(self, fleet3):
+        _status, body = fleet3.core.submit(_payload())
+        job_id = body["job_id"]
+        status, job = fleet3.core.lookup(job_id)
+        assert (status, job["status"]) == (200, "completed")
+        # The owning replica forgets the job (restart): the router still
+        # serves the cached terminal outcome.
+        for replica in fleet3.replicas:
+            replica.jobs.clear()
+        status, job = fleet3.core.lookup(job_id)
+        assert (status, job["status"]) == (200, "completed")
+
+    def test_unknown_job_404(self, fleet3):
+        status, body = fleet3.core.lookup("no-such-job")
+        assert status == 404
+
+    def test_lookup_reassigns_lost_job(self, fleet3):
+        _status, body = fleet3.core.submit(_payload())
+        job_id = body["job_id"]
+        owner = next(i for i, r in enumerate(fleet3.replicas)
+                     if job_id in r.jobs)
+        fleet3.replicas[owner].jobs.clear()  # replica lost it (restart)
+        status, job = fleet3.core.lookup(job_id)
+        assert status == 200
+        assert job["reassigned"] is True
+        new_owner = next(i for i, r in enumerate(fleet3.replicas)
+                         if job_id in r.jobs)
+        assert new_owner != owner  # prefers a different slot
+
+    def test_reassign_from_moves_only_nonterminal(self, fleet3):
+        _s, settled = fleet3.core.submit(_payload(cores=101))
+        fleet3.core.lookup(settled["job_id"])  # settle it (terminal cached)
+        _s, live = fleet3.core.submit(_payload(cores=102))
+        owner = next(i for i, r in enumerate(fleet3.replicas)
+                     if live["job_id"] in r.jobs)
+        fleet3.replicas[owner].down = True
+        fleet3.endpoints[owner].mark_down()
+        moved = fleet3.core.reassign_from(owner)
+        assert moved == 1  # only the live job moves
+        assert any(live["job_id"] in r.jobs
+                   for i, r in enumerate(fleet3.replicas) if i != owner)
+        # The settled job was never resubmitted: it still exists only on
+        # its original replica.
+        settled_copies = sum(1 for r in fleet3.replicas
+                             if settled["job_id"] in r.jobs)
+        assert settled_copies == 1
+
+    def test_reassign_keeps_job_id(self, fleet3):
+        _s, body = fleet3.core.submit(_payload(cores=7))
+        job_id = body["job_id"]
+        owner = next(i for i, r in enumerate(fleet3.replicas)
+                     if job_id in r.jobs)
+        fleet3.replicas[owner].down = True
+        fleet3.endpoints[owner].mark_down()
+        assert fleet3.core.reassign_from(owner) == 1
+        new_owner = next(i for i, r in enumerate(fleet3.replicas)
+                         if job_id in r.jobs)
+        assert new_owner != owner
+        assert fleet3.replicas[new_owner].jobs[job_id]["params"][
+            "cores"] == 7
+        snap = fleet3.core.fleet_snapshot()
+        assert snap["counters"]["reassigned"] == 1
+
+
+# -- endpoint state machine --------------------------------------------------
+
+class TestReplicaEndpoint:
+    def test_probe_failure_threshold(self):
+        ep = ReplicaEndpoint(0, "r0")
+        ep.set_base_url("http://x")
+        ep.mark_healthy({})
+        assert ep.routable
+        assert ep.mark_probe_failed(threshold=3) is False
+        assert ep.routable  # one failure is not a transition
+        assert ep.mark_probe_failed(threshold=3) is False
+        assert ep.mark_probe_failed(threshold=3) is True  # crossed
+        assert not ep.routable
+        # Further failures are not a new transition.
+        assert ep.mark_probe_failed(threshold=3) is False
+
+    def test_mark_healthy_resets_failures(self):
+        ep = ReplicaEndpoint(0, "r0")
+        ep.set_base_url("http://x")
+        ep.mark_healthy({})
+        ep.mark_probe_failed(threshold=3)
+        ep.mark_probe_failed(threshold=3)
+        ep.mark_healthy({"est_wait_seconds": 1.5})
+        assert ep.mark_probe_failed(threshold=3) is False  # counter reset
+        assert ep.est_wait_seconds() == 1.5
+
+    def test_mark_down_reports_transition_once(self):
+        ep = ReplicaEndpoint(0, "r0")
+        ep.set_base_url("http://x")
+        ep.mark_healthy({})
+        assert ep.mark_down() is True
+        assert ep.mark_down() is False
+        assert ep.base_url is None
+
+    def test_garbage_telemetry_is_zero_wait(self):
+        ep = ReplicaEndpoint(0, "r0")
+        ep.set_base_url("http://x")
+        ep.mark_healthy({"est_wait_seconds": "not-a-number"})
+        assert ep.est_wait_seconds() == 0.0
+
+
+# -- request generator -------------------------------------------------------
+
+class TestReqGenEngine:
+    def test_seeded_determinism(self):
+        a = ReqGenEngine(seed=42, key_diversity=4)
+        b = ReqGenEngine(seed=42, key_diversity=4)
+        assert [a.next() for _ in range(20)] == [b.next() for _ in range(20)]
+
+    def test_key_diversity_bounds_pool(self):
+        engine = ReqGenEngine(seed=1, key_diversity=3)
+        seen = {json.dumps(engine.next(), sort_keys=True)
+                for _ in range(60)}
+        assert 1 <= len(seen) <= 3
+
+    def test_key_diversity_validated(self):
+        with pytest.raises(ValueError):
+            ReqGenEngine(key_diversity=0)
+
+    def test_payloads_are_independent_copies(self):
+        engine = ReqGenEngine(seed=1, key_diversity=1)
+        first = engine.next()
+        first["params"]["cores"] = 999  # caller mutates its copy
+        assert engine.next()["params"]["cores"] != 999
+
+    def test_record_then_replay_roundtrip(self, tmp_path):
+        sink = io.StringIO()
+        recorder = ReqGenEngine(seed=7, key_diversity=4, record_to=sink)
+        issued = [recorder.next() for _ in range(10)]
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(sink.getvalue())
+        replayer = ReqGenEngine.from_trace(str(trace))
+        assert [replayer.next() for _ in range(10)] == issued
+        assert replayer.next() is None  # replay streams exhaust
+
+
+# -- report math -------------------------------------------------------------
+
+class TestLoadReport:
+    def test_percentiles_interpolated(self):
+        report = LoadReport(mode="closed", duration_seconds=2.0,
+                            submitted=4, completed=4,
+                            latencies_ms=[40.0, 10.0, 30.0, 20.0])
+        doc = report.to_dict()
+        assert doc["latency_ms"]["p50"] == 25.0
+        assert doc["latency_ms"]["max"] == 40.0
+        assert doc["throughput_rps"] == 2.0
+
+    def test_shed_rate_and_empty_latency(self):
+        report = LoadReport(mode="open", duration_seconds=1.0,
+                            submitted=10, completed=0, shed=4, failed=6)
+        doc = report.to_dict()
+        assert doc["shed_rate"] == 0.4
+        assert doc["latency_ms"]["p99"] == 0.0
+
+    def test_zero_submitted(self):
+        doc = LoadReport(mode="closed", duration_seconds=0.0).to_dict()
+        assert doc["shed_rate"] == 0.0
+        assert doc["throughput_rps"] == 0.0
+
+
+# -- bench schema ------------------------------------------------------------
+
+def _bench_doc():
+    block = LoadReport(mode="closed", duration_seconds=1.0,
+                       submitted=1, completed=1,
+                       latencies_ms=[5.0]).to_dict()
+    return {
+        "schema": BENCH_SCHEMA,
+        "single": dict(block),
+        "fleet": dict(block),
+        "overload": {"offered_rate_rps": 4.0, "report": dict(block)},
+        "recovery": {"kill_to_routable_seconds": 0.5, "recovered": True},
+        "gates": {"zero_failed": True},
+    }
+
+
+class TestBenchSchema:
+    def test_valid_doc_passes(self):
+        assert validate_report(_bench_doc()) is None
+
+    @pytest.mark.parametrize("mutate, fragment", [
+        (lambda d: d.update(schema=99), "schema"),
+        (lambda d: d.pop("fleet"), "fleet"),
+        (lambda d: d["single"].pop("throughput_rps"), "throughput_rps"),
+        (lambda d: d["overload"].pop("offered_rate_rps"), "overload"),
+        (lambda d: d.pop("recovery"), "recovery"),
+        (lambda d: d.pop("gates"), "gates"),
+    ])
+    def test_broken_docs_name_the_problem(self, mutate, fragment):
+        doc = _bench_doc()
+        mutate(doc)
+        problem = validate_report(doc)
+        assert problem is not None
+        assert fragment in problem
+
+
+# -- live two-replica integration --------------------------------------------
+
+class TestLiveFleet:
+    def test_fleet_end_to_end(self, tmp_path):
+        """Boot a real 2-replica fleet, push a small closed-loop workload
+        through the router, and check the fleet snapshot accounting."""
+        from repro.service.fleet import Fleet, FleetConfig
+        from repro.service.loadgen import Workload
+
+        config = FleetConfig(
+            replicas=2, workers=1, queue_capacity=8, job_timeout=30.0,
+            isolation="thread", health_interval=0.2, restart_base=0.1,
+            boot_timeout=60.0, shared_cache_dir=str(tmp_path / "shared"),
+        )
+        with Fleet(config) as fleet:
+            assert fleet.wait_routable(2, timeout=60.0)
+            engine = ReqGenEngine(seed=99, key_diversity=4, scale="tiny")
+            workload = Workload(fleet.router_url, engine, job_deadline=30.0)
+            report = workload.run_closed(clients=2, max_requests=6)
+            doc = report.to_dict()
+            assert doc["completed"] == 6
+            assert doc["failed"] == 0 and doc["lost"] == 0
+            snap = fleet.snapshot()
+            assert snap["routable"] == 2
+            assert snap["jobs_tracked"] >= 6
+            assert snap["counters"]["routed"] >= 6

@@ -59,10 +59,11 @@ def test_all_exports_resolve():
 
 def test_no_print_in_library_code():
     """The library proper is silent; printing belongs to the CLI, the
-    validation report helpers, the service front ends (serve_forever and
-    the chaos harness are command-line entry points), and the
-    bench/example layers."""
-    allowed = {"cli.py", "report.py", "server.py", "chaos.py"}
+    validation report helpers, the service front ends (serve/fleet,
+    the chaos harness, the load generator, and the serve benchmark are
+    command-line entry points), and the bench/example layers."""
+    allowed = {"cli.py", "report.py", "server.py", "chaos.py",
+               "fleet.py", "loadgen.py", "bench.py"}
     offenders = []
     for module_path in SRC.rglob("*.py"):
         if module_path.name in allowed:

@@ -317,6 +317,38 @@ class TestGmapService:
             service.submit(_sim_payload())
         assert excinfo.value.http_status == 503
 
+    def test_readyz_carries_load_telemetry(self, service):
+        """The /readyz body is the fleet router's ranking input: it must
+        expose queue depth, capacity, workers, and the duration EWMA."""
+        ready = service.readyz()
+        assert ready["ready"] is True
+        assert ready["replica_id"] == "r0"
+        assert ready["draining"] is False
+        assert ready["queue_depth"] == 0
+        assert ready["queue_capacity"] == 8
+        assert ready["workers"] == 1
+        assert ready["avg_job_seconds"] >= 0.0
+        assert ready["est_wait_seconds"] >= 0.0
+
+    def test_readyz_est_wait_prices_the_backlog(self, service):
+        accepted = service.submit(_sim_payload())
+        _wait_terminal(service, accepted["job_id"])
+        for _ in range(10):
+            service.queue.note_job_seconds(2.0)
+        ready = service.readyz()
+        assert ready["avg_job_seconds"] > 0.0
+        # The snapshot must be internally consistent: est_wait is the
+        # backlog priced at the EWMA spread across the workers.
+        expected = (ready["queue_depth"] * ready["avg_job_seconds"]
+                    / ready["workers"])
+        assert ready["est_wait_seconds"] == pytest.approx(expected)
+
+    def test_readyz_false_while_draining(self, service):
+        service.drain()
+        ready = service.readyz()
+        assert ready["ready"] is False
+        assert ready["draining"] is True
+
 
 class TestDrainResume:
     def test_checkpointed_jobs_resume_under_original_ids(self, tmp_path):
