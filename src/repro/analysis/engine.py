@@ -6,15 +6,20 @@ One parse per file: the engine resolves import aliases (so rules can match
 the rules registered for its type (:mod:`repro.analysis.rules`).
 
 Suppressions are line-scoped: a ``# gmap: allow(rule-a, rule-b)`` comment
-silences those rules on its own line and on the line directly below it
-(comment-above style).  Everything else is reported — ``gmap check`` exits
-nonzero on any finding.
+silences those rules on its own line, on the line directly below it
+(comment-above style), and — when it sits inside a multi-line simple
+statement — across that statement's whole span.  An allow() naming a rule
+id that does not exist is itself reported (``unknown-suppression``), so
+typos cannot rot silently.  Everything else is reported — ``gmap check``
+exits nonzero on any finding.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
@@ -124,20 +129,119 @@ def _collect_imports(tree: ast.AST, ctx: LintContext) -> None:
                 )
 
 
-def _collect_suppressions(text: str) -> Dict[int, Set[str]]:
-    """Map of 1-based line numbers to the rule ids silenced there."""
-    suppressed: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+#: Compound statements whose (huge) spans must not widen a suppression —
+#: an allow comment inside a function body silences a line, not the body.
+_COMPOUND_STMTS = (
+    ast.FunctionDef,
+    ast.AsyncFunctionDef,
+    ast.ClassDef,
+    ast.If,
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.With,
+    ast.AsyncWith,
+    ast.Try,
+)
+
+
+def _comment_text(text: str) -> Dict[int, str]:
+    """Real ``#`` comments keyed by line, via the tokenizer.
+
+    Scanning raw lines would also match ``gmap: allow(...)`` examples that
+    live inside docstrings and string-literal fixtures; tokenizing keeps
+    those inert.  On tokenizer failure (the file already has a syntax
+    error) fall back to whole-line matching — over-matching in a file that
+    is failing anyway beats silently dropping suppressions.
+    """
+    try:
+        return {
+            tok.start[0]: tok.string
+            for tok in tokenize.generate_tokens(io.StringIO(text).readline)
+            if tok.type == tokenize.COMMENT
+        }
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        return dict(enumerate(text.splitlines(), start=1))
+
+
+def _raw_suppressions(text: str) -> Dict[int, Set[str]]:
+    """Rule ids named by ``# gmap: allow(...)``, keyed by comment line."""
+    raw: Dict[int, Set[str]] = {}
+    for lineno, comment in _comment_text(text).items():
+        match = _SUPPRESS_RE.search(comment)
         if not match:
             continue
         rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
-        if not rules:
-            continue
-        # The comment's own line, and the line below for comment-above style.
+        if rules:
+            raw.setdefault(lineno, set()).update(rules)
+    return raw
+
+
+def collect_suppressions(
+    text: str, tree: Optional[ast.AST] = None
+) -> Dict[int, Set[str]]:
+    """Map of 1-based line numbers to the rule ids silenced there.
+
+    An allow comment covers its own line and the line directly below
+    (comment-above style).  When the comment sits on any line of a
+    multi-line *simple* statement — a call argument line, the closing
+    paren — the whole statement span is covered, so findings anchored to
+    the statement's first line are still suppressed.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, rules in _raw_suppressions(text).items():
         suppressed.setdefault(lineno, set()).update(rules)
         suppressed.setdefault(lineno + 1, set()).update(rules)
+    if tree is None:
+        try:
+            tree = ast.parse(text)
+        except SyntaxError:
+            return suppressed
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt) or isinstance(node, _COMPOUND_STMTS):
+            continue
+        end = getattr(node, "end_lineno", None) or node.lineno
+        if end == node.lineno:
+            continue
+        span_rules: Set[str] = set()
+        for line in range(node.lineno, end + 1):
+            span_rules |= suppressed.get(line, set())
+        if span_rules:
+            for line in range(node.lineno, end + 1):
+                suppressed.setdefault(line, set()).update(span_rules)
     return suppressed
+
+
+def _known_rule_ids() -> Set[str]:
+    """Every id an allow() comment may legitimately reference."""
+    from repro.analysis.concurrency import CONCURRENCY_RULE_IDS
+    from repro.analysis.rules import rule_ids
+
+    return set(rule_ids()) | set(CONCURRENCY_RULE_IDS) | {"syntax-error"}
+
+
+def _unknown_suppression_findings(
+    text: str, display: str, suppressed_map: Dict[int, Set[str]]
+) -> List[Finding]:
+    """A typo in an allow() list silently un-suppresses nothing — flag it."""
+    known = _known_rule_ids()
+    findings: List[Finding] = []
+    for lineno, rules in sorted(_raw_suppressions(text).items()):
+        for rule in sorted(rules - known):
+            if "unknown-suppression" in suppressed_map.get(lineno, set()):
+                continue
+            findings.append(
+                Finding(
+                    rule="unknown-suppression",
+                    path=display,
+                    line=lineno,
+                    message=(
+                        f"allow() references unknown rule {rule!r}; "
+                        f"fix the typo or drop it"
+                    ),
+                )
+            )
+    return findings
 
 
 def lint_source(
@@ -167,14 +271,16 @@ def lint_source(
         ]
     ctx = LintContext(rel_path=rel_path, config=config)
     _collect_imports(tree, ctx)
-    suppressed = _collect_suppressions(text)
+    suppressed = collect_suppressions(text, tree)
 
     dispatch: Dict[type, List["Rule"]] = {}
     for rule in get_rules():
         for node_type in rule.node_types:
             dispatch.setdefault(node_type, []).append(rule)
 
-    findings: List[Finding] = []
+    findings: List[Finding] = list(
+        _unknown_suppression_findings(text, display, suppressed)
+    )
     for node in ast.walk(tree):
         for rule in dispatch.get(type(node), []):
             for line, column, message in rule.check(node, ctx):

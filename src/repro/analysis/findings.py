@@ -46,11 +46,13 @@ def format_findings(findings: Sequence[Finding]) -> str:
     if not findings:
         return "gmap check: no findings"
     lines: List[str] = [finding.format() for finding in findings]
-    lint = sum(1 for f in findings if f.source == "lint")
-    verify = len(findings) - lint
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.source] = counts.get(finding.source, 0) + 1
+    breakdown = ", ".join(
+        f"{counts[source]} {source}" for source in sorted(counts))
     lines.append(
-        f"gmap check: {len(findings)} finding(s) "
-        f"({lint} lint, {verify} verify)"
+        f"gmap check: {len(findings)} finding(s) ({breakdown})"
     )
     return "\n".join(lines)
 

@@ -1,0 +1,88 @@
+"""SARIF 2.1.0 output for ``gmap check --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the payload GitHub
+code scanning ingests: uploading one run file annotates the PR diff with
+every finding in place.  The mapping is deliberately minimal — one ``run``
+for the ``gmap-check`` tool, one ``result`` per finding, one rule metadata
+entry per distinct rule id — plus a stable ``partialFingerprints`` hash so
+GitHub can track a finding across commits even as line numbers shift.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.analysis.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: ``source`` -> SARIF level.  Everything gmap check reports is a gate
+#: failure, so all sources map to "error"; the table exists so a future
+#: advisory pass can downgrade itself without touching the emitter.
+_LEVELS = {"lint": "error", "verify": "error", "concurrency": "error"}
+
+
+def _fingerprint(finding: Finding) -> str:
+    """Line-independent identity: rule + path + message survive reflows."""
+    blob = f"{finding.rule}|{finding.path}|{finding.message}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:32]
+
+
+def _rule_metadata(findings: Sequence[Finding]) -> List[Dict[str, Any]]:
+    rules: Dict[str, Dict[str, Any]] = {}
+    for finding in findings:
+        rules.setdefault(finding.rule, {
+            "id": finding.rule,
+            "properties": {"source": finding.source},
+        })
+    return [rules[rule_id] for rule_id in sorted(rules)]
+
+
+def _result(finding: Finding) -> Dict[str, Any]:
+    location: Dict[str, Any] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.path},
+        }
+    }
+    if finding.line > 0:
+        region: Dict[str, Any] = {"startLine": finding.line}
+        if finding.column:
+            region["startColumn"] = finding.column + 1
+        location["physicalLocation"]["region"] = region
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.source, "error"),
+        "message": {"text": finding.message},
+        "locations": [location],
+        "partialFingerprints": {
+            "gmapFindingKey/v1": _fingerprint(finding),
+        },
+    }
+
+
+def findings_to_sarif(findings: Sequence[Finding]) -> str:
+    """Serialise findings as a single-run SARIF 2.1.0 log."""
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "gmap-check",
+                        "informationUri":
+                            "https://github.com/gmap-repro/gmap",
+                        "rules": _rule_metadata(findings),
+                    }
+                },
+                "results": [_result(finding) for finding in findings],
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

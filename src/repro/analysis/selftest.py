@@ -73,6 +73,10 @@ LINT_FIXTURES: Dict[str, Tuple[str, str]] = {
         "core/fixture.py",
         "def broken(:\n",
     ),
+    "unknown-suppression": (
+        "core/fixture.py",
+        "x = 1  # gmap: allow(no-such-rule)\n",
+    ),
     "service-backoff": (
         "service/fixture.py",
         "import time\n"
@@ -119,6 +123,274 @@ CLEAN_BACKOFF_FIXTURE: Tuple[str, str] = (
     "            return False\n"
     "    return True\n",
 )
+
+
+#: concurrency rule id (optionally ``:variant``) -> a tiny multi-file
+#: project (``{rel posix path: source}``) the rule must flag.  Several are
+#: deliberately *interprocedural* — the hazard only exists across a call
+#: or module boundary, which is exactly what the PR 3 single-node rules
+#: could not see.
+CONCURRENCY_BAD_FIXTURES: Dict[str, Dict[str, str]] = {
+    "lock-discipline": {
+        "app/work.py":
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def unsafe():\n"
+            "    _lock.acquire()\n"
+            "    step()\n"
+            "    _lock.release()\n"
+            "def step():\n"
+            "    pass\n",
+    },
+    "lock-discipline:flock": {
+        "app/locking.py":
+            "import fcntl\n"
+            "def grab(fd):\n"
+            "    fcntl.flock(fd, fcntl.LOCK_EX)\n"
+            "    return fd\n",
+    },
+    "blocking-under-lock": {
+        "app/server.py":
+            "import threading\n"
+            "from app.util import backoff\n"
+            "_lock = threading.Lock()\n"
+            "def handler():\n"
+            "    with _lock:\n"
+            "        backoff()\n",
+        "app/util.py":
+            "import time\n"
+            "def backoff():\n"
+            "    time.sleep(1.0)\n",
+    },
+    "lock-order": {
+        "app/ab.py":
+            "import threading\n"
+            "lock_a = threading.Lock()\n"
+            "lock_b = threading.Lock()\n"
+            "def one():\n"
+            "    with lock_a:\n"
+            "        with lock_b:\n"
+            "            pass\n"
+            "def two():\n"
+            "    with lock_b:\n"
+            "        with lock_a:\n"
+            "            pass\n",
+    },
+    "lock-order:transitive": {
+        "app/locks.py":
+            "import threading\n"
+            "lock_a = threading.Lock()\n"
+            "lock_b = threading.Lock()\n",
+        "app/one.py":
+            "from app.locks import lock_a\n"
+            "from app.two import take_b\n"
+            "def one():\n"
+            "    with lock_a:\n"
+            "        take_b()\n",
+        "app/two.py":
+            "from app.locks import lock_a, lock_b\n"
+            "def take_b():\n"
+            "    with lock_b:\n"
+            "        pass\n"
+            "def two():\n"
+            "    with lock_b:\n"
+            "        with lock_a:\n"
+            "            pass\n",
+    },
+    "fork-safety": {
+        "app/forker.py":
+            "import os\n"
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def spawn():\n"
+            "    with _lock:\n"
+            "        return os.fork()\n",
+    },
+    "fork-safety:threads": {
+        "app/mixed.py":
+            "import os\n"
+            "import threading\n"
+            "def monitor():\n"
+            "    threading.Thread(target=work).start()\n"
+            "def work():\n"
+            "    pass\n"
+            "def spawn_worker():\n"
+            "    return os.fork()\n",
+    },
+    "signal-safety": {
+        "app/sig.py":
+            "import signal\n"
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def handler(signum, frame):\n"
+            "    with _lock:\n"
+            "        pass\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGTERM, handler)\n",
+    },
+    "signal-safety:blocking": {
+        "app/sig.py":
+            "import signal\n"
+            "from app.util import backoff\n"
+            "def handler(signum, frame):\n"
+            "    backoff()\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGTERM, handler)\n",
+        "app/util.py":
+            "import time\n"
+            "def backoff():\n"
+            "    time.sleep(1.0)\n",
+    },
+    "shared-state-race": {
+        "app/stats.py":
+            "import threading\n"
+            "class Stats:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._counts = {}\n"
+            "    def guarded(self, key):\n"
+            "        with self._lock:\n"
+            "            self._counts[key] += 1\n"
+            "    def unguarded(self, key):\n"
+            "        self._counts[key] += 1\n",
+    },
+    "shared-state-race:thread-reachable": {
+        "app/worker.py":
+            "import threading\n"
+            "class Worker:\n"
+            "    def __init__(self):\n"
+            "        self._done = 0\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self._loop).start()\n"
+            "    def _loop(self):\n"
+            "        self._done += 1\n",
+    },
+    "shared-state-race:module-global": {
+        "app/registry.py":
+            "import threading\n"
+            "_counts = {}\n"
+            "def start():\n"
+            "    threading.Thread(target=worker).start()\n"
+            "def worker():\n"
+            "    _counts['n'] = 1\n",
+    },
+}
+
+#: concurrency rule id -> a project using the *sanctioned* pattern the
+#: rule must stay silent on; a false positive here would block the whole
+#: service layer.
+CONCURRENCY_GOOD_FIXTURES: Dict[str, Dict[str, str]] = {
+    "lock-discipline": {
+        "app/work.py":
+            "import threading\n"
+            "_lock = threading.Lock()\n"
+            "def safe_with():\n"
+            "    with _lock:\n"
+            "        pass\n"
+            "def safe_finally():\n"
+            "    _lock.acquire()\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        _lock.release()\n",
+    },
+    "blocking-under-lock": {
+        "app/queue.py":
+            "import threading\n"
+            "import time\n"
+            "class Q:\n"
+            "    def __init__(self):\n"
+            "        self._cond = threading.Condition()\n"
+            "        self._items = []\n"
+            "    def get(self):\n"
+            "        with self._cond:\n"
+            "            while not self._items:\n"
+            "                self._cond.wait(0.1)\n"
+            "            return self._items.pop()\n"
+            "def outside():\n"
+            "    time.sleep(0.1)\n",
+    },
+    "lock-order": {
+        "app/ab.py":
+            "import threading\n"
+            "lock_a = threading.Lock()\n"
+            "lock_b = threading.Lock()\n"
+            "def one():\n"
+            "    with lock_a:\n"
+            "        with lock_b:\n"
+            "            pass\n"
+            "def two():\n"
+            "    with lock_a:\n"
+            "        with lock_b:\n"
+            "            pass\n",
+    },
+    "fork-safety": {
+        "app/forker.py":
+            "import os\n"
+            "def spawn():\n"
+            "    return os.fork()\n",
+    },
+    "signal-safety": {
+        "app/sig.py":
+            "import signal\n"
+            "import threading\n"
+            "_stop = threading.Event()\n"
+            "def handler(signum, frame):\n"
+            "    _stop.set()\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGTERM, handler)\n",
+    },
+    "shared-state-race": {
+        "app/stats.py":
+            "import threading\n"
+            "class Stats:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._counts = {}\n"
+            "    def add(self, key):\n"
+            "        with self._lock:\n"
+            "            self._counts[key] += 1\n"
+            "    def start(self):\n"
+            "        threading.Thread(target=self._loop).start()\n"
+            "    def _loop(self):\n"
+            "        with self._lock:\n"
+            "            self._counts['beat'] = 1\n",
+    },
+}
+
+
+def _concurrency_lines() -> Tuple[bool, List[str]]:
+    """Exercise every concurrency rule on bad *and* good projects."""
+    from repro.analysis.concurrency import (
+        CONCURRENCY_RULE_IDS,
+        analyze_sources,
+    )
+
+    lines: List[str] = []
+    ok = True
+    for key, sources in sorted(CONCURRENCY_BAD_FIXTURES.items()):
+        rule = key.split(":", 1)[0]
+        fired = any(c.finding.rule == rule for c in analyze_sources(sources))
+        ok &= fired
+        lines.append(f"conc  {key:<24} {'OK' if fired else 'MISSING'}")
+    for rule, sources in sorted(CONCURRENCY_GOOD_FIXTURES.items()):
+        clean = not any(
+            c.finding.rule == rule for c in analyze_sources(sources))
+        ok &= clean
+        lines.append(
+            f"conc  {rule + ':clean':<24} "
+            f"{'OK' if clean else 'FALSE POSITIVE'}"
+        )
+    bad_rules = {key.split(":", 1)[0] for key in CONCURRENCY_BAD_FIXTURES}
+    good_rules = {key.split(":", 1)[0] for key in CONCURRENCY_GOOD_FIXTURES}
+    for rule in CONCURRENCY_RULE_IDS:
+        if rule not in bad_rules:
+            ok = False
+            lines.append(f"conc  {rule:<24} NO BAD FIXTURE")
+        if rule not in good_rules:
+            ok = False
+            lines.append(f"conc  {rule:<24} NO GOOD FIXTURE")
+    return ok, lines
 
 
 def _minimal_profile() -> Dict[str, Any]:
@@ -398,6 +670,10 @@ def run_self_test() -> Tuple[bool, List[str]]:
     for rule in sorted(untested):
         ok = False
         lines.append(f"lint  {rule:<24} NO FIXTURE")
+
+    conc_ok, conc_lines = _concurrency_lines()
+    ok &= conc_ok
+    lines.extend(conc_lines)
 
     for rule, payload in sorted(_verify_fixtures().items()):
         findings = verify_profile_payload(payload, origin="<selftest>")

@@ -167,8 +167,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         "trace containers to verify (default: the repro "
                         "package sources and the bundled experiment "
                         "configurations)")
-    p.add_argument("--format", choices=("text", "json"), default="text",
-                   help="finding output format (default: text)")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text",
+                   help="finding output format (default: text); sarif "
+                        "emits a SARIF 2.1.0 log for code-scanning upload")
     p.add_argument("--self-test", action="store_true",
                    help="run every rule against bundled known-bad fixtures "
                         "and exit (fast CI sanity gate)")
@@ -176,6 +178,22 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="skip the artifact verifier pass")
     p.add_argument("--verify-only", action="store_true",
                    help="skip the determinism linter pass")
+    p.add_argument("--concurrency", action="store_true",
+                   help="also run the interprocedural concurrency rules "
+                        "(lock discipline, blocking-under-lock, lock order, "
+                        "fork/signal safety, shared-state races)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="concurrency baseline file of accepted findings "
+                        "(default: the checked-in package baseline when "
+                        "scanning the default scope)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report every concurrency finding, ignoring any "
+                        "baseline")
+    p.add_argument("--write-baseline", default=None, metavar="PATH",
+                   nargs="?", const="", dest="write_baseline",
+                   help="accept the current concurrency findings: write "
+                        "them as the new baseline (default: the active "
+                        "baseline path) and exit 0")
 
     p = sub.add_parser(
         "serve",
@@ -534,6 +552,42 @@ def _cmd_check(args) -> int:
         if default_scope:
             lint_targets = [Path(repro.__file__).parent]
         findings.extend(lint_paths(lint_targets))
+    stale_keys: list = []
+    if args.concurrency:
+        from repro.analysis.concurrency import (
+            analyze_paths,
+            apply_baseline,
+            default_baseline_path,
+            load_baseline,
+            write_baseline,
+        )
+
+        conc_targets = (lint_targets if lint_targets
+                        else [Path(repro.__file__).parent])
+        conc = analyze_paths(conc_targets)
+        baseline_path = None
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        elif default_scope and not args.no_baseline:
+            baseline_path = default_baseline_path()
+        baseline = {}
+        if (baseline_path is not None and not args.no_baseline
+                and baseline_path.is_file()):
+            baseline = load_baseline(baseline_path)
+        if args.write_baseline is not None:
+            target = (Path(args.write_baseline) if args.write_baseline
+                      else baseline_path)
+            if target is None:
+                print("check: --write-baseline needs a path outside the "
+                      "default scope", file=sys.stderr)
+                return 2
+            write_baseline(conc, target, previous=baseline)
+            print(f"check: wrote {len(conc)} accepted concurrency "
+                  f"finding(s) to {target}")
+            return 0
+        result = apply_baseline(conc, baseline)
+        findings.extend(result.new)
+        stale_keys = result.stale_keys
     if not args.lint_only:
         for artifact in artifact_targets:
             findings.extend(verify_profile_file(artifact))
@@ -553,8 +607,17 @@ def _cmd_check(args) -> int:
 
     if args.format == "json":
         print(findings_to_json(findings))
+    elif args.format == "sarif":
+        from repro.analysis.sarif import findings_to_sarif
+
+        print(findings_to_sarif(findings))
     else:
         print(format_findings(findings))
+    for key in stale_keys:
+        # Stale entries never fail the scan — they are the expire half of
+        # the baseline lifecycle; regenerate with --write-baseline to drop.
+        print(f"check: stale baseline entry (no longer found): {key}",
+              file=sys.stderr)
     return 1 if findings else 0
 
 

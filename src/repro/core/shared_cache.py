@@ -43,6 +43,7 @@ import os
 import tempfile
 import threading
 import time
+import zlib
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
 
@@ -137,7 +138,10 @@ class SharedResultCache:
 
         A present-but-poisoned entry (checksum mismatch, truncation,
         malformed JSON) is quarantined and reported as a miss — the caller
-        rebuilds; the poison is never served.
+        rebuilds; the poison is never served.  A *transient* read failure
+        (fd exhaustion, permissions, a flaky network filesystem) is only a
+        miss: quarantining on those would destroy valid shared entries
+        every time the box came under pressure.
         """
         path = self.entry_path(key)
         try:
@@ -145,8 +149,12 @@ class SharedResultCache:
                 payload = json.load(fh)
         except FileNotFoundError:
             return None
-        except Exception:
+        except (gzip.BadGzipFile, EOFError, ValueError, zlib.error):
+            # Unreadable *content*: truncated/garbled gzip, bad JSON (and
+            # UnicodeDecodeError, a ValueError subclass).
             self._poisoned(path)
+            return None
+        except OSError:
             return None
         if (not isinstance(payload, dict)
                 or payload.get("schema") != SHARED_CACHE_SCHEMA

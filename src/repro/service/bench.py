@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.service.backoff import poll_until
 from repro.service.fleet import Fleet, FleetConfig
@@ -214,7 +214,7 @@ def run_bench(
     return 0 if doc["ok"] else 1
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point for ``gmap bench-serve`` / ``scripts/bench_serve.py``."""
     import argparse
 

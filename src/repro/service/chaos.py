@@ -30,7 +30,10 @@ import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.service.fleet import FleetConfig
 
 from repro.service.backoff import poll_until
 from repro.service.config import ServiceConfig
@@ -140,7 +143,7 @@ def _sim_job(fault: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
     return job
 
 
-def _config(tmp: Path, **overrides) -> ServiceConfig:
+def _config(tmp: Path, **overrides: Any) -> ServiceConfig:
     defaults = dict(
         workers=2, queue_capacity=16, job_timeout=30.0, retries=1,
         restart_backoff=0.05, drain_timeout=3.0,
@@ -406,7 +409,7 @@ def scenario_drain_resume(tmp: Path, rng: random.Random,
 
 # -- fleet scenarios --------------------------------------------------------
 
-def _fleet_config(smoke: bool, **overrides):
+def _fleet_config(smoke: bool, **overrides: Any) -> "FleetConfig":
     from repro.service.fleet import FleetConfig
 
     defaults = dict(

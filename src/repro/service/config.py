@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, fields
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 #: Environment variables understood by :func:`ServiceConfig.from_env`.
 ENV_PREFIX = "GMAP_SERVE_"
@@ -86,7 +86,7 @@ class ServiceConfig:
                 f"got {self.isolation!r}")
 
     @classmethod
-    def from_env(cls, **overrides) -> "ServiceConfig":
+    def from_env(cls, **overrides: Any) -> "ServiceConfig":
         """Build a config from ``GMAP_SERVE_*`` variables plus overrides.
 
         Only fields not named in ``overrides`` (or named with value None)

@@ -103,7 +103,7 @@ class ReplicaProcess:
         self.slot = slot
         self._config = config
         self._shared_cache_dir = shared_cache_dir
-        self._proc: Optional[subprocess.Popen] = None
+        self._proc: Optional[subprocess.Popen[str]] = None
         self._reader: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._base_url: Optional[str] = None
@@ -273,7 +273,7 @@ class Fleet:
         self.start()
         return self
 
-    def __exit__(self, *_exc) -> None:
+    def __exit__(self, *_exc: object) -> None:
         self.stop()
 
     # -- chaos hooks ---------------------------------------------------------
@@ -385,7 +385,7 @@ def serve_fleet(config: FleetConfig, ready_line: bool = True) -> int:
     fleet = Fleet(config)
     stop = threading.Event()
 
-    def _on_signal(_signum, _frame) -> None:
+    def _on_signal(_signum: int, _frame: object) -> None:
         stop.set()
 
     signal.signal(signal.SIGTERM, _on_signal)

@@ -22,7 +22,10 @@ is disposable, so the environment mutation cannot leak into sibling jobs.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from repro.core.profile import GmapProfile
 
 from repro.core.backend import run_with_fallback
 from repro.core.integrity import CorruptArtifactError, integrity_events
@@ -37,7 +40,7 @@ from repro.validation.resilience import (
 _REBUILD_EVENT_KINDS = ("quarantine", "cache_rebuild")
 
 
-def _cache_stats_dict(stats) -> Dict[str, Any]:
+def _cache_stats_dict(stats: Any) -> Dict[str, Any]:
     return {
         "accesses": stats.accesses,
         "misses": stats.misses,
@@ -45,7 +48,7 @@ def _cache_stats_dict(stats) -> Dict[str, Any]:
     }
 
 
-def _sim_result_dict(result) -> Dict[str, Any]:
+def _sim_result_dict(result: Any) -> Dict[str, Any]:
     return {
         "requests_issued": result.requests_issued,
         "cycles": result.cycles,
@@ -60,7 +63,7 @@ def _sim_result_dict(result) -> Dict[str, Any]:
     }
 
 
-def _load_profile_param(params: Dict[str, Any]):
+def _load_profile_param(params: Dict[str, Any]) -> "GmapProfile":
     """An inline profile dict, or one loaded from ``profile_path``."""
     from repro.core.profile import GmapProfile
 

@@ -96,7 +96,7 @@ class ReqGenEngine:
             })
 
     @classmethod
-    def from_trace(cls, path: str, **kwargs) -> "ReqGenEngine":
+    def from_trace(cls, path: str, **kwargs: Any) -> "ReqGenEngine":
         with open(path, "r", encoding="utf-8") as fh:
             replay = [json.loads(line) for line in fh if line.strip()]
         return cls(replay=replay, **kwargs)

@@ -258,7 +258,8 @@ class RouterCore:
                 status, body = http_json("POST", f"{base}/jobs", payload)
             except OSError:
                 endpoint.mark_probe_failed(threshold=1)
-                self._counters["spilled"] += 1
+                with self._jobs_lock:
+                    self._counters["spilled"] += 1
                 continue
             if status == 202:
                 with self._jobs_lock:
@@ -268,7 +269,7 @@ class RouterCore:
                             payload, endpoint.slot)
                     else:  # reassignment path keeps the original payload
                         record.slot = endpoint.slot
-                self._counters["routed"] += 1
+                    self._counters["routed"] += 1
                 body.setdefault("job_id", job_id)
                 body["replica"] = endpoint.replica_id
                 return 202, body
@@ -276,7 +277,8 @@ class RouterCore:
                 # At capacity — a *healthy* refusal; spill sideways and
                 # keep the largest Retry-After if everyone sheds.
                 shed_response = (status, body)
-                self._counters["spilled"] += 1
+                with self._jobs_lock:
+                    self._counters["spilled"] += 1
                 continue
             # Typed refusal (400 invalid, 503 draining...): authoritative.
             if status == 503:
@@ -285,7 +287,8 @@ class RouterCore:
             body.setdefault("job_id", job_id)
             return status, body
         if shed_response is not None:
-            self._counters["shed"] += 1
+            with self._jobs_lock:
+                self._counters["shed"] += 1
             status, body = shed_response
             body.setdefault("job_id", job_id)
             return status, body
@@ -336,8 +339,9 @@ class RouterCore:
             return False
         status, _body = self._place(job_id, record.payload, candidates)
         if status == 202:
-            record.reassignments += 1
-            self._counters["reassigned"] += 1
+            with self._jobs_lock:
+                record.reassignments += 1
+                self._counters["reassigned"] += 1
             return True
         return False
 
@@ -380,7 +384,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
     server: "RouterHTTPServer"
     protocol_version = "HTTP/1.1"
 
-    def log_message(self, *_args) -> None:  # quiet by default
+    def log_message(self, *_args: Any) -> None:  # quiet by default
         pass
 
     def _send_json(self, status: int, payload: Dict[str, Any]) -> None:

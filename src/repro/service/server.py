@@ -142,7 +142,8 @@ class GmapService:
                             status=STATUS_CHECKPOINTED)
                     continue
                 resumed += 1
-                self._counters["resumed"] += 1
+                with self._jobs_lock:
+                    self._counters["resumed"] += 1
         return resumed
 
     def submit(self, payload: Any) -> Dict[str, Any]:
@@ -171,9 +172,10 @@ class GmapService:
             with self._jobs_lock:
                 self._jobs.pop(job_id, None)
                 self._requests.pop(job_id, None)
-            self._counters["shed"] += 1
+                self._counters["shed"] += 1
             raise
-        self._counters["submitted"] += 1
+        with self._jobs_lock:
+            self._counters["submitted"] += 1
         return {"job_id": job_id, "status": STATUS_QUEUED, "seq": seq}
 
     def job_status(self, job_id: str) -> Optional[Dict[str, Any]]:
@@ -299,7 +301,7 @@ class _ServeHandler(BaseHTTPRequestHandler):
     def service(self) -> GmapService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def log_message(self, fmt: str, *args) -> None:
+    def log_message(self, fmt: str, *args: Any) -> None:
         pass  # quiet by default; operators use /healthz and /stats
 
     # -- helpers ------------------------------------------------------------
@@ -412,7 +414,7 @@ def serve_forever(config: ServiceConfig,
     httpd = ServeHTTPServer(service)
     host, port = httpd.server_address[:2]
 
-    def _drain_signal(_signum, _frame) -> None:
+    def _drain_signal(_signum: int, _frame: object) -> None:
         threading.Thread(target=_drain_and_shutdown, daemon=True).start()
 
     def _drain_and_shutdown() -> None:

@@ -26,6 +26,8 @@ import multiprocessing
 import threading
 import time
 import traceback
+from multiprocessing.connection import Connection
+from multiprocessing.process import BaseProcess
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.service.backoff import sleep_backoff
@@ -46,7 +48,7 @@ from repro.validation.resilience import (
 )
 
 
-def _worker_main(conn, request: Dict[str, Any],
+def _worker_main(conn: Connection, request: Dict[str, Any],
                  effective_backend: Optional[str],
                  shared_cache_dir: Optional[str] = None) -> None:
     """Worker process entry point: run the job, ship the outcome dict."""
@@ -121,7 +123,14 @@ class Supervisor:
     @property
     def worker_restarts(self) -> int:
         """Total worker processes restarted after a crash/timeout."""
-        return self._restarts
+        with self._running_lock:
+            return self._restarts
+
+    def _note_restart(self) -> None:
+        # Read-modify-write shared across every slot thread; under load two
+        # slots retrying together would otherwise lose increments.
+        with self._running_lock:
+            self._restarts += 1
 
     # -- slot loop ----------------------------------------------------------
 
@@ -167,7 +176,7 @@ class Supervisor:
             self._policy.observe_job_failure(backend, stage=stage)
             last = outcome
             if attempt < attempts_allowed:
-                self._restarts += 1
+                self._note_restart()
                 sleep_backoff(attempt, base=self._config.restart_backoff,
                               cap=5.0, wake=self._stop)
         assert last is not None
@@ -272,7 +281,7 @@ class Supervisor:
         )
 
     @staticmethod
-    def _terminate(proc) -> None:
+    def _terminate(proc: BaseProcess) -> None:
         proc.terminate()
         proc.join(2.0)
         if proc.is_alive():
@@ -280,7 +289,7 @@ class Supervisor:
             proc.join(2.0)
 
     @staticmethod
-    def _reap(proc) -> None:
+    def _reap(proc: BaseProcess) -> None:
         proc.join(0.5)
         if proc.is_alive():
             proc.terminate()

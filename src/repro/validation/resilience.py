@@ -44,7 +44,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 try:  # POSIX advisory locking; absent on some platforms.
     import fcntl
@@ -382,6 +382,41 @@ class JournalLockedError(RuntimeError):
     """
 
 
+#: Journal writer-lock fds currently held by this process.  ``flock``
+#: locks live on the *open file description*, which fork shares with the
+#: child — a fork-pool worker or serve worker that inherits the fd keeps
+#: the journal locked even after the parent is SIGKILLed, wedging every
+#: subsequent run of the same id until the worker exits.  Closing the
+#: inherited copies immediately after fork confines the lock's lifetime
+#: to the parent process, preserving the "kernel releases on death"
+#: contract acquire_lock() documents.
+_LIVE_LOCK_FDS: Set[int] = set()
+_AT_FORK_REGISTERED = False
+
+
+def _close_inherited_lock_fds() -> None:
+    """After-fork (child) hook: drop journal lock fds inherited from the
+    parent.  The parent's own fds still hold the flock."""
+    for fd in list(_LIVE_LOCK_FDS):
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _LIVE_LOCK_FDS.clear()
+
+
+def _register_lock_fd(fd: int) -> None:
+    global _AT_FORK_REGISTERED
+    if not _AT_FORK_REGISTERED and hasattr(os, "register_at_fork"):
+        os.register_at_fork(after_in_child=_close_inherited_lock_fds)
+        _AT_FORK_REGISTERED = True
+    _LIVE_LOCK_FDS.add(fd)
+
+
+def _unregister_lock_fd(fd: int) -> None:
+    _LIVE_LOCK_FDS.discard(fd)
+
+
 class RunJournal:
     """Checkpoint journal of one sweep run: manifest + per-chunk entries.
 
@@ -451,6 +486,7 @@ class RunJournal:
             os.truncate(fd, 0)
             os.write(fd, f"{os.getpid()}\n".encode("ascii"))
             self._lock_fd = fd
+            _register_lock_fd(fd)
             return
         try:  # pragma: no cover - non-posix fallback path
             fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
@@ -462,12 +498,14 @@ class RunJournal:
             ) from None
         os.write(fd, f"{os.getpid()}\n".encode("ascii"))
         self._lock_fd = fd
+        _register_lock_fd(fd)
 
     def release_lock(self) -> None:
         """Drop the writer lock taken by :meth:`acquire_lock` (idempotent)."""
         if self._lock_fd is None:
             return
         fd, self._lock_fd = self._lock_fd, None
+        _unregister_lock_fd(fd)
         try:
             if fcntl is not None:
                 fcntl.flock(fd, fcntl.LOCK_UN)

@@ -400,3 +400,95 @@ class TestLiveFleet:
             assert snap["routable"] == 2
             assert snap["jobs_tracked"] >= 6
             assert snap["counters"]["routed"] >= 6
+
+
+# -- counter lock discipline (regression: interprocedural analyzer) ---------
+
+class _TrackingLock:
+    """Context-managed lock that records which thread currently holds it."""
+
+    def __init__(self):
+        import threading
+
+        self._threading = threading
+        self._inner = threading.Lock()
+        self.holder = None
+
+    def __enter__(self):
+        self._inner.acquire()
+        self.holder = self._threading.get_ident()
+        return self
+
+    def __exit__(self, *exc):
+        self.holder = None
+        self._inner.release()
+        return False
+
+
+class _GuardedCounters(dict):
+    """Counter dict that records writes made without the jobs lock held."""
+
+    def __init__(self, lock, seed):
+        super().__init__(seed)
+        self._lock = lock
+        self.unlocked_writes = []
+
+    def __setitem__(self, key, value):
+        import threading
+
+        if self._lock.holder != threading.get_ident():
+            self.unlocked_writes.append(key)
+        super().__setitem__(key, value)
+
+
+class TestRouterCounterLockDiscipline:
+    """The analyzer flagged router counter increments racing ``_jobs_lock``;
+    every placement-path counter mutation must now hold the lock."""
+
+    def _instrument(self, core):
+        lock = _TrackingLock()
+        core._jobs_lock = lock
+        core._counters = _GuardedCounters(lock, core._counters)
+        return core._counters
+
+    def test_routed_counter_under_lock(self, fleet3):
+        counters = self._instrument(fleet3.core)
+        status, _body = fleet3.core.submit(_payload())
+        assert status == 202
+        assert counters["routed"] == 1
+        assert counters.unlocked_writes == []
+
+    def test_spill_and_shed_counters_under_lock(self, monkeypatch):
+        endpoints = []
+        for slot in range(2):
+            ep = ReplicaEndpoint(slot, f"r{slot}")
+            ep.set_base_url(f"http://fake-{slot}")
+            ep.mark_healthy({"est_wait_seconds": 0.0})
+            endpoints.append(ep)
+        core = RouterCore(endpoints)
+        counters = self._instrument(core)
+        monkeypatch.setattr(
+            router_mod, "http_json",
+            lambda method, url, body=None, timeout=None:
+                (429, {"error": "at capacity", "retry_after": 1.0}))
+        status, _body = core.submit(_payload())
+        assert status == 429
+        assert counters["spilled"] == 2  # both replicas shed sideways
+        assert counters["shed"] == 1
+        assert counters.unlocked_writes == []
+
+    def test_unreachable_replica_spill_under_lock(self, monkeypatch):
+        ep = ReplicaEndpoint(0, "r0")
+        ep.set_base_url("http://fake-0")
+        ep.mark_healthy({"est_wait_seconds": 0.0})
+        core = RouterCore([ep])
+        counters = self._instrument(core)
+
+        def unreachable(method, url, body=None, timeout=None):
+            raise OSError("connection refused")
+
+        monkeypatch.setattr(router_mod, "http_json", unreachable)
+        status, _body = core.submit(_payload())
+        assert status == 503
+        assert counters["spilled"] == 1
+        assert counters.unlocked_writes == []

@@ -233,3 +233,45 @@ class TestPoisonInjection:
         # Rebuild stored a clean entry: a third access is a plain hit.
         body, status = cache.single_flight(key, lambda: {"result": 1})
         assert status == STATUS_HIT
+
+
+class TestTransientReadErrors:
+    """Regression: transient IO failures must not quarantine valid entries.
+
+    ``gzip.BadGzipFile`` is an ``OSError`` subclass, so corruption has to
+    be caught *before* the transient-``OSError`` arm; ordering them the
+    other way round silently turned every EACCES/EMFILE blip into a
+    quarantine that destroyed good shared entries under load.
+    """
+
+    def test_transient_read_error_is_miss_not_quarantine(
+            self, tmp_path, monkeypatch):
+        cache = SharedResultCache(tmp_path)
+        key = job_key("simulate", {"n": 40}, None)
+        assert cache.store(key, {"result": 7})
+
+        def denied(*args, **kwargs):
+            raise PermissionError(13, "permission denied")
+
+        before = integrity_events.snapshot()
+        monkeypatch.setattr("repro.core.shared_cache.gzip.open", denied)
+        assert cache.load(key) is None  # miss, nothing more
+        monkeypatch.undo()
+
+        delta = integrity_events.delta(before)
+        assert "shared_cache_poisoned" not in delta
+        assert cache.entry_path(key).exists()  # entry survived the blip
+        assert not (tmp_path / "quarantine").exists()
+        assert cache.load(key) == {"result": 7}  # served once IO recovers
+
+    def test_corruption_still_quarantines(self, tmp_path):
+        cache = SharedResultCache(tmp_path)
+        key = job_key("simulate", {"n": 41}, None)
+        assert cache.store(key, {"result": 8})
+        blob = cache.entry_path(key).read_bytes()
+        cache.entry_path(key).write_bytes(blob[:-4] + b"\xff\xff\xff\xff")
+        before = integrity_events.snapshot()
+        assert cache.load(key) is None
+        delta = integrity_events.delta(before)
+        assert delta.get("shared_cache_poisoned") == 1
+        assert not cache.entry_path(key).exists()

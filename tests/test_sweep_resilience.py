@@ -482,3 +482,52 @@ class TestJournalLock:
         follower = RunJournal("released", tmp_path)
         follower.acquire_lock()  # released cleanly: no contention
         follower.release_lock()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+class TestJournalLockForkSafety:
+    """Regression: a forked child inheriting the journal lock fd kept the
+    flock alive after the parent died, wedging every later ``--resume``
+    until the child also exited.  The ``os.register_at_fork`` hook closes
+    inherited lock fds in the child, restoring kernel release-on-death."""
+
+    def test_child_closes_inherited_lock_fd(self, tmp_path):
+        from repro.validation import resilience
+
+        journal = RunJournal("forklock", tmp_path)
+        journal.acquire_lock()
+        fd = journal._lock_fd
+        assert fd is not None
+        assert fd in resilience._LIVE_LOCK_FDS
+        read_end, write_end = os.pipe()
+        pid = os.fork()
+        if pid == 0:  # child: report whether the hook closed the lock fd
+            os.close(read_end)
+            try:
+                os.fstat(fd)
+                os.write(write_end, b"open")
+            except OSError:
+                os.write(write_end, b"closed")
+            finally:
+                os.close(write_end)
+                os._exit(0)
+        os.close(write_end)
+        try:
+            verdict = os.read(read_end, 16)
+            _, status = os.waitpid(pid, 0)
+        finally:
+            os.close(read_end)
+            journal.release_lock()
+        assert status == 0
+        assert verdict == b"closed"
+
+    def test_release_unregisters_fd(self, tmp_path):
+        from repro.validation import resilience
+
+        journal = RunJournal("forklock2", tmp_path)
+        journal.acquire_lock()
+        fd = journal._lock_fd
+        journal.release_lock()
+        assert fd not in resilience._LIVE_LOCK_FDS
+        # A later fork must not try to close the now-recycled fd number.
+        RunJournal("forklock2", tmp_path).acquire_lock()
