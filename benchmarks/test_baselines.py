@@ -17,6 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analytical import NugterenL1Model, TangL1Model
+from repro.core.cache import ArtifactCache
 from repro.memsim.simulator import SimtSimulator
 from repro.validation import sweeps
 from benchmarks.conftest import (
@@ -27,19 +28,23 @@ from benchmarks.conftest import (
 )
 
 
-def test_baseline_comparison(pipelines, benchmark):
+def test_baseline_comparison(pipelines, benchmark, tmp_path):
     print_experiment_header(
         "Baselines", "G-MAP proxy vs Tang'11 / Nugteren'14 L1 models",
         paper_error="n/a (section 3 comparison)", paper_corr="n/a",
     )
+    # Models are constructed several times per kernel below; the
+    # stack-distance cache turns every re-construction into a histogram load.
+    sd_cache = ArtifactCache(tmp_path / "sdcache")
     configs = sweeps.l1_sweep(reduced=not FULL)
     print(f"    {'app':<16} {'proxy':>8} {'tang':>8} {'nugteren':>8}"
           f"   (mean |err| in L1 miss rate, pp)")
     sums = {"proxy": 0.0, "tang": 0.0, "nugteren": 0.0}
     for app in APPS:
         pipeline = pipelines.get(app)
-        tang = TangL1Model(pipeline.kernel)
-        nugteren = NugterenL1Model(pipeline.kernel, num_cores=NUM_CORES)
+        tang = TangL1Model(pipeline.kernel, cache=sd_cache)
+        nugteren = NugterenL1Model(
+            pipeline.kernel, num_cores=NUM_CORES, cache=sd_cache)
         errs = {"proxy": 0.0, "tang": 0.0, "nugteren": 0.0}
         for config in configs:
             truth = SimtSimulator(config).run(
@@ -64,7 +69,7 @@ def test_baseline_comparison(pipelines, benchmark):
 
     # Scope: the analytical models cannot answer L2 questions at all.
     pipeline = pipelines.get(APPS[0])
-    tang = TangL1Model(pipeline.kernel)
+    tang = TangL1Model(pipeline.kernel, cache=sd_cache)
     with pytest.raises(NotImplementedError):
         tang.predict_l2_miss_rate(configs[0].l2)
     l2_answer = SimtSimulator(configs[0]).run(
@@ -78,6 +83,7 @@ def test_baseline_comparison(pipelines, benchmark):
     assert means["proxy"] <= min(means["tang"], means["nugteren"]) + 0.02
 
     benchmark.pedantic(
-        lambda: TangL1Model(pipeline.kernel).predict_l1_miss_rate(configs[0].l1),
+        lambda: TangL1Model(
+            pipeline.kernel, cache=sd_cache).predict_l1_miss_rate(configs[0].l1),
         rounds=3, iterations=1,
     )

@@ -54,6 +54,7 @@ from repro.analysis.findings import (
     format_findings,
 )
 from repro.analysis.verify import (
+    verify_analytic_sweep_report,
     ProfileVerificationError,
     verify_application_payload,
     verify_profile,
@@ -84,6 +85,7 @@ __all__ = [
     "lint_paths",
     "load_baseline",
     "write_baseline",
+    "verify_analytic_sweep_report",
     "verify_application_payload",
     "verify_profile",
     "verify_profile_file",

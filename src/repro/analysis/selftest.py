@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Tuple
 from repro.analysis.engine import EngineConfig, lint_file
 from repro.analysis.rules import rule_ids
 from repro.analysis.verify import (
+    verify_analytic_sweep_report,
     verify_multi_config_report,
     verify_profile_payload,
     verify_sim_config,
@@ -574,6 +575,86 @@ def _multi_config_fixtures() -> Dict[str, Dict[str, Any]]:
     return fixtures
 
 
+def _minimal_analytic_sweep() -> Dict[str, Any]:
+    """A smallest well-formed analytic sweep artifact to mutate.
+
+    One analytic prediction plus one explained fallback — exercising both
+    sides of the two-way fallback consistency contract from a clean base.
+    """
+    def stats(accesses: int, hits: int) -> Dict[str, int]:
+        return {"accesses": accesses, "hits": hits, "misses": accesses - hits}
+
+    def block() -> Dict[str, Any]:
+        return {
+            "requests_issued": 8,
+            "cycles": 64.0,
+            "l1": stats(8, 2),
+            "l2": stats(6, 1),
+        }
+
+    return {
+        "format": "gmap-analytic-sweep",
+        "schema_version": 1,
+        "target": "fixture",
+        "backend": "python",
+        "num_configs": 2,
+        "tolerance": 0.12,
+        "results": [
+            {"config": "cfg-a", "result": block(), "analytic": True},
+            {"config": "cfg-b", "result": block(), "analytic": False},
+        ],
+        "analytic_fallback_reasons": [
+            {"index": 1, "reasons": ["l1 prefetcher outside the model"]},
+        ],
+    }
+
+
+def _analytic_sweep_fixtures() -> Dict[str, Dict[str, Any]]:
+    fixtures: Dict[str, Dict[str, Any]] = {}
+
+    bad = _minimal_analytic_sweep()
+    bad["num_configs"] = 5
+    fixtures["analytic-count"] = bad
+
+    bad = _minimal_analytic_sweep()
+    bad["tolerance"] = 0.0  # a zero bound can never admit a prediction
+    fixtures["analytic-tolerance"] = bad
+
+    bad = _minimal_analytic_sweep()
+    bad["results"][0]["result"]["l1"]["hits"] = 5  # 5 + 6 != 8
+    fixtures["analytic-totals"] = bad
+
+    bad = _minimal_analytic_sweep()
+    bad["results"][1]["result"]["cycles"] = 99.0
+    fixtures["analytic-trace-mismatch"] = bad
+
+    bad = _minimal_analytic_sweep()
+    bad["results"][0] = {"config": "cfg-a", "analytic": True}
+    fixtures["analytic-bad-block"] = bad
+
+    bad = _minimal_analytic_sweep()
+    del bad["results"][0]["analytic"]
+    fixtures["analytic-flag"] = bad
+
+    bad = _minimal_analytic_sweep()
+    bad["analytic_fallback_reasons"] = [{"index": 9, "reasons": ["x"]}]
+    fixtures["analytic-fallback-index"] = bad
+
+    bad = _minimal_analytic_sweep()
+    bad["analytic_fallback_reasons"][0]["reasons"] = []
+    fixtures["analytic-fallback-reasons"] = bad
+
+    bad = _minimal_analytic_sweep()
+    bad["analytic_fallback_reasons"] = []  # replayed block left unexplained
+    fixtures["analytic-fallback-unexplained"] = bad
+
+    bad = _minimal_analytic_sweep()
+    bad["results"][1]["analytic"] = True  # claims analytic, reason says no
+    fixtures["analytic-fallback-contradiction"] = bad
+
+    return fixtures
+
+
 def _determinism_traces() -> List[List[Tuple[int, int, int, int]]]:
     """Tiny synthetic per-core streams mixing reuse, strides and stores."""
     from repro.gpu.instructions import pack
@@ -699,6 +780,20 @@ def run_self_test() -> Tuple[bool, List[str]]:
     lines.append(
         f"verify {'clean-multiconfig-passes':<23} "
         f"{'OK' if clean_multi else 'FALSE POSITIVE'}"
+    )
+
+    for rule, payload in sorted(_analytic_sweep_fixtures().items()):
+        findings = verify_analytic_sweep_report(payload, origin="<selftest>")
+        fired = any(f.rule == rule for f in findings)
+        ok &= fired
+        lines.append(f"verify {rule:<23} {'OK' if fired else 'MISSING'}")
+
+    clean_analytic = not verify_analytic_sweep_report(
+        _minimal_analytic_sweep(), "<selftest>")
+    ok &= clean_analytic
+    lines.append(
+        f"verify {'clean-analytic-passes':<23} "
+        f"{'OK' if clean_analytic else 'FALSE POSITIVE'}"
     )
 
     det_ok, det_lines = _memsim_determinism_lines()

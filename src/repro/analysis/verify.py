@@ -268,6 +268,8 @@ def verify_profile_file(path: PathLike) -> List[Finding]:
         return [_finding("unreadable-artifact", origin, f"cannot read: {exc}")]
     if payload.get("format") == "gmap-multi-config":
         return verify_multi_config_report(payload, origin)
+    if payload.get("format") == "gmap-analytic-sweep":
+        return verify_analytic_sweep_report(payload, origin)
     if "kernels" in payload:
         return verify_application_payload(payload, origin)
     return verify_profile_payload(payload, origin)
@@ -364,6 +366,155 @@ def verify_multi_config_report(
                     f"an emitted config block",
                 )
             )
+    return findings
+
+
+def verify_analytic_sweep_report(
+    data: Mapping[str, Any], origin: str
+) -> List[Finding]:
+    """Validate an analytic sweep artifact (``gmap-analytic-sweep``).
+
+    The report (:func:`repro.analytical.analytic.analytic_sweep_report`)
+    predicts N configurations from one trace's reuse profiles, replaying
+    the out-of-model ones.  Beyond the multi-config invariants (count,
+    stat-block totals, trace identity — predictions and replays of one
+    trace must agree on ``requests_issued`` and ``cycles``), the analytic
+    contract adds a two-way fallback consistency requirement: a block is
+    marked ``analytic: false`` **iff** the ``analytic_fallback_reasons``
+    matrix records a non-empty reason list for its index — an unexplained
+    replay and a reason pointing at an analytic block are both findings.
+    """
+    findings: List[Finding] = []
+    results = data.get("results", [])
+    declared = data.get("num_configs")
+    if not isinstance(results, list) or not results:
+        findings.append(
+            _finding(
+                "analytic-count", origin,
+                "report has no per-config result blocks",
+            )
+        )
+        return findings
+    if declared != len(results):
+        findings.append(
+            _finding(
+                "analytic-count", origin,
+                f"num_configs declares {declared!r} but the report emits "
+                f"{len(results)} stat blocks",
+            )
+        )
+    tolerance = data.get("tolerance")
+    if not isinstance(tolerance, (int, float)) or not 0 < tolerance <= 1:
+        findings.append(
+            _finding(
+                "analytic-tolerance", origin,
+                f"tolerance {tolerance!r} is not a miss-rate bound in (0, 1]",
+            )
+        )
+    blocks: List[Mapping[str, Any]] = []
+    replayed: set[int] = set()
+    for index, entry in enumerate(results):
+        if not isinstance(entry, Mapping):
+            findings.append(
+                _finding(
+                    "analytic-bad-block", origin,
+                    f"results[{index}] is not a result entry",
+                )
+            )
+            continue
+        flag = entry.get("analytic")
+        if not isinstance(flag, bool):
+            findings.append(
+                _finding(
+                    "analytic-flag", origin,
+                    f"results[{index}].analytic is {flag!r}, not a boolean "
+                    f"— the artifact must say which engine produced each "
+                    f"block",
+                )
+            )
+        elif not flag:
+            replayed.add(index)
+        block = entry.get("result")
+        if not isinstance(block, Mapping):
+            findings.append(
+                _finding(
+                    "analytic-bad-block", origin,
+                    f"results[{index}] carries no result stat block",
+                )
+            )
+            continue
+        blocks.append(block)
+        for level in ("l1", "l2"):
+            stats = block.get(level)
+            if not isinstance(stats, Mapping):
+                findings.append(
+                    _finding(
+                        "analytic-bad-block", origin,
+                        f"results[{index}] has no {level} stat block",
+                    )
+                )
+                continue
+            accesses = stats.get("accesses", 0)
+            hits = stats.get("hits", 0)
+            misses = stats.get("misses", 0)
+            if hits + misses != accesses:
+                findings.append(
+                    _finding(
+                        "analytic-totals", origin,
+                        f"results[{index}].{level}: hits {hits} + misses "
+                        f"{misses} != accesses {accesses}",
+                    )
+                )
+    for key in ("requests_issued", "cycles"):
+        values = {block.get(key) for block in blocks}
+        if len(values) > 1:
+            findings.append(
+                _finding(
+                    "analytic-trace-mismatch", origin,
+                    f"{key} differs across configs of the same trace: "
+                    f"{sorted(values, key=repr)[:4]} — predictions and "
+                    f"fallback replays must describe one access stream",
+                )
+            )
+    explained: set[int] = set()
+    for fallback in data.get("analytic_fallback_reasons", []):
+        index = fallback.get("index") if isinstance(fallback, Mapping) else None
+        if not isinstance(index, int) or not 0 <= index < len(results):
+            findings.append(
+                _finding(
+                    "analytic-fallback-index", origin,
+                    f"analytic_fallback_reasons entry {fallback!r} does not "
+                    f"point at an emitted config block",
+                )
+            )
+            continue
+        reasons = fallback.get("reasons")
+        if (not isinstance(reasons, list) or not reasons
+                or not all(isinstance(r, str) and r for r in reasons)):
+            findings.append(
+                _finding(
+                    "analytic-fallback-reasons", origin,
+                    f"analytic_fallback_reasons[{index}] must carry a "
+                    f"non-empty list of reason strings, got {reasons!r}",
+                )
+            )
+        explained.add(index)
+    for index in sorted(replayed - explained):
+        findings.append(
+            _finding(
+                "analytic-fallback-unexplained", origin,
+                f"results[{index}] fell back to replay but no "
+                f"analytic_fallback_reasons entry explains why",
+            )
+        )
+    for index in sorted(explained - replayed):
+        findings.append(
+            _finding(
+                "analytic-fallback-contradiction", origin,
+                f"analytic_fallback_reasons[{index}] records a fallback but "
+                f"results[{index}] claims an analytic prediction",
+            )
+        )
     return findings
 
 

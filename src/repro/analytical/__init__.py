@@ -17,10 +17,31 @@ Both predict only L1 behaviour — the scope limitation that motivates G-MAP
 G-MAP's performance cloning framework can allow extensive exploration of
 different levels of the GPU memory hierarchy").  The bench target
 ``benchmarks/test_baselines.py`` quantifies accuracy and scope side by side.
+
+:mod:`repro.analytical.analytic` goes past that limitation: an exact
+per-set reuse-distance model over flat replay traces that predicts full
+L1 *and* L2 sweep points in O(histogram) — the engine behind
+``sim_mode="analytic"`` and ``gmap simulate --analytic``.
 """
 
+from repro.analytical.analytic import (
+    ANALYTIC_MISS_RATE_TOLERANCE,
+    AnalyticCacheModel,
+    AnalyticUnsupportedError,
+    analytic_fallback_reasons,
+    analytic_sweep_report,
+)
 from repro.analytical.profile_model import StackDistanceProfile
 from repro.analytical.tang import TangL1Model
 from repro.analytical.nugteren import NugterenL1Model
 
-__all__ = ["StackDistanceProfile", "TangL1Model", "NugterenL1Model"]
+__all__ = [
+    "ANALYTIC_MISS_RATE_TOLERANCE",
+    "AnalyticCacheModel",
+    "AnalyticUnsupportedError",
+    "StackDistanceProfile",
+    "TangL1Model",
+    "NugterenL1Model",
+    "analytic_fallback_reasons",
+    "analytic_sweep_report",
+]

@@ -47,7 +47,10 @@ class NugterenL1Model:
         core: int = 0,
         miss_latency: float = 200.0,
         line_sizes=DEFAULT_LINE_SIZES,
+        cache=None,
     ) -> None:
+        from repro.core.cache import resolve_cache
+
         launch = kernel.launch
         placement = assign_blocks_to_cores(
             launch.num_blocks, num_cores, max_blocks_per_core
@@ -57,6 +60,33 @@ class NugterenL1Model:
         blocks = placement[core]
         if not blocks:
             raise ValueError(f"core {core} was assigned no threadblocks")
+        self.miss_latency = miss_latency
+        # The profile and the gap histograms are both pure functions of the
+        # interleaved stream, so one cache entry restores everything the
+        # predictors need — ``_merged`` itself is not persisted (it is the
+        # bulky input, not a prediction-time dependency).
+        store = resolve_cache(cache)
+        key = None
+        if store is not None:
+            key = store.sd_profile_key(
+                kernel, model=self.name, unit=core, line_sizes=line_sizes,
+                extra={"num_cores": num_cores,
+                       "max_blocks_per_core": max_blocks_per_core})
+            hit = store.load_sd_profile(key)
+            if hit is not None:
+                profile, payload = hit
+                try:
+                    self.num_warps = int(payload["num_warps"])
+                    self._gap_merges = {
+                        int(size): {int(g): int(n) for g, n in gaps.items()}
+                        for size, gaps in payload["gap_merges"].items()
+                    }
+                except (KeyError, TypeError, ValueError, AttributeError):
+                    pass  # damaged extra payload: rebuild from traces
+                else:
+                    self.profile = profile
+                    self._merged: List[int] = []
+                    return
         first_wave = resident_waves(blocks, max_blocks_per_core)[0]
         warp_traces = build_warp_traces(kernel)
         streams: List[List[int]] = []
@@ -67,7 +97,6 @@ class NugterenL1Model:
                     [a for pc, a, _, _ in trace.transactions if pc != SYNC_PC]
                 )
         self.num_warps = len(streams)
-        self.miss_latency = miss_latency
         self._merged = round_robin_interleave(streams)
         self.profile = StackDistanceProfile.from_addresses(
             self._merged, line_sizes
@@ -77,6 +106,14 @@ class NugterenL1Model:
         self._gap_merges: Dict[int, Dict[int, int]] = {}
         for size in line_sizes:
             self._gap_merges[size] = self._count_gap_reuses(size)
+        if store is not None and key is not None:
+            store.store_sd_profile(key, self.profile, extra={
+                "num_warps": self.num_warps,
+                "gap_merges": {
+                    str(size): {str(g): n for g, n in gaps.items()}
+                    for size, gaps in self._gap_merges.items()
+                },
+            })
 
     def _count_gap_reuses(self, line_size: int) -> Dict[int, int]:
         """How many accesses re-touch a line within g accesses, per g bucket."""

@@ -31,17 +31,34 @@ from repro.workloads.base import KernelModel
 
 
 class TangL1Model:
-    """Single-threadblock stack-distance L1 model."""
+    """Single-threadblock stack-distance L1 model.
+
+    ``cache`` (None/False, True, or an ``ArtifactCache``) memoizes the
+    stack-distance profile by (kernel, block, line sizes): a hit skips the
+    warp-trace replay entirely, which matters when the same kernel is
+    profiled across baselines and analytic sweeps.
+    """
 
     name = "tang2011"
 
     def __init__(self, kernel: KernelModel, block: int = 0,
-                 line_sizes=DEFAULT_LINE_SIZES) -> None:
+                 line_sizes=DEFAULT_LINE_SIZES, cache=None) -> None:
+        from repro.core.cache import resolve_cache
+
         launch = kernel.launch
         if not 0 <= block < launch.num_blocks:
             raise ValueError(f"block {block} out of range")
         self.kernel = kernel
         self.block = block
+        store = resolve_cache(cache)
+        key = None
+        if store is not None:
+            key = store.sd_profile_key(
+                kernel, model=self.name, unit=block, line_sizes=line_sizes)
+            hit = store.load_sd_profile(key)
+            if hit is not None:
+                self.profile = hit[0]
+                return
         warp_traces = build_warp_traces(kernel)
         streams: List[List[int]] = []
         for warp in launch.warps_in_block(block):
@@ -53,6 +70,8 @@ class TangL1Model:
         self.profile = StackDistanceProfile.from_addresses(
             interleaved, line_sizes
         )
+        if store is not None and key is not None:
+            store.store_sd_profile(key, self.profile)
 
     def predict_l1_miss_rate(self, config: CacheConfig) -> float:
         """Predicted L1 miss rate under this configuration."""

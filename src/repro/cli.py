@@ -96,6 +96,11 @@ def _build_parser() -> argparse.ArgumentParser:
                    help="fixed-order flat replay instead of the "
                         "latency-feedback SIMT loop; --backend numpy then "
                         "runs the array-resident memsim engine")
+    p.add_argument("--analytic", action="store_true",
+                   help="predict miss rates from reuse-distance histograms "
+                        "instead of replaying (O(histogram) per config); "
+                        "out-of-model configs fall back to flat replay with "
+                        "their reasons reported")
     p.add_argument("--sweep", choices=("l1", "l2"), default=None,
                    help="one-pass multi-config flat replay over this sweep "
                         "grid (implies --flat; reduced grid unless --full)")
@@ -150,11 +155,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=int, default=2,
                    help="retries per failing chunk before it is quarantined "
                         "as a ChunkFailure (default: 2)")
-    p.add_argument("--sim-mode", choices=("simt", "flat"), default="simt",
+    p.add_argument("--sim-mode", choices=("simt", "flat", "analytic"),
+                   default="simt",
                    help="per-point simulation: simt (latency-feedback loop, "
-                        "the default) or flat (fixed-order replay; each "
+                        "the default), flat (fixed-order replay; each "
                         "worker chunk becomes a one-pass multi-config run "
-                        "on --backend)")
+                        "on --backend), or analytic (O(histogram) "
+                        "reuse-distance prediction with per-config replay "
+                        "fallback)")
     _add_common(p)
 
     p = sub.add_parser(
@@ -439,6 +447,23 @@ def _cmd_simulate(args) -> int:
     config = _apply_sim_overrides(config, args)
     if args.sweep:
         return _cmd_simulate_sweep(args, assignments, label)
+    if args.analytic:
+        from repro.analytical.analytic import AnalyticCacheModel
+        from repro.gpu.executor import flat_drain
+
+        traces = flat_drain(assignments)
+        model = AnalyticCacheModel.from_flat(traces)
+        reasons = model.applicability(config)
+        if reasons:
+            for reason in reasons:
+                print(f"analytic fallback: {reason}", file=sys.stderr)
+            result = SimtSimulator(
+                config, backend=args.backend).replay_flat(traces)
+            _print_result(f"{label} (analytic fallback: flat replay)", result)
+        else:
+            result = model.predict(config)
+            _print_result(f"{label} (analytic)", result)
+        return 0
     if args.flat:
         from repro.gpu.executor import flat_drain
 
@@ -452,7 +477,8 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_simulate_sweep(args, assignments, label: str) -> int:
-    """``gmap simulate --sweep``: one-pass multi-config flat replay."""
+    """``gmap simulate --sweep``: one-pass multi-config flat replay,
+    or analytic O(histogram) prediction with ``--analytic``."""
     import json
 
     from repro.gpu.executor import flat_drain
@@ -464,20 +490,35 @@ def _cmd_simulate_sweep(args, assignments, label: str) -> int:
         config.with_(num_cores=args.cores)
         for config in grids[args.sweep](reduced=not args.full)
     ]
-    report = multi_config_report(
-        flat_drain(assignments), configs, backend=args.backend, target=label)
-    print(f"== {label}: one-pass {args.sweep} sweep, "
+    if args.analytic:
+        from repro.analytical.analytic import analytic_sweep_report
+
+        report = analytic_sweep_report(
+            flat_drain(assignments), configs, backend=args.backend,
+            target=label)
+        mode = "analytic"
+    else:
+        report = multi_config_report(
+            flat_drain(assignments), configs, backend=args.backend,
+            target=label)
+        mode = "one-pass"
+    print(f"== {label}: {mode} {args.sweep} sweep, "
           f"{report['num_configs']} configs, backend={report['backend']}")
     for entry in report["results"]:
         block = entry["result"]
-        print(f"  {entry['config'][:12]}  "
+        marker = "*" if entry.get("analytic") else " "
+        print(f" {marker}{entry['config'][:12]}  "
               f"L1 {block['l1']['misses']:>8}/{block['l1']['accesses']:<8} "
               f"L2 {block['l2']['misses']:>8}/{block['l2']['accesses']:<8} "
               f"cycles {block['cycles']:.0f}")
-    if report["oracle_fallbacks"]:
-        for fallback in report["oracle_fallbacks"]:
-            print(f"  config[{fallback['index']}] ran on the oracle: "
-                  + "; ".join(fallback["reasons"]))
+    if args.analytic and any(e.get("analytic") for e in report["results"]):
+        print("  (* = analytic prediction)")
+    for fallback in report.get("oracle_fallbacks", []):
+        print(f"  config[{fallback['index']}] ran on the oracle: "
+              + "; ".join(fallback["reasons"]))
+    for fallback in report.get("analytic_fallback_reasons", []):
+        print(f"  config[{fallback['index']}] fell back to replay: "
+              + "; ".join(fallback["reasons"]))
     if args.out:
         from pathlib import Path
 

@@ -438,6 +438,67 @@ class ArtifactCache:
             "meta": meta,
         })
 
+    # -- stack-distance profiles --------------------------------------------
+    #
+    # The reuse-distance baselines (Tang, Nugteren) and the analytic sweep
+    # backend all start from a :class:`StackDistanceProfile` over the same
+    # kernel's interleaved access stream.  Building one replays every
+    # address per tracked line size; memoizing it by (kernel, model, unit,
+    # line sizes) means repeated baseline comparisons and analytic sweeps
+    # skip straight to the histogram.
+
+    def sd_profile_key(
+        self,
+        kernel,
+        *,
+        model: str,
+        unit: int,
+        line_sizes,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> str:
+        """Key for one model's stack-distance profile of one kernel.
+
+        ``unit`` is the model's sampling unit index (Tang's threadblock,
+        Nugteren's core); ``extra`` holds any further inputs that shape
+        the interleaved stream (e.g. Nugteren's core-assignment geometry).
+        """
+        return _hash_fields({
+            "schema": CACHE_SCHEMA_VERSION,
+            "kind": "sdprofile",
+            "model": model,
+            "kernel": kernel_fingerprint(kernel),
+            "unit": unit,
+            "line_sizes": [int(size) for size in line_sizes],
+            "extra": extra or {},
+        })
+
+    def load_sd_profile(self, key: str) -> Optional[Tuple[Any, dict]]:
+        """Returns (StackDistanceProfile, extra payload) or None on miss.
+
+        ``extra`` round-trips through JSON, so integer dict keys come back
+        as strings — the owning model converts its own payload.
+        """
+        from repro.analytical.profile_model import StackDistanceProfile
+
+        payload = self._load("sdprofile", key)
+        if payload is None:
+            return None
+        try:
+            profile = StackDistanceProfile.from_dict(payload["profile"])
+            extra = dict(payload.get("extra") or {})
+        except Exception:
+            self.counters.errors += 1
+            return None
+        return profile, extra
+
+    def store_sd_profile(
+        self, key: str, profile, extra: Optional[Dict[str, Any]] = None
+    ) -> None:
+        self._store("sdprofile", key, {
+            "profile": profile.to_dict(),
+            "extra": extra or {},
+        })
+
     # -- simulation result pairs --------------------------------------------
 
     def load_pair(self, key: str) -> Optional[Tuple[SimResult, SimResult]]:

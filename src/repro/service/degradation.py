@@ -38,8 +38,14 @@ STATE_HALF_OPEN = "half_open"
 #: without also demoting the (healthy) profile/generate array core.
 STAGE_MEMSIM = "memsim"
 
+#: Breaker stage for analytic (O(histogram)) simulate jobs.  The predictor
+#: itself is pure python, but its out-of-model configs replay on the
+#: backend — an isolated stage keeps an analytic-job failure storm from
+#: demoting ordinary replay simulations, and vice versa.
+STAGE_ANALYTIC = "analytic"
+
 #: All named stages a backend breaker can be split on.
-STAGES: Tuple[str, ...] = (STAGE_MEMSIM,)
+STAGES: Tuple[str, ...] = (STAGE_MEMSIM, STAGE_ANALYTIC)
 
 
 class CircuitBreaker:

@@ -142,12 +142,19 @@ def _handle_simulate(params: Dict[str, Any], backend: str) -> Dict[str, Any]:
       array-resident memsim engine when ``numpy``);
     * ``sweep: "l1" | "l2"`` — one-pass multi-config flat replay over that
       sweep grid (``full: true`` for the paper-sized grid), returning the
-      per-config stat blocks ``gmap check`` validates.
+      per-config stat blocks ``gmap check`` validates;
+    * ``analytic: true`` — O(histogram) predictions from the traces'
+      reuse profiles.  With a sweep it returns the ``gmap-analytic-sweep``
+      artifact (out-of-model configs replay on ``backend`` with their
+      reasons in ``analytic_fallback_reasons``); without one it predicts
+      the paper baseline, falling back to flat replay when the baseline is
+      outside the model.
 
     The flat paths dispatch on ``backend``, so a numpy-memsim failure flows
     through :func:`~repro.core.backend.run_with_fallback` (degraded result,
     ``backend_fallback:numpy:...`` reason) and feeds the service's
-    per-stage memsim circuit breaker.
+    per-stage circuit breakers — analytic jobs through their own
+    ``analytic`` stage, replay jobs through ``memsim``.
     """
     from repro.gpu.executor import (
         assignments_from_traces,
@@ -182,9 +189,30 @@ def _handle_simulate(params: Dict[str, Any], backend: str) -> Dict[str, Any]:
             c.with_(num_cores=cores)
             for c in maker(reduced=not params.get("full", False))
         ]
+        if params.get("analytic"):
+            from repro.analytical.analytic import analytic_sweep_report
+
+            report = analytic_sweep_report(
+                flat_drain(assignments), configs,
+                backend=backend, target=target)
+            return {"target": target, "sim_mode": "analytic", **report}
         report = multi_config_report(
             flat_drain(assignments), configs, backend=backend, target=target)
         return {"target": target, "sim_mode": "flat", **report}
+    if params.get("analytic"):
+        from repro.analytical.analytic import AnalyticCacheModel
+
+        traces = flat_drain(assignments)
+        model = AnalyticCacheModel.from_flat(traces)
+        reasons = model.applicability(config)
+        if reasons:
+            result = SimtSimulator(config, backend=backend).replay_flat(traces)
+            return {"target": target, "sim_mode": "analytic",
+                    "analytic": False, "fallback_reasons": reasons,
+                    "backend": backend,
+                    "result": _sim_result_dict(result)}
+        return {"target": target, "sim_mode": "analytic", "analytic": True,
+                "result": _sim_result_dict(model.predict(config))}
     if params.get("flat"):
         result = SimtSimulator(config, backend=backend).replay_flat(
             flat_drain(assignments))

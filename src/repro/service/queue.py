@@ -9,6 +9,14 @@ The hint is derived from an exponentially-weighted moving average of
 recent job durations: ``depth / workers * avg_seconds`` is roughly when a
 newly-admitted job would start, so a shed client retrying after that long
 has a real chance of admission.
+
+Durations are tracked **per job kind** as well as fleet-wide.  Analytic
+simulate jobs finish in milliseconds while replay simulations take
+seconds; folding both into one average would let a burst of analytic
+jobs talk the EWMA down and make the replica advertise a wait it cannot
+honor.  The backlog is therefore priced item-by-item: each queued job
+contributes its own kind's average (falling back to the fleet-wide EWMA
+for kinds never observed on this replica).
 """
 
 from __future__ import annotations
@@ -16,9 +24,21 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, Optional
 
 from repro.service.protocol import JobRequest
+
+
+def job_kind(request: JobRequest) -> str:
+    """Telemetry kind for ``request`` — finer-grained than ``kind`` alone.
+
+    Analytic simulate jobs are O(histogram) predictions, three orders of
+    magnitude faster than replay simulations of the same traces; they get
+    their own bucket so neither skews the other's duration average.
+    """
+    if request.kind == "simulate" and request.params.get("analytic"):
+        return "simulate:analytic"
+    return request.kind
 
 
 class QueueFullError(RuntimeError):
@@ -59,6 +79,11 @@ class AdmissionQueue:
         self._cond = threading.Condition()
         self._closed = False
         self._avg_job_seconds = self.DEFAULT_JOB_SECONDS
+        #: Per-kind duration EWMAs, seeded lazily from the first
+        #: observation of each kind (not DEFAULT_JOB_SECONDS: a
+        #: millisecond analytic job would take dozens of observations to
+        #: pull a 2 s seed down to its real scale).
+        self._avg_by_kind: Dict[str, float] = {}
 
     @property
     def capacity(self) -> int:
@@ -82,36 +107,61 @@ class AdmissionQueue:
         with self._cond:
             return self._avg_job_seconds
 
+    def _price_backlog_locked(self) -> float:
+        """Expected seconds of queued work, priced per item by its kind's
+        EWMA (fleet-wide average for kinds never observed here)."""
+        total = 0.0
+        for item in self._items:
+            total += self._avg_by_kind.get(
+                job_kind(item), self._avg_job_seconds)
+        return total
+
     def snapshot(self) -> dict:
         """Load snapshot for ``/readyz``: everything a router needs to
         weigh this replica against its siblings (depth, capacity, worker
-        count, and the duration EWMA that prices the backlog)."""
+        count, and the duration EWMAs that price the backlog)."""
         with self._cond:
             backlog = len(self._items)
+            depth_by_kind: Dict[str, int] = {}
+            for item in self._items:
+                kind = job_kind(item)
+                depth_by_kind[kind] = depth_by_kind.get(kind, 0) + 1
             return {
                 "queue_depth": backlog,
                 "queue_capacity": self._capacity,
                 "workers": self._workers,
                 "avg_job_seconds": self._avg_job_seconds,
+                "avg_job_seconds_by_kind": dict(self._avg_by_kind),
+                "queue_depth_by_kind": depth_by_kind,
                 "est_wait_seconds": (
-                    backlog * self._avg_job_seconds / self._workers),
+                    self._price_backlog_locked() / self._workers),
             }
 
-    def note_job_seconds(self, seconds: float) -> None:
-        """Feed a completed job's duration into the retry-after EWMA."""
+    def note_job_seconds(self, seconds: float,
+                         kind: Optional[str] = None) -> None:
+        """Feed a completed job's duration into the retry-after EWMAs.
+
+        ``kind`` (usually :func:`job_kind` of the finished request) also
+        updates that kind's dedicated EWMA.
+        """
         if seconds < 0:
             return
         with self._cond:
             self._avg_job_seconds = (
                 self.ALPHA * seconds + (1 - self.ALPHA) * self._avg_job_seconds
             )
+            if kind is not None:
+                previous = self._avg_by_kind.get(kind)
+                if previous is None:
+                    self._avg_by_kind[kind] = seconds
+                else:
+                    self._avg_by_kind[kind] = (
+                        self.ALPHA * seconds + (1 - self.ALPHA) * previous)
 
     def retry_after_hint(self) -> float:
         """Seconds until a shed client plausibly gets admitted."""
         with self._cond:
-            backlog = len(self._items)
-            return max(
-                1.0, backlog * self._avg_job_seconds / self._workers)
+            return max(1.0, self._price_backlog_locked() / self._workers)
 
     def submit(self, request: JobRequest) -> None:
         """Admit a job, or shed it with a typed error. Never blocks."""
@@ -119,9 +169,8 @@ class AdmissionQueue:
             if self._closed:
                 raise QueueClosedError("server is draining; not accepting jobs")
             if len(self._items) >= self._capacity:
-                backlog = len(self._items)
                 hint = max(
-                    1.0, backlog * self._avg_job_seconds / self._workers)
+                    1.0, self._price_backlog_locked() / self._workers)
                 raise QueueFullError(self._capacity, hint)
             self._items.append(request)
             self._cond.notify()

@@ -159,6 +159,30 @@ class ReplicaEndpoint:
             except (TypeError, ValueError):
                 return 0.0
 
+    def est_wait_seconds_for(self, kind: Optional[str]) -> float:
+        """Expected wait for a job of ``kind`` on this replica: backlog
+        drain time plus the job's own expected service time from the
+        replica's per-kind duration EWMA.
+
+        A replica that has been serving millisecond analytic jobs ranks
+        ahead of an equally-idle sibling whose history for the kind is
+        seconds-scale replay; replicas that never saw the kind fall back
+        to their fleet-wide average, and malformed telemetry degrades to
+        the plain backlog estimate.
+        """
+        backlog = self.est_wait_seconds()
+        if kind is None:
+            return backlog
+        with self._lock:
+            by_kind = self._telemetry.get("avg_job_seconds_by_kind")
+            source = by_kind if isinstance(by_kind, dict) else {}
+            service = source.get(kind,
+                                 self._telemetry.get("avg_job_seconds", 0.0))
+        try:
+            return backlog + float(service)
+        except (TypeError, ValueError):
+            return backlog
+
     def snapshot(self) -> Dict[str, Any]:
         with self._lock:
             return {
@@ -221,7 +245,11 @@ class RouterCore:
         params = params if isinstance(params, dict) else {}
         sticky = payload.get("fault") is None and "output" not in params
         if not sticky:
-            return sorted(routable, key=lambda ep: ep.est_wait_seconds())
+            kind = str(payload.get("kind") or "")
+            if kind == "simulate" and params.get("analytic"):
+                kind = "simulate:analytic"
+            return sorted(routable,
+                          key=lambda ep: ep.est_wait_seconds_for(kind))
         key = job_key(str(payload.get("kind")), params,
                       payload.get("backend"))
         return self._rendezvous_order(key, routable)

@@ -254,10 +254,13 @@ class GmapService:
     def readyz(self) -> Dict[str, Any]:
         """Admission readiness *with load telemetry*.
 
-        The queue snapshot (depth, capacity, workers, duration EWMA) rides
-        along so a fleet router can weigh replicas by expected wait instead
-        of blind round-robin — the EWMA is per-process, so this endpoint is
-        the only place a sibling can observe it.
+        The queue snapshot (depth, capacity, workers, fleet-wide and
+        per-kind duration EWMAs) rides along so a fleet router can weigh
+        replicas by expected wait instead of blind round-robin — the
+        EWMAs are per-process, so this endpoint is the only place a
+        sibling can observe them.  Per-kind averages let the router rank
+        replicas for millisecond analytic jobs separately from
+        seconds-scale replay simulations.
         """
         payload: Dict[str, Any] = {
             "ready": self.ready(),

@@ -32,7 +32,11 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.service.backoff import sleep_backoff
 from repro.service.config import ServiceConfig
-from repro.service.degradation import STAGE_MEMSIM, DegradationPolicy
+from repro.service.degradation import (
+    STAGE_ANALYTIC,
+    STAGE_MEMSIM,
+    DegradationPolicy,
+)
 from repro.service.handlers import execute_job
 from repro.service.protocol import (
     STATUS_COMPLETED,
@@ -40,7 +44,7 @@ from repro.service.protocol import (
     JobRequest,
     failure_outcome,
 )
-from repro.service.queue import AdmissionQueue
+from repro.service.queue import AdmissionQueue, job_kind
 from repro.validation.resilience import (
     FAILURE_SIMULATION_ERROR,
     FAILURE_TIMEOUT,
@@ -157,12 +161,19 @@ class Supervisor:
         # Simulation jobs exercise the array memsim engine, not the
         # profile/generate core — route them through the per-stage breaker
         # so each vectorized surface degrades (and recovers) independently.
-        stage = STAGE_MEMSIM if request.kind == "simulate" else None
+        # Analytic simulate jobs get a third stage: their replay fallbacks
+        # touch the backend far less often, so their breaker must not
+        # share failure history with ordinary replay jobs.
+        stage = None
+        if request.kind == "simulate":
+            stage = (STAGE_ANALYTIC if request.params.get("analytic")
+                     else STAGE_MEMSIM)
         for attempt in range(1, attempts_allowed + 1):
             backend, demotion_reasons = self._policy.effective_backend(stage)
             started = time.monotonic()
             payload = self._run_attempt(request, backend)
-            self._queue.note_job_seconds(time.monotonic() - started)
+            elapsed = time.monotonic() - started
+            self._queue.note_job_seconds(elapsed, kind=job_kind(request))
             outcome = self._outcome_from_payload(payload, attempt)
             outcome.degraded_reasons = (
                 demotion_reasons + outcome.degraded_reasons)

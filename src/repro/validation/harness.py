@@ -21,13 +21,22 @@ Two simulation modes drive each sweep point (``sim_mode``):
     sweep collapses into a **one-pass multi-config** run
     (:func:`replay_sweep`) where the trace is decoded once and every
     configuration reuses the shared arrays.
+``analytic``
+    no replay at all: the flat traces are scanned once per cache geometry
+    into exact per-set stack-distance histograms and every configuration
+    is predicted in O(histogram)
+    (:class:`~repro.analytical.analytic.AnalyticCacheModel`).  Configs the
+    model cannot capture fall back to flat replay per config, with the
+    reasons recorded in the sweep's ``analytic_fallbacks`` matrix.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union,
+)
 
 from repro.core.backend import resolve_backend
 from repro.core.cache import ArtifactCache, resolve_cache
@@ -44,8 +53,11 @@ from repro.validation.metrics import SweepComparison
 from repro.validation.resilience import ChunkFailure
 from repro.workloads.base import KernelModel
 
+if TYPE_CHECKING:
+    from repro.analytical.analytic import AnalyticCacheModel
+
 #: Simulation modes a sweep point can run under.
-SIM_MODES: Tuple[str, ...] = ("simt", "flat")
+SIM_MODES: Tuple[str, ...] = ("simt", "flat", "analytic")
 
 
 def resolve_sim_mode(sim_mode: Optional[str]) -> str:
@@ -85,6 +97,13 @@ class BenchmarkPipeline:
         default=None, repr=False, compare=False)
     _proxy_flat: Optional[List[List[AccessTuple]]] = field(
         default=None, repr=False, compare=False)
+    #: Memoized analytic models over the flat drains (``analytic`` mode);
+    #: the model memoizes its own per-geometry scans, so one instance
+    #: serves every configuration of every sweep on this pipeline.
+    _original_model: Optional["AnalyticCacheModel"] = field(
+        default=None, repr=False, compare=False)
+    _proxy_model: Optional["AnalyticCacheModel"] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -101,6 +120,24 @@ class BenchmarkPipeline:
         if self._proxy_flat is None:
             self._proxy_flat = flat_drain(self.proxy_assignments)
         return self._proxy_flat
+
+    def original_model(self) -> "AnalyticCacheModel":
+        """Analytic reuse model over the original's flat traces."""
+        from repro.analytical.analytic import AnalyticCacheModel
+
+        if self._original_model is None:
+            self._original_model = AnalyticCacheModel.from_flat(
+                self.original_flat())
+        return self._original_model
+
+    def proxy_model(self) -> "AnalyticCacheModel":
+        """Analytic reuse model over the proxy's flat traces."""
+        from repro.analytical.analytic import AnalyticCacheModel
+
+        if self._proxy_model is None:
+            self._proxy_model = AnalyticCacheModel.from_flat(
+                self.proxy_flat())
+        return self._proxy_model
 
 
 def build_pipeline(
@@ -217,11 +254,18 @@ def _verify_profile_or_raise(profile: GmapProfile, benchmark: str) -> None:
 
 @dataclass
 class RunPair:
-    """Original and proxy simulation results for one configuration."""
+    """Original and proxy simulation results for one configuration.
+
+    ``analytic`` marks pairs predicted by the O(histogram) reuse model
+    rather than replayed; an ``analytic``-mode sweep point that fell back
+    to replay carries ``analytic=False`` plus its reasons in the owning
+    sweep's ``analytic_fallbacks``.
+    """
 
     config: SimConfig
     original: SimResult
     proxy: SimResult
+    analytic: bool = False
 
 
 def simulate_pair(
@@ -250,8 +294,27 @@ def simulate_pair(
     have no scheduler feedback (``SchedP_self`` does not apply) and are not
     pair-cached: the pair cache keys encode only (pipeline, config), and a
     flat result must never shadow a SIMT one.
+
+    ``sim_mode="analytic"`` predicts both streams from the pipeline's
+    memoized reuse models instead of replaying; a config outside the model
+    silently falls back to flat replay (``pair.analytic`` records which
+    path ran — use :func:`analytic_sweep` when the reasons matter).
     """
-    if resolve_sim_mode(sim_mode) == "flat":
+    mode = resolve_sim_mode(sim_mode)
+    if mode == "analytic":
+        model = pipeline.original_model()
+        proxy_model = pipeline.proxy_model()
+        reasons = model.applicability(config) + proxy_model.applicability(
+            config)
+        if not reasons:
+            return RunPair(
+                config=config,
+                original=model.predict(config),
+                proxy=proxy_model.predict(config),
+                analytic=True,
+            )
+        mode = "flat"
+    if mode == "flat":
         original = simulate_flat_trace(
             pipeline.original_flat(), config, backend=backend)
         proxy = simulate_flat_trace(
@@ -284,11 +347,17 @@ class SweepResult:
     ``failures`` records chunks that exhausted their retries under the
     resilient sweep engine — the sweep is then *partial*: ``pairs`` holds
     only the configurations that completed.
+
+    ``analytic_fallbacks`` is the ``analytic``-mode applicability matrix:
+    one ``{"config": fingerprint, "reasons": [...]}`` entry per sweep
+    config the reuse model refused and replay simulated instead (empty
+    for other modes, and for analytic sweeps fully inside the model).
     """
 
     benchmark: str
     pairs: List[RunPair] = field(default_factory=list)
     failures: List[ChunkFailure] = field(default_factory=list)
+    analytic_fallbacks: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def is_partial(self) -> bool:
@@ -332,6 +401,60 @@ def replay_sweep(
     return result
 
 
+def analytic_sweep(
+    pipeline: BenchmarkPipeline,
+    configs: Sequence[SimConfig],
+    backend: Optional[str] = None,
+) -> SweepResult:
+    """O(histogram) sweep with per-config fallback to flat replay.
+
+    Every config inside both streams' reuse models is predicted from the
+    memoized per-geometry scans; the rest are batched through the one-pass
+    multi-config replay (:func:`replay_sweep`'s engine) and their refusal
+    reasons recorded in ``analytic_fallbacks`` — the sweep-level mirror of
+    the array memsim's ``oracle_fallbacks`` contract, so a caller can
+    always tell which points are model predictions and why the others are
+    not.
+    """
+    from repro.core.cache import config_fingerprint
+    from repro.memsim.vectorized import simulate_flat_multi
+
+    model = pipeline.original_model()
+    proxy_model = pipeline.proxy_model()
+    result = SweepResult(benchmark=pipeline.name)
+    pairs: List[Optional[RunPair]] = [None] * len(configs)
+    fallback_indices: List[int] = []
+    for index, config in enumerate(configs):
+        reasons = model.applicability(config)
+        for reason in proxy_model.applicability(config):
+            if reason not in reasons:
+                reasons.append(reason)
+        if reasons:
+            fallback_indices.append(index)
+            result.analytic_fallbacks.append(
+                {"config": config_fingerprint(config), "reasons": reasons})
+        else:
+            pairs[index] = RunPair(
+                config=config,
+                original=model.predict(config),
+                proxy=proxy_model.predict(config),
+                analytic=True,
+            )
+    if fallback_indices:
+        fallback_configs = [configs[i] for i in fallback_indices]
+        originals = simulate_flat_multi(
+            pipeline.original_flat(), fallback_configs, backend=backend)
+        proxies = simulate_flat_multi(
+            pipeline.proxy_flat(), fallback_configs, backend=backend)
+        for index, original, proxy in zip(
+            fallback_indices, originals, proxies
+        ):
+            pairs[index] = RunPair(
+                config=configs[index], original=original, proxy=proxy)
+    result.pairs = [pair for pair in pairs if pair is not None]
+    return result
+
+
 def run_sweep(
     pipeline: BenchmarkPipeline,
     configs: Sequence[SimConfig],
@@ -342,9 +465,14 @@ def run_sweep(
     """Simulate one benchmark's original and proxy across a sweep.
 
     ``sim_mode="flat"`` routes the whole sweep through the one-pass
-    multi-config path (:func:`replay_sweep`).
+    multi-config path (:func:`replay_sweep`); ``sim_mode="analytic"``
+    predicts every in-model config from reuse histograms and replays only
+    the fallbacks (:func:`analytic_sweep`).
     """
-    if resolve_sim_mode(sim_mode) == "flat":
+    mode = resolve_sim_mode(sim_mode)
+    if mode == "analytic":
+        return analytic_sweep(pipeline, configs, backend=backend)
+    if mode == "flat":
         return replay_sweep(pipeline, configs, backend=backend)
     cache = resolve_cache(cache)
     result = SweepResult(benchmark=pipeline.name)

@@ -61,6 +61,7 @@ from repro.validation.harness import (
     ExperimentReport,
     RunPair,
     SweepResult,
+    analytic_sweep,
     build_pipeline,
     replay_sweep,
     resolve_sim_mode,
@@ -120,12 +121,17 @@ def _chunk_cache(chunk: _SweepChunk) -> Optional[ArtifactCache]:
     return ArtifactCache(chunk.cache_dir) if chunk.use_cache else None
 
 
-def _run_chunk(chunk: _SweepChunk) -> Tuple[int, int, List[RunPair]]:
+def _run_chunk(
+    chunk: _SweepChunk,
+) -> Tuple[int, int, List[RunPair], List[dict]]:
     """Worker body: build (or reuse) the pipeline, simulate the slice.
 
-    Any exception is re-raised as a :class:`ChunkExecutionError` carrying
-    the benchmark name, config offset, and seed, so a failure deep inside a
-    worker is attributable without scraping pool tracebacks.
+    Returns ``(kernel_index, config_offset, pairs, analytic_fallbacks)``;
+    the fallback matrix is empty except for ``analytic``-mode chunks with
+    configs outside the reuse model.  Any exception is re-raised as a
+    :class:`ChunkExecutionError` carrying the benchmark name, config
+    offset, and seed, so a failure deep inside a worker is attributable
+    without scraping pool tracebacks.
     """
     try:
         maybe_inject_worker_fault(chunk.kernel_index, chunk.config_offset)
@@ -147,7 +153,15 @@ def _run_chunk(chunk: _SweepChunk) -> Tuple[int, int, List[RunPair]]:
                 _WORKER_PIPELINES.popitem(last=False)
         else:
             _WORKER_PIPELINES.move_to_end(memo_key)
-        if chunk.sim_mode == "flat":
+        fallbacks: List[dict] = []
+        if chunk.sim_mode == "analytic":
+            # O(histogram) predictions; out-of-model configs replay with
+            # their reasons recorded (the chunk-level fallback matrix).
+            sweep = analytic_sweep(
+                pipeline, chunk.configs, backend=chunk.backend)
+            pairs = sweep.pairs
+            fallbacks = list(sweep.analytic_fallbacks)
+        elif chunk.sim_mode == "flat":
             # One-pass multi-config: the chunk's whole config slice reuses
             # one decode of each stream (flat pairs are not pair-cached).
             pairs = replay_sweep(
@@ -162,7 +176,7 @@ def _run_chunk(chunk: _SweepChunk) -> Tuple[int, int, List[RunPair]]:
                 )
                 for config in chunk.configs
             ]
-        return chunk.kernel_index, chunk.config_offset, pairs
+        return chunk.kernel_index, chunk.config_offset, pairs, fallbacks
     except ChunkExecutionError:
         raise
     except Exception as exc:
@@ -175,16 +189,35 @@ def _run_chunk(chunk: _SweepChunk) -> Tuple[int, int, List[RunPair]]:
         ) from exc
 
 
-def _pairs_to_entries(pairs: Sequence[RunPair]) -> List[dict]:
-    """Journal form of a chunk's result pairs (inverse of ``_entries_to_pairs``)."""
-    return [
-        {
-            "config": config_fingerprint(pair.config),
+def _pairs_to_entries(
+    pairs: Sequence[RunPair], fallbacks: Sequence[dict] = (),
+) -> List[dict]:
+    """Journal form of a chunk's result pairs (inverse of ``_entries_to_pairs``).
+
+    Analytic-mode chunks annotate each entry with how its point ran: the
+    ``analytic`` flag, plus the model's refusal reasons on fallback
+    entries — so a resumed run reassembles the same fallback matrix
+    without re-deciding applicability.
+    """
+    reasons_by_config = {
+        str(entry["config"]): list(entry["reasons"])  # type: ignore[arg-type]
+        for entry in fallbacks
+    }
+    entries = []
+    for pair in pairs:
+        fingerprint = config_fingerprint(pair.config)
+        entry = {
+            "config": fingerprint,
             "original": sim_result_to_payload(pair.original),
             "proxy": sim_result_to_payload(pair.proxy),
         }
-        for pair in pairs
-    ]
+        if pair.analytic:
+            entry["analytic"] = True
+        reasons = reasons_by_config.get(fingerprint)
+        if reasons:
+            entry["fallback_reasons"] = reasons
+        entries.append(entry)
+    return entries
 
 
 def _entries_to_pairs(
@@ -196,8 +229,21 @@ def _entries_to_pairs(
             config=config,
             original=sim_result_from_payload(entry["original"]),
             proxy=sim_result_from_payload(entry["proxy"]),
+            analytic=bool(entry.get("analytic", False)),
         )
         for entry, config in zip(entries, configs)
+    ]
+
+
+def _entries_to_fallbacks(entries: Sequence[dict]) -> List[dict]:
+    """Rebuild a chunk's analytic fallback matrix from its journal entries."""
+    return [
+        {
+            "config": entry["config"],
+            "reasons": list(entry["fallback_reasons"]),
+        }
+        for entry in entries
+        if entry.get("fallback_reasons")
     ]
 
 
@@ -372,15 +418,18 @@ class SweepRunner:
         if self.retry_backoff > 0:
             time.sleep(min(self.retry_backoff * (2 ** round_index), 2.0))
 
-    def _run_chunk_inprocess(self, chunk: _SweepChunk) -> List[RunPair]:
+    def _run_chunk_inprocess(
+        self, chunk: _SweepChunk
+    ) -> Tuple[List[RunPair], List[dict]]:
         if self.fault_injector is not None:
             self.fault_injector(chunk)
-        return _run_chunk(chunk)[2]
+        _, _, pairs, fallbacks = _run_chunk(chunk)
+        return pairs, fallbacks
 
     def _execute_serial(
         self,
         chunks: Sequence[_SweepChunk],
-        on_done: Callable[[_SweepChunk, List[RunPair]], None],
+        on_done: Callable[[_SweepChunk, List[RunPair], List[dict]], None],
         attempts: Dict[Tuple[int, int], int],
     ) -> List[ChunkFailure]:
         """In-process execution with the same retry/quarantine semantics."""
@@ -388,7 +437,7 @@ class SweepRunner:
         for chunk in chunks:
             while True:
                 try:
-                    on_done(chunk, self._run_chunk_inprocess(chunk))
+                    on_done(chunk, *self._run_chunk_inprocess(chunk))
                     break
                 except Exception as exc:
                     cid = _chunk_id(chunk)
@@ -443,7 +492,7 @@ class SweepRunner:
     def _execute_pool(
         self,
         chunks: Sequence[_SweepChunk],
-        on_done: Callable[[_SweepChunk, List[RunPair]], None],
+        on_done: Callable[[_SweepChunk, List[RunPair], List[dict]], None],
         attempts: Dict[Tuple[int, int], int],
     ) -> List[ChunkFailure]:
         """Pool execution in rounds: each round submits the still-pending
@@ -493,9 +542,9 @@ class SweepRunner:
                     requeue.append(chunk)
                     continue
                 try:
-                    _, _, pairs = future.result(
+                    _, _, pairs, fallbacks = future.result(
                         timeout=0 if degraded else self.timeout)
-                    on_done(chunk, pairs)
+                    on_done(chunk, pairs, fallbacks)
                 except FuturesTimeoutError as exc:
                     degraded = force_kill = True
                     note_failure(chunk, exc, kind=FAILURE_TIMEOUT)
@@ -540,7 +589,7 @@ class SweepRunner:
     def _execute(
         self,
         chunks: Sequence[_SweepChunk],
-        on_done: Callable[[_SweepChunk, List[RunPair]], None],
+        on_done: Callable[[_SweepChunk, List[RunPair], List[dict]], None],
     ) -> List[ChunkFailure]:
         attempts: Dict[Tuple[int, int], int] = {}
         if self.jobs == 1 or len(chunks) <= 1:
@@ -571,6 +620,10 @@ class SweepRunner:
         ``sim_mode="flat"`` makes every chunk a one-pass multi-config
         flat replay (see :func:`~repro.validation.harness.replay_sweep`);
         ``backend`` then also selects the memsim engine per chunk.
+        ``sim_mode="analytic"`` predicts each chunk from reuse histograms
+        with per-config replay fallback; the fallback reasons ride the
+        journal entries, so mixed analytic/fallback chunks resume with the
+        same ``analytic_fallbacks`` matrix an uninterrupted run reports.
         """
         backend = resolve_backend(backend)
         sim_mode = resolve_sim_mode(sim_mode)
@@ -632,7 +685,7 @@ class SweepRunner:
             chunk_size=chunk_size, run_token=run_token,
         )
 
-        results: Dict[Tuple[int, int], List[RunPair]] = {}
+        results: Dict[Tuple[int, int], Tuple[List[RunPair], List[dict]]] = {}
         if journal is not None and self.resume:
             for chunk in chunks:
                 entries = journal.load_chunk(
@@ -640,15 +693,19 @@ class SweepRunner:
                     [config_fingerprint(c) for c in chunk.configs],
                 )
                 if entries is not None:
-                    results[_chunk_id(chunk)] = _entries_to_pairs(
-                        entries, chunk.configs)
+                    results[_chunk_id(chunk)] = (
+                        _entries_to_pairs(entries, chunk.configs),
+                        _entries_to_fallbacks(entries),
+                    )
 
-        def on_done(chunk: _SweepChunk, pairs: List[RunPair]) -> None:
-            results[_chunk_id(chunk)] = pairs
+        def on_done(
+            chunk: _SweepChunk, pairs: List[RunPair], fallbacks: List[dict]
+        ) -> None:
+            results[_chunk_id(chunk)] = (pairs, fallbacks)
             if journal is not None:
                 path = journal.record_chunk(
                     chunk.kernel_index, chunk.config_offset,
-                    chunk.kernel.name, _pairs_to_entries(pairs),
+                    chunk.kernel.name, _pairs_to_entries(pairs, fallbacks),
                 )
                 maybe_corrupt_artifact(
                     path, chunk.kernel_index, chunk.config_offset)
@@ -656,22 +713,34 @@ class SweepRunner:
         pending = [c for c in chunks if _chunk_id(c) not in results]
         failures = self._execute(pending, on_done)
 
-        by_kernel: Dict[int, List[Tuple[int, List[RunPair]]]] = {}
-        for (kernel_index, offset), pairs in results.items():
-            by_kernel.setdefault(kernel_index, []).append((offset, pairs))
+        by_kernel: Dict[
+            int, List[Tuple[int, List[RunPair], List[dict]]]
+        ] = {}
+        for (kernel_index, offset), (pairs, fallbacks) in results.items():
+            by_kernel.setdefault(kernel_index, []).append(
+                (offset, pairs, fallbacks))
         failures_by_kernel: Dict[int, List[ChunkFailure]] = {}
         for failure in failures:
             failures_by_kernel.setdefault(failure.kernel_index, []).append(failure)
         sweeps = []
         for kernel_index, kernel in enumerate(kernels):
-            pieces = sorted(by_kernel.get(kernel_index, []))
-            pairs = [pair for _, chunk_pairs in pieces for pair in chunk_pairs]
+            pieces = sorted(by_kernel.get(kernel_index, []),
+                            key=lambda piece: piece[0])
+            pairs = [
+                pair for _, chunk_pairs, _ in pieces for pair in chunk_pairs
+            ]
+            fallbacks = [
+                entry
+                for _, _, chunk_fallbacks in pieces
+                for entry in chunk_fallbacks
+            ]
             sweeps.append(SweepResult(
                 benchmark=kernel.name, pairs=pairs,
                 failures=sorted(
                     failures_by_kernel.get(kernel_index, []),
                     key=lambda f: f.config_offset,
                 ),
+                analytic_fallbacks=fallbacks,
             ))
         return sweeps
 

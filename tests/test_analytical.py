@@ -106,6 +106,63 @@ class TestConflictProbability:
             p = _conflict_probability(d, 32, 8)
             assert 0.0 <= p <= 1.0
 
+    # -- log-space regression: million-line distances at high associativity.
+    # The naive formulation (`math.comb(d, k) * p**k * q**(d-k)`) breaks in
+    # two ways at this scale: `float(comb(10**6, 127))` overflows to raise,
+    # and the `q ** d` seed term can underflow the whole head sum to zero.
+    # The lgamma/log-space evaluation must stay finite, bounded and correct.
+
+    def test_million_line_distance_high_assoc_is_finite(self):
+        import math
+        for assoc in (16, 32, 64, 128, 256):
+            p = _conflict_probability(10**6, num_sets=4096, assoc=assoc)
+            assert math.isfinite(p)
+            assert 0.0 <= p <= 1.0
+        # ~244 expected lines per set: assoc 16 is certain conflict, assoc
+        # 256 is deep in the upper tail but must not round to exactly 0.
+        assert _conflict_probability(10**6, 4096, 16) == pytest.approx(1.0)
+        assert 0.0 < _conflict_probability(10**6, 4096, 256) < 1.0
+
+    def test_million_line_distance_matches_poisson_reference(self):
+        # Binomial(10^6, 1/65536) is Poisson(~15.26) to ~1e-4; the survival
+        # at assoc=16 sits near 0.46, a regime where any head-term underflow
+        # would snap the answer to 0 or 1.
+        import math
+        lam = 10**6 / 65536
+        poisson_le = sum(
+            math.exp(-lam + k * math.log(lam) - math.lgamma(k + 1))
+            for k in range(16)
+        )
+        got = _conflict_probability(10**6, num_sets=65536, assoc=16)
+        assert got == pytest.approx(1.0 - poisson_le, abs=1e-3)
+
+    def test_monotone_decreasing_in_assoc(self):
+        probs = [
+            _conflict_probability(10**6, 4096, assoc)
+            for assoc in (16, 64, 256, 512)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_miss_rate_path_with_million_line_histogram(self):
+        # Drive the full expected_misses loop through the conflict branch
+        # with stack distances up to 10^6 against an assoc-16 geometry
+        # (capacity 2^21 lines keeps every distance below the Mattson cut).
+        import math
+        distances = {str(2**i): 1000 for i in range(5, 21)}
+        distances[str(10**6)] = 1000
+        accesses = sum(int(c) for c in distances.values()) + 1
+        profile = StackDistanceProfile.from_dict({
+            "line_sizes": [64],
+            "records": accesses,
+            "histograms": {"64": distances},
+            "colds": {"64": 1},
+            "counts": {"64": accesses},
+        })
+        config = CacheConfig(size=(2**21) * 64, assoc=16, line_size=64)
+        rate = profile.miss_rate(config)
+        assert math.isfinite(rate)
+        assert 0.0 < rate < 1.0
+
 
 class TestTangModel:
     def test_block_validation(self):

@@ -127,6 +127,22 @@ class TestPlacement:
         side_effect = _payload(output="/tmp/x.json")
         assert fleet3.core.candidates_for(side_effect)[0].slot == 1
 
+    def test_load_routing_uses_per_kind_service_time(self, fleet3):
+        # Two replicas with equal backlogs: the one that has historically
+        # run analytic jobs in milliseconds must win an analytic submit,
+        # even though its fleet-wide average (dominated by replays) loses.
+        fleet3.endpoints[0].mark_healthy({
+            "est_wait_seconds": 1.0, "avg_job_seconds": 6.0,
+            "avg_job_seconds_by_kind": {"simulate:analytic": 0.005},
+        })
+        fleet3.endpoints[1].mark_healthy({
+            "est_wait_seconds": 1.0, "avg_job_seconds": 2.0,
+            "avg_job_seconds_by_kind": {},
+        })
+        fleet3.endpoints[2].mark_down()
+        chaos = dict(_payload(analytic=True), fault={"spec": "kill:*:*"})
+        assert fleet3.core.candidates_for(chaos)[0].slot == 0
+
     def test_invalid_payload_rejected(self, fleet3):
         status, body = fleet3.core.submit(["not", "a", "dict"])
         assert status == 400
@@ -276,6 +292,28 @@ class TestReplicaEndpoint:
         ep.set_base_url("http://x")
         ep.mark_healthy({"est_wait_seconds": "not-a-number"})
         assert ep.est_wait_seconds() == 0.0
+
+    def test_est_wait_for_kind_adds_kind_service_time(self):
+        ep = ReplicaEndpoint(0, "r0")
+        ep.set_base_url("http://x")
+        ep.mark_healthy({
+            "est_wait_seconds": 2.0, "avg_job_seconds": 5.0,
+            "avg_job_seconds_by_kind": {"simulate:analytic": 0.004},
+        })
+        assert ep.est_wait_seconds_for(None) == 2.0
+        assert ep.est_wait_seconds_for("simulate:analytic") == \
+            pytest.approx(2.004)
+        # Unknown kind: fall back to the fleet-wide average service time.
+        assert ep.est_wait_seconds_for("simulate") == pytest.approx(7.0)
+
+    def test_est_wait_for_kind_tolerates_garbage(self):
+        ep = ReplicaEndpoint(0, "r0")
+        ep.set_base_url("http://x")
+        ep.mark_healthy({
+            "est_wait_seconds": 1.0,
+            "avg_job_seconds_by_kind": {"simulate": "oops"},
+        })
+        assert ep.est_wait_seconds_for("simulate") == 1.0
 
 
 # -- request generator -------------------------------------------------------

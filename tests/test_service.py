@@ -32,6 +32,7 @@ from repro.service.queue import (
     AdmissionQueue,
     QueueClosedError,
     QueueFullError,
+    job_kind,
 )
 from repro.service.server import GmapService
 
@@ -181,6 +182,43 @@ class TestAdmissionQueue:
 
     def test_get_times_out(self):
         assert AdmissionQueue(capacity=1).get(0.05) is None
+
+    def test_job_kind_splits_analytic_simulate(self):
+        plain = JobRequest(job_id="a", kind="simulate", params={}, seq=0)
+        fast = JobRequest(job_id="b", kind="simulate",
+                          params={"analytic": True}, seq=1)
+        other = JobRequest(job_id="c", kind="profile", params={}, seq=2)
+        assert job_kind(plain) == "simulate"
+        assert job_kind(fast) == "simulate:analytic"
+        assert job_kind(other) == "profile"
+
+    def test_per_kind_ewma_prices_backlog_item_by_item(self):
+        # A millisecond analytic job queued behind a replay job must not be
+        # priced at the fleet average: each backlog item carries its own
+        # kind's EWMA, so est_wait reflects the actual queue composition.
+        queue = AdmissionQueue(capacity=8, workers=1)
+        queue.note_job_seconds(10.0, kind="simulate")
+        queue.note_job_seconds(0.01, kind="simulate:analytic")
+        queue.submit(JobRequest(job_id="a", kind="simulate", params={},
+                                seq=0))
+        queue.submit(JobRequest(job_id="b", kind="simulate",
+                                params={"analytic": True}, seq=1))
+        snapshot = queue.snapshot()
+        by_kind = snapshot["avg_job_seconds_by_kind"]
+        assert by_kind["simulate"] == pytest.approx(10.0)
+        assert by_kind["simulate:analytic"] == pytest.approx(0.01)
+        assert snapshot["est_wait_seconds"] == pytest.approx(10.01)
+        assert snapshot["queue_depth_by_kind"] == {
+            "simulate": 1, "simulate:analytic": 1}
+
+    def test_unseen_kind_falls_back_to_fleet_average(self):
+        queue = AdmissionQueue(capacity=8, workers=1)
+        queue.note_job_seconds(4.0)  # fleet-wide only, no kind attributed
+        queue.submit(JobRequest(job_id="a", kind="profile", params={},
+                                seq=0))
+        snapshot = queue.snapshot()
+        assert snapshot["est_wait_seconds"] == \
+            pytest.approx(snapshot["avg_job_seconds"])
 
     def test_get_unblocks_on_close(self):
         queue = AdmissionQueue(capacity=1)
