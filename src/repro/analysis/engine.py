@@ -57,8 +57,10 @@ class EngineConfig:
     )
     sim_path_prefixes: Tuple[str, ...] = ("core/", "memsim/", "gpu/")
     #: Packages under the service-backoff discipline: every wait must go
-    #: through :mod:`repro.service.backoff` (jittered, bounded).
-    service_path_prefixes: Tuple[str, ...] = ("service/",)
+    #: through :mod:`repro.service.backoff` (jittered, bounded).  The
+    #: lease protocol lives in core/ but waits like a service (heartbeat
+    #: renewals, takeover polls), so it is held to the same rule.
+    service_path_prefixes: Tuple[str, ...] = ("service/", "core/lease.py")
     #: The one module allowed to call ``time.sleep`` in the service layer —
     #: the backoff helper itself.
     backoff_exempt: Tuple[str, ...] = ("service/backoff.py",)

@@ -252,12 +252,39 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shared-cache-dir", default=None,
                    help="fleet-shared single-flight result cache directory "
                         "(default: disabled)")
+    p.add_argument("--shared-cache-lock", choices=("fcntl", "lease"),
+                   default=None,
+                   help="single-flight lock backend for the shared cache "
+                        "(default: fcntl where available, else lease; pick "
+                        "lease on NFS-like filesystems)")
     p.add_argument("--replicas", type=int, default=None, metavar="N",
                    help="run N supervised replicas behind a front-door "
                         "router instead of a single server (default: 1)")
     p.add_argument("--router-port", type=int, default=None,
                    help="router listen port with --replicas (default: 0 = "
                         "ephemeral, printed on startup)")
+    p.add_argument("--router-only", action="store_true",
+                   help="run only the front-door router (no local "
+                        "replicas); replicas attach with --join")
+    p.add_argument("--state-dir", default=None,
+                   help="durable router state directory (outcome store); "
+                        "restarts and peer routers on the same directory "
+                        "recover terminal outcomes and assignments")
+    p.add_argument("--join", default=None, metavar="ROUTER_URL",
+                   help="register this replica with a router at "
+                        "ROUTER_URL and keep re-registering as a heartbeat")
+    p.add_argument("--join-interval", type=float, default=None,
+                   metavar="SECONDS",
+                   help="re-registration heartbeat period for --join "
+                        "(default: 2)")
+    p.add_argument("--bulk-capacity", type=int, default=None, metavar="N",
+                   help="bulk-lane admission bound (default: half of "
+                        "--queue-capacity)")
+    p.add_argument("--bulk-max-wait", type=float, default=None,
+                   metavar="SECONDS",
+                   help="anti-starvation bound: a bulk job waiting longer "
+                        "is served next regardless of lane weights "
+                        "(default: 30)")
 
     p = sub.add_parser(
         "bench-serve",
@@ -728,6 +755,14 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    if args.router_only:
+        from repro.service.router import serve_router
+
+        return serve_router(
+            args.host or "127.0.0.1", args.port or 0,
+            state_dir=args.state_dir,
+        )
+
     if args.replicas is not None and args.replicas > 1:
         from repro.service.fleet import FleetConfig, serve_fleet
 
@@ -743,6 +778,11 @@ def _cmd_serve(args) -> int:
             backend=args.backend,
             allow_fault_injection=args.allow_fault_injection,
             shared_cache_dir=args.shared_cache_dir,
+            shared_cache_lock=args.shared_cache_lock,
+            state_dir=args.state_dir,
+            bulk_capacity=args.bulk_capacity or 0,
+            bulk_max_wait=(args.bulk_max_wait
+                           if args.bulk_max_wait is not None else 30.0),
         )
         return serve_fleet(fleet_config)
 
@@ -760,6 +800,11 @@ def _cmd_serve(args) -> int:
         backend=args.backend,
         replica_id=args.replica_id,
         shared_cache_dir=args.shared_cache_dir,
+        shared_cache_lock=args.shared_cache_lock,
+        join=args.join,
+        join_interval=args.join_interval,
+        bulk_capacity=args.bulk_capacity,
+        bulk_max_wait=args.bulk_max_wait,
     )
     return serve_forever(config)
 

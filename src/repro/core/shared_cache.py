@@ -11,12 +11,22 @@ Two fleet problems are solved here:
 
 * **request coalescing** — identical pipeline keys in flight anywhere in
   the fleet collapse to one worker execution.  The builder of a key holds
-  an ``fcntl`` file lock for the duration of the build; concurrent
+  a per-key build lock for the duration of the build; concurrent
   submitters (same replica or siblings) block on the lock and then read
-  the stored entry instead of re-executing.  The lock is kernel-owned, so
-  a builder that is SIGKILLed mid-build releases it implicitly and the
-  next waiter simply becomes the builder — crash-safe single flight with
-  no janitor process;
+  the stored entry instead of re-executing.  Two lock backends exist:
+
+  - ``fcntl`` — a kernel ``flock``, released implicitly when the builder
+    dies, so a SIGKILLed builder hands off to the next waiter with no
+    janitor process.  Correct on local filesystems; unreliable on
+    NFS-like network mounts where ``flock`` lies.
+  - ``lease`` — the :mod:`repro.core.lease` protocol (owner id + TTL +
+    heartbeat renewal + atomic rename takeover), built entirely from
+    ``link``/``rename``, which *are* atomic on network filesystems.  A
+    live builder's heartbeat keeps its lease fresh however long the
+    build runs; a dead builder's lease expires after one TTL and the
+    next waiter takes it over (counted as ``shared_cache_lease_takeover``
+    in the integrity ledger).
+
 * **poison containment** — every entry embeds a SHA-256 checksum
   (:mod:`repro.core.integrity`).  A poisoned/truncated/bit-rotted entry is
   *quarantined* (moved to ``quarantine/`` for post-mortem) and rebuilt
@@ -29,9 +39,13 @@ Every observation is recorded in the process-wide
 / ``shared_cache_poisoned``, which is how job outcomes (and the thundering
 -herd chaos scenario) count executions without any new protocol surface.
 
-``fcntl`` is POSIX-only; where it is missing the tier degrades to a plain
-shared cache — still content-addressed and checksummed, just without
-cross-process coalescing.
+``fcntl`` is POSIX-only; where it is missing the default backend is
+``lease``, so coalescing survives.  Only when *no* lock backend can engage
+at all (lock-directory IO failure, or ``fcntl`` explicitly requested on a
+platform without it) does the tier degrade to a plain shared cache — still
+content-addressed and checksummed, just without cross-process coalescing —
+and that degradation is announced once per process through the
+``shared_cache_unlocked`` integrity event rather than happening silently.
 """
 
 from __future__ import annotations
@@ -60,6 +74,7 @@ from repro.core.integrity import (
     quarantine_file,
     verify_payload,
 )
+from repro.core.lease import ACQUIRED_TAKEOVER, LeaseFile, LeaseHeartbeat
 
 PathLike = Union[str, Path]
 
@@ -80,6 +95,52 @@ EVENT_BY_STATUS = {
     STATUS_UNCACHED: "shared_cache_uncached",
 }
 EVENT_POISONED = "shared_cache_poisoned"
+#: Build ran uncoalesced because no cross-process lock could be engaged.
+EVENT_UNLOCKED = "shared_cache_unlocked"
+#: A lease-backed waiter took over a dead builder's expired lease.
+EVENT_LEASE_TAKEOVER = "shared_cache_lease_takeover"
+
+#: Lock backends for single-flight coalescing.
+LOCK_FCNTL = "fcntl"
+LOCK_LEASE = "lease"
+LOCK_BACKENDS = (LOCK_FCNTL, LOCK_LEASE)
+
+#: One ``shared_cache_unlocked`` event per process, however many builds
+#: degrade — the ledger flags the condition, counters elsewhere size it.
+_unlocked_reported = threading.Event()
+
+
+def _note_unlocked() -> None:
+    if not _unlocked_reported.is_set():
+        _unlocked_reported.set()
+        integrity_events.record(EVENT_UNLOCKED)
+
+
+def resolve_lock_backend(requested: Optional[str] = None) -> str:
+    """The effective lock backend: explicit choice, else fcntl-when-present.
+
+    Platforms without ``fcntl`` default to the lease protocol so single
+    flight still works; asking for ``fcntl`` there is honoured literally
+    and degrades (with the ``shared_cache_unlocked`` event) at lock time.
+    """
+    if requested:
+        if requested not in LOCK_BACKENDS:
+            raise ValueError(
+                f"unknown shared-cache lock backend {requested!r}; "
+                f"expected one of {LOCK_BACKENDS}"
+            )
+        return requested
+    return LOCK_FCNTL if _HAVE_FCNTL else LOCK_LEASE
+
+
+class _HeldLease:
+    """A held lease plus the heartbeat keeping it fresh during the build."""
+
+    __slots__ = ("lease", "heartbeat")
+
+    def __init__(self, lease: LeaseFile, heartbeat: LeaseHeartbeat) -> None:
+        self.lease = lease
+        self.heartbeat = heartbeat
 
 
 def job_key(kind: str, params: Dict[str, Any], backend: Optional[str]) -> str:
@@ -103,8 +164,15 @@ class SharedResultCache:
     Layout under ``root``::
 
         results/<k[:2]>/<key>.json.gz    checksummed gzipped-JSON entries
-        locks/<k[:2]>/<key>.lock         per-key build locks (empty files)
+        locks/<k[:2]>/<key>.lock         per-key fcntl locks (empty files)
+        locks/<k[:2]>/<key>.lease        per-key lease files (lease backend)
         quarantine/                      poisoned entries, moved aside
+
+    ``lock_backend`` picks the single-flight mechanism (``fcntl`` or
+    ``lease``; default: fcntl where the module exists, lease elsewhere).
+    ``lease_ttl`` is how long a *silent* builder holds a lease before
+    waiters may take over — live builders heartbeat, so it bounds crash
+    handoff latency, not build duration.
 
     ``clock`` is injectable for deterministic tests (monotonic seconds).
     """
@@ -115,11 +183,15 @@ class SharedResultCache:
         *,
         lock_timeout: float = 300.0,
         poll_interval: float = 0.05,
+        lock_backend: Optional[str] = None,
+        lease_ttl: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.root = Path(root)
         self.lock_timeout = lock_timeout
         self.poll_interval = poll_interval
+        self.lock_backend = resolve_lock_backend(lock_backend)
+        self.lease_ttl = lease_ttl
         self._clock = clock
         self._pause = threading.Event()  # never set: interruptible waits
 
@@ -130,6 +202,9 @@ class SharedResultCache:
 
     def _lock_path(self, key: str) -> Path:
         return self.root / "locks" / key[:2] / f"{key}.lock"
+
+    def _lease_path(self, key: str) -> Path:
+        return self.root / "locks" / key[:2] / f"{key}.lease"
 
     # -- raw entry IO --------------------------------------------------------
 
@@ -268,21 +343,31 @@ class SharedResultCache:
     # -- locking -------------------------------------------------------------
 
     def _acquire(self, key: str):
-        """A held lock handle, or None (timeout / platform without fcntl).
+        """A held lock handle, or None when no lock could be engaged.
 
-        Non-blocking attempts in a bounded jittered-interval loop rather
-        than one blocking ``flock``: the loop observes ``lock_timeout``, so
-        a wedged builder degrades this caller to an uncoalesced build
-        instead of hanging it forever (its own job deadline is the only
-        other backstop).
+        Non-blocking attempts in a bounded polling loop rather than one
+        blocking wait: the loop observes ``lock_timeout``, so a wedged
+        builder degrades this caller to an uncoalesced build instead of
+        hanging it forever (its own job deadline is the only other
+        backstop).  ``None`` for any reason *other* than lock contention
+        (missing fcntl, lock-directory IO failure) additionally fires the
+        once-per-process ``shared_cache_unlocked`` event — coalescing is
+        off and operators should know.
         """
+        if self.lock_backend == LOCK_LEASE:
+            return self._acquire_lease(key)
+        return self._acquire_fcntl(key)
+
+    def _acquire_fcntl(self, key: str):
         if not _HAVE_FCNTL:
+            _note_unlocked()
             return None
         path = self._lock_path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             handle = open(path, "a+b")
         except OSError:
+            _note_unlocked()
             return None
         deadline = self._clock() + self.lock_timeout
         while True:
@@ -295,8 +380,35 @@ class SharedResultCache:
                     return None
                 self._pause.wait(self.poll_interval)
 
+    def _acquire_lease(self, key: str) -> Optional[_HeldLease]:
+        lease = LeaseFile(self._lease_path(key), ttl=self.lease_ttl)
+        deadline = self._clock() + self.lock_timeout
+        failures = 0
+        while True:
+            try:
+                got = lease.try_acquire()
+            except OSError:
+                # Lock-directory IO trouble (read-only/full filesystem):
+                # a few attempts, then build uncoalesced — and say so.
+                failures += 1
+                if failures >= 3:
+                    _note_unlocked()
+                    return None
+                got = None
+            if got is not None:
+                if got == ACQUIRED_TAKEOVER:
+                    integrity_events.record(EVENT_LEASE_TAKEOVER)
+                return _HeldLease(lease, LeaseHeartbeat(lease).start())
+            if self._clock() >= deadline:
+                return None
+            self._pause.wait(self.poll_interval)
+
     @staticmethod
     def _release(handle) -> None:
+        if isinstance(handle, _HeldLease):
+            handle.heartbeat.stop()
+            handle.lease.release()
+            return
         try:
             fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
         except OSError:

@@ -625,6 +625,289 @@ def scenario_thundering_herd(tmp: Path, rng: random.Random,
     return result
 
 
+# -- durable-router / lease scenarios ----------------------------------------
+
+class _ChildProc:
+    """A ``gmap serve`` child process with a scanned stdout stream."""
+
+    def __init__(self, argv: List[str]) -> None:
+        import os
+        import subprocess
+
+        src_root = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli"] + argv,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        self.lines: List[str] = []
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+        self._thread.start()
+
+    def _drain(self) -> None:
+        assert self.proc.stdout is not None
+        for line in self.proc.stdout:
+            self.lines.append(line)
+
+    def await_match(self, pattern: str, timeout: float) -> Optional[str]:
+        """First capture group of ``pattern`` in stdout, or None."""
+        import re
+
+        rx = re.compile(pattern)
+        found: List[str] = []
+
+        def _scan() -> bool:
+            for line in list(self.lines):
+                match = rx.search(line)
+                if match:
+                    found.append(match.group(1))
+                    return True
+            return False
+
+        if poll_until(_scan, timeout=timeout):
+            return found[0]
+        return None
+
+    def kill(self) -> None:
+        """SIGKILL, reaped."""
+        try:
+            self.proc.kill()
+            self.proc.wait(timeout=10)
+        except OSError:
+            pass
+
+
+def _router_fleet_snapshot(url: str) -> Dict[str, Any]:
+    try:
+        status, body = _request(url + "/fleet")
+    except OSError:
+        return {}
+    return body if status == 200 else {}
+
+
+def scenario_router_kill(tmp: Path, rng: random.Random,
+                         smoke: bool) -> ScenarioResult:
+    """SIGKILL a durable standalone router (and one cross-host replica)
+    mid-flight; a restarted router on the same ``--state-dir`` and port
+    must serve every previously-terminal outcome unchanged and drive all
+    in-flight jobs — including the dead replica's — to completion."""
+    result = ScenarioResult("router_kill")
+    state = tmp / f"router-state-{rng.randrange(1 << 30)}"
+    shared = tmp / f"router-shared-{rng.randrange(1 << 30)}"
+
+    def _router(port: int) -> _ChildProc:
+        return _ChildProc(["serve", "--router-only",
+                           "--state-dir", str(state), "--port", str(port)])
+
+    children: List[_ChildProc] = []
+    try:
+        router = _router(0)
+        children.append(router)
+        url = router.await_match(r"router listening on (http://\S+)",
+                                 WAIT_LIMIT)
+        if url is None:
+            result.violations.append("router never printed its ready line")
+            return result
+        port = int(url.rsplit(":", 1)[1])
+        replicas: List[_ChildProc] = []
+        for i in range(2):
+            replica = _ChildProc([
+                "serve", "--join", url, "--replica-id", f"rk{i}",
+                "--serve-workers", "1", "--isolation", "thread",
+                "--shared-cache-dir", str(shared), "--no-journal",
+                "--join-interval", "0.5"])
+            children.append(replica)
+            replicas.append(replica)
+            if replica.await_match(r"^listening on (http://\S+)",
+                                   WAIT_LIMIT) is None:
+                result.violations.append(
+                    f"replica rk{i} never printed its ready line")
+                return result
+        if not poll_until(
+                lambda: _router_fleet_snapshot(url).get("routable", 0) >= 2,
+                timeout=WAIT_LIMIT):
+            result.violations.append(
+                "replicas never registered with the router")
+            return result
+
+        # Fast jobs to terminal: the outcomes that must survive the kill.
+        settled: Dict[str, Dict[str, Any]] = {}
+        for _ in range(3):
+            status, accepted = _submit(url, _sim_job())
+            if status != 202:
+                result.violations.append(
+                    f"pre-kill submit returned HTTP {status}")
+                return result
+            outcome = _wait_terminal(url, accepted["job_id"], WAIT_LIMIT)
+            if outcome is None or outcome["status"] != "completed":
+                result.violations.append(
+                    f"pre-kill job did not complete: {outcome}")
+                return result
+            settled[accepted["job_id"]] = outcome
+
+        # In-flight jobs: distinct keys spread over both single-worker
+        # replicas, slow enough that they are still queued at kill time.
+        inflight: Dict[str, str] = {}  # job_id -> replica_id
+        for i in range(6):
+            payload = {
+                "kind": "simulate",
+                "params": {
+                    "target": ("transpose", "reduction",
+                               "vectoradd")[i % 3],
+                    "scale": "small", "cores": 1 + i // 3,
+                },
+            }
+            status, accepted = _submit(url, payload)
+            if status != 202:
+                result.violations.append(
+                    f"in-flight submit returned HTTP {status}")
+                return result
+            inflight[accepted["job_id"]] = accepted.get("replica", "")
+        if len(inflight) < 3:
+            result.violations.append(
+                f"needed >= 3 in-flight jobs, got {len(inflight)}")
+            return result
+
+        # Kill the router, then the replica owning the most in-flight
+        # jobs — its assignments are the reassignment work-list.
+        owners = [rid for rid in inflight.values() if rid]
+        victim_id = max(set(owners), key=owners.count) if owners else "rk0"
+        victim_index = 0 if victim_id == "rk0" else 1
+        router.kill()
+        replicas[victim_index].kill()
+
+        restarted = _router(port)
+        children.append(restarted)
+        if restarted.await_match(r"router listening on (http://\S+)",
+                                 WAIT_LIMIT) is None:
+            result.violations.append(
+                "restarted router never printed its ready line")
+            return result
+        if not poll_until(
+                lambda: _router_fleet_snapshot(url).get("routable", 0) >= 1,
+                timeout=WAIT_LIMIT):
+            result.violations.append(
+                "surviving replica never re-registered after the restart")
+            return result
+
+        # Every pre-kill terminal outcome must be served unchanged.
+        for job_id, before in settled.items():
+            status, after = _request(f"{url}/jobs/{job_id}")
+            if status != 200 or after.get("status") != "completed":
+                result.violations.append(
+                    f"terminal outcome lost across router kill: "
+                    f"{job_id} -> HTTP {status} {after}")
+            elif after.get("result") != before.get("result"):
+                result.violations.append(
+                    f"terminal result changed across router kill: {job_id}")
+        # Every in-flight job must reach completion (reassigned as needed).
+        for job_id in inflight:
+            outcome = _wait_terminal(url, job_id, WAIT_LIMIT)
+            if outcome is None or outcome["status"] != "completed":
+                result.violations.append(
+                    f"in-flight job {job_id} did not survive the router "
+                    f"kill: {outcome}")
+        snap = _router_fleet_snapshot(url)
+        counters = snap.get("counters", {})
+        if counters.get("recovered_terminal", 0) < len(settled):
+            result.violations.append(
+                f"restarted router recovered "
+                f"{counters.get('recovered_terminal')} terminal outcomes, "
+                f"expected >= {len(settled)}")
+        if sum(1 for rid in inflight.values() if rid == victim_id) \
+                and counters.get("reassigned", 0) < 1:
+            result.violations.append(
+                f"no reassignment recorded for the killed replica's "
+                f"jobs: {counters}")
+        result.notes.append(
+            f"{len(settled)} outcomes survived, {len(inflight)} in-flight "
+            f"completed, {counters.get('reassigned', 0)} reassigned after "
+            f"killing {victim_id}")
+    finally:
+        for child in children:
+            child.kill()
+    return result
+
+
+def _crash_with_lease(root: str, key: str, ttl: float) -> None:
+    """Child body: take the key's build lease, then die without release."""
+    import os
+
+    from repro.core.shared_cache import SharedResultCache
+
+    cache = SharedResultCache(root, lock_backend="lease", lease_ttl=ttl)
+    cache._acquire(key)
+    os._exit(1)
+
+
+def scenario_lease_expiry(tmp: Path, rng: random.Random,
+                          smoke: bool) -> ScenarioResult:
+    """A builder SIGKILLed while holding a lease must not wedge the key:
+    the next builder takes the expired lease over (one takeover event)
+    and the build runs exactly once."""
+    import multiprocessing
+    import os
+
+    from repro.core.integrity import integrity_events
+    from repro.core.shared_cache import (
+        EVENT_LEASE_TAKEOVER,
+        SharedResultCache,
+        STATUS_BUILT,
+    )
+
+    result = ScenarioResult("lease_expiry")
+    root = tmp / f"lease-cache-{rng.randrange(1 << 30)}"
+    key = "f" * 64
+    ttl = 1.0
+    cache = SharedResultCache(root, lock_backend="lease", lease_ttl=ttl,
+                              lock_timeout=WAIT_LIMIT)
+    lease_path = cache._lease_path(key)
+    ctx = multiprocessing.get_context("fork")
+    child = ctx.Process(target=_crash_with_lease,
+                        args=(str(root), key, ttl))
+    child.start()
+    child.join(WAIT_LIMIT)
+    if child.exitcode != 1 or not lease_path.exists():
+        result.violations.append(
+            f"child did not die holding the lease (exit {child.exitcode}, "
+            f"lease present: {lease_path.exists()})")
+        return result
+
+    marker_dir = root / "markers"
+    marker_dir.mkdir(parents=True, exist_ok=True)
+
+    def _build() -> Dict[str, Any]:
+        # O_CREAT|O_EXCL marker: a second concurrent build would raise.
+        fd = os.open(marker_dir / f"build-{os.getpid()}",
+                     os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+        return {"value": 42}
+
+    before = integrity_events.snapshot()
+    started = time.monotonic()
+    body, status = cache.single_flight(key, _build)
+    waited = time.monotonic() - started
+    delta = integrity_events.delta(before)
+    if status != STATUS_BUILT or body != {"value": 42}:
+        result.violations.append(
+            f"takeover build did not run: status {status!r}, body {body}")
+    if not delta.get(EVENT_LEASE_TAKEOVER):
+        result.violations.append(
+            f"no {EVENT_LEASE_TAKEOVER} event recorded: {delta}")
+    markers = list(marker_dir.glob("build-*"))
+    if len(markers) != 1:
+        result.violations.append(
+            f"expected exactly 1 build, found {len(markers)} markers")
+    if waited > 10 * ttl + 5.0:
+        result.violations.append(
+            f"takeover took {waited:.1f}s for a {ttl}s lease TTL")
+    if not result.violations:
+        result.notes.append(
+            f"expired lease taken over in {waited:.2f}s, built once")
+    return result
+
+
 SCENARIOS = (
     scenario_worker_kill_retries,
     scenario_worker_kill_exhausts,
@@ -636,6 +919,8 @@ SCENARIOS = (
     scenario_router_partition,
     scenario_cache_poison,
     scenario_thundering_herd,
+    scenario_router_kill,
+    scenario_lease_expiry,
 )
 
 

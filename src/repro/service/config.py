@@ -68,6 +68,21 @@ class ServiceConfig:
     #: Directory of the fleet-shared single-flight result cache
     #: (:mod:`repro.core.shared_cache`); None disables the tier.
     shared_cache_dir: Optional[str] = None
+    #: Single-flight lock backend for the shared cache: ``fcntl``,
+    #: ``lease``, or None (auto: fcntl where available, else lease).
+    #: Lease is the right choice when ``shared_cache_dir`` is on an
+    #: NFS-like filesystem where ``flock`` is unreliable.
+    shared_cache_lock: Optional[str] = None
+    #: Router URL to register with (``gmap serve --join``); None runs the
+    #: replica standalone.  Registration repeats every ``join_interval``
+    #: seconds as a heartbeat, so a restarted router re-learns us.
+    join: Optional[str] = None
+    join_interval: float = 2.0
+    #: Bulk-lane admission bound (0 = auto: half of ``queue_capacity``)
+    #: and the anti-starvation aging bound, seconds (a bulk job whose
+    #: head-of-lane wait exceeds it is served next regardless of weights).
+    bulk_capacity: int = 0
+    bulk_max_wait: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -84,6 +99,13 @@ class ServiceConfig:
             raise ValueError(
                 f"isolation must be one of {ISOLATION_MODES}, "
                 f"got {self.isolation!r}")
+        if self.shared_cache_lock not in (None, "fcntl", "lease"):
+            raise ValueError(
+                f"shared_cache_lock must be 'fcntl' or 'lease', "
+                f"got {self.shared_cache_lock!r}")
+        if self.bulk_capacity < 0:
+            raise ValueError(
+                f"bulk_capacity must be >= 0, got {self.bulk_capacity}")
 
     @classmethod
     def from_env(cls, **overrides: Any) -> "ServiceConfig":

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from repro.service.backoff import backoff_delay, poll_until
+from repro.service.outcome_store import OutcomeStore
 from repro.service.router import (
     ReplicaEndpoint,
     RouterCore,
@@ -72,6 +73,15 @@ class FleetConfig:
     #: Fleet-shared single-flight cache root (created under a tempdir
     #: when unset — the tier is what makes reassignment dedupe-safe).
     shared_cache_dir: Optional[str] = None
+    #: Shared-cache lock backend forwarded to every replica
+    #: (``fcntl``/``lease``/None = auto).
+    shared_cache_lock: Optional[str] = None
+    #: Durable router state directory (outcome store); None keeps the
+    #: router's job table memory-only as before.
+    state_dir: Optional[str] = None
+    #: Per-replica bulk-lane admission bound (0 = auto) and aging bound.
+    bulk_capacity: int = 0
+    bulk_max_wait: float = 30.0
     #: Seconds between health probes of every replica.
     health_interval: float = 0.5
     #: Consecutive probe failures before a live process is declared down.
@@ -128,6 +138,12 @@ class ReplicaProcess:
             argv += ["--backend", cfg.backend]
         if cfg.allow_fault_injection:
             argv += ["--allow-fault-injection"]
+        if cfg.shared_cache_lock:
+            argv += ["--shared-cache-lock", cfg.shared_cache_lock]
+        if cfg.bulk_capacity:
+            argv += ["--bulk-capacity", str(cfg.bulk_capacity)]
+        if cfg.bulk_max_wait != 30.0:
+            argv += ["--bulk-max-wait", str(cfg.bulk_max_wait)]
         return argv
 
     def start(self) -> None:
@@ -213,7 +229,9 @@ class Fleet:
             ReplicaEndpoint(slot, f"r{slot}")
             for slot in range(config.replicas)
         ]
-        self.core = RouterCore(self.endpoints)
+        store = (OutcomeStore(config.state_dir)
+                 if config.state_dir else None)
+        self.core = RouterCore(self.endpoints, store=store)
         self.replicas: List[ReplicaProcess] = [
             ReplicaProcess(slot, config, self.shared_cache_dir)
             for slot in range(config.replicas)

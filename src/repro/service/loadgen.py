@@ -34,7 +34,11 @@ from typing import Any, Dict, Iterable, List, Optional, TextIO
 
 from repro.service.backoff import poll_until, sleep_backoff
 from repro.service.router import http_json
-from repro.service.protocol import TERMINAL_STATUSES
+from repro.service.protocol import (
+    PRIORITIES,
+    PRIORITY_INTERACTIVE,
+    TERMINAL_STATUSES,
+)
 
 #: Synthetic mix: (kind, params template) weighted choices.  Tiny scales —
 #: the workload exercises the *service*, not the simulator's throughput.
@@ -61,6 +65,11 @@ class Req:
     def latency(self) -> float:
         return max(0.0, self.finished_at - self.intended_at)
 
+    @property
+    def lane(self) -> str:
+        lane = self.payload.get("priority", PRIORITY_INTERACTIVE)
+        return lane if lane in PRIORITIES else PRIORITY_INTERACTIVE
+
 
 class ReqGenEngine:
     """Seeded request source: synthetic mix or recorded-trace replay."""
@@ -72,10 +81,15 @@ class ReqGenEngine:
         scale: str = "tiny",
         replay: Optional[Iterable[Dict[str, Any]]] = None,
         record_to: Optional[TextIO] = None,
+        priority: Optional[str] = None,
     ) -> None:
         if key_diversity < 1:
             raise ValueError(
                 f"key_diversity must be >= 1, got {key_diversity}")
+        if priority is not None and priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {PRIORITIES}, got {priority!r}")
+        self._priority = priority
         self._rng = random.Random(seed)
         self._record_to = record_to
         self._replay = list(replay) if replay is not None else None
@@ -112,6 +126,8 @@ class ReqGenEngine:
             else:
                 payload = json.loads(json.dumps(
                     self._rng.choice(self._pool)))
+            if self._priority is not None:
+                payload["priority"] = self._priority
             if self._record_to is not None:
                 self._record_to.write(json.dumps(payload) + "\n")
             return payload
@@ -130,6 +146,16 @@ class LoadReport:
     lost: int = 0
     latencies_ms: List[float] = field(default_factory=list)
     errors: List[str] = field(default_factory=list)
+    #: Per-priority-lane tallies: lane -> {submitted, completed, shed, ...}
+    #: plus that lane's latency samples (ms).
+    lane_counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    lane_latencies_ms: Dict[str, List[float]] = field(default_factory=dict)
+
+    def _lane_bucket(self, lane: str) -> Dict[str, int]:
+        return self.lane_counts.setdefault(lane, {
+            "submitted": 0, "completed": 0, "failed": 0,
+            "shed": 0, "lost": 0,
+        })
 
     @staticmethod
     def _pct(sorted_values: List[float], q: float) -> float:
@@ -161,6 +187,20 @@ class LoadReport:
                 "p90": round(self._pct(lat, 0.90), 3),
                 "p99": round(self._pct(lat, 0.99), 3),
                 "max": round(lat[-1], 3) if lat else 0.0,
+            },
+            "by_lane": {
+                lane: {
+                    **counts,
+                    "latency_ms": {
+                        "p50": round(self._pct(
+                            sorted(self.lane_latencies_ms.get(lane, [])),
+                            0.50), 3),
+                        "p99": round(self._pct(
+                            sorted(self.lane_latencies_ms.get(lane, [])),
+                            0.99), 3),
+                    },
+                }
+                for lane, counts in sorted(self.lane_counts.items())
             },
             "errors": self.errors[:10],
         }
@@ -362,17 +402,26 @@ class Workload:
             reqs = list(self._reqs)
         for req in reqs:
             report.submitted += 1
+            bucket = report._lane_bucket(req.lane)
+            bucket["submitted"] += 1
             if req.status == "completed":
                 report.completed += 1
-                report.latencies_ms.append(req.latency * 1000.0)
+                bucket["completed"] += 1
+                latency_ms = req.latency * 1000.0
+                report.latencies_ms.append(latency_ms)
+                report.lane_latencies_ms.setdefault(
+                    req.lane, []).append(latency_ms)
             elif req.status == "shed":
                 report.shed += 1
+                bucket["shed"] += 1
             elif req.status == "lost":
                 report.lost += 1
+                bucket["lost"] += 1
                 if req.error:
                     report.errors.append(req.error)
             elif req.status == "failed":
                 report.failed += 1
+                bucket["failed"] += 1
                 if req.error:
                     report.errors.append(req.error)
         return report
@@ -404,6 +453,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(default: 4)")
     parser.add_argument("--scale", default="tiny",
                         help="workload kernel scale (default: tiny)")
+    parser.add_argument("--priority", choices=PRIORITIES, default=None,
+                        help="stamp every synthetic request with this "
+                             "admission lane (default: unset = interactive)")
     parser.add_argument("--job-deadline", type=float,
                         default=DEFAULT_JOB_DEADLINE)
     parser.add_argument("--replay", default=None, metavar="JSONL",
@@ -430,7 +482,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             engine = ReqGenEngine(
                 seed=args.seed, key_diversity=args.key_diversity,
-                scale=args.scale, record_to=record_fh)
+                scale=args.scale, record_to=record_fh,
+                priority=args.priority)
         workload = Workload(args.base_url, engine,
                             job_deadline=args.job_deadline)
         if args.mode == "closed":

@@ -49,6 +49,14 @@ TERMINAL_STATUSES = (STATUS_COMPLETED, STATUS_FAILED, STATUS_REJECTED)
 ALL_STATUSES = (STATUS_QUEUED, STATUS_RUNNING, STATUS_CHECKPOINTED) + \
     TERMINAL_STATUSES
 
+# -- admission-priority lanes ------------------------------------------------
+
+#: Latency-sensitive (default): a human or dashboard is waiting on it.
+PRIORITY_INTERACTIVE = "interactive"
+#: Throughput work (sweep campaigns): may wait, must not starve.
+PRIORITY_BULK = "bulk"
+PRIORITIES = (PRIORITY_INTERACTIVE, PRIORITY_BULK)
+
 #: Degradation reason tokens (the ``degraded_reasons`` vocabulary).
 DEGRADED_BACKEND_FALLBACK = "backend_fallback"
 DEGRADED_CIRCUIT_OPEN = "circuit_open"
@@ -86,6 +94,7 @@ class JobRequest:
     seq: int = 0
     backend: Optional[str] = None
     fault: Optional[Dict[str, str]] = None
+    priority: str = PRIORITY_INTERACTIVE
 
     def to_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -98,10 +107,13 @@ class JobRequest:
             payload["backend"] = self.backend
         if self.fault is not None:
             payload["fault"] = self.fault
+        if self.priority != PRIORITY_INTERACTIVE:
+            payload["priority"] = self.priority
         return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobRequest":
+        priority = data.get("priority") or PRIORITY_INTERACTIVE
         return cls(
             job_id=str(data["job_id"]),
             kind=str(data["kind"]),
@@ -109,6 +121,8 @@ class JobRequest:
             seq=int(data.get("seq", 0)),
             backend=data.get("backend"),
             fault=data.get("fault"),
+            priority=priority if priority in PRIORITIES
+            else PRIORITY_INTERACTIVE,
         )
 
 
@@ -185,8 +199,9 @@ def validate_submission(
     *,
     max_input_bytes: int,
     allow_fault_injection: bool = False,
-) -> Tuple[str, Dict[str, Any], Optional[str], Optional[Dict[str, str]]]:
-    """Check a parsed submission body; returns (kind, params, backend, fault).
+) -> Tuple[str, Dict[str, Any], Optional[str], Optional[Dict[str, str]], str]:
+    """Check a parsed submission body; returns
+    ``(kind, params, backend, fault, priority)``.
 
     Raises :class:`RequestValidationError` for anything that could never
     run — admission control's cheap synchronous reject path.  File-path
@@ -245,7 +260,13 @@ def validate_submission(
         if not isinstance(fault, dict) or "spec" not in fault:
             raise RequestValidationError(
                 "fault must be an object with a 'spec' directive")
-    return kind, params, backend, fault
+    priority = payload.get("priority", PRIORITY_INTERACTIVE)
+    if priority is None:
+        priority = PRIORITY_INTERACTIVE
+    if priority not in PRIORITIES:
+        raise RequestValidationError(
+            f"unknown priority {priority!r}: expected one of {PRIORITIES}")
+    return kind, params, backend, fault, priority
 
 
 def parse_json_body(raw: bytes) -> Any:

@@ -17,6 +17,21 @@ jobs talk the EWMA down and make the replica advertise a wait it cannot
 honor.  The backlog is therefore priced item-by-item: each queued job
 contributes its own kind's average (falling back to the fleet-wide EWMA
 for kinds never observed on this replica).
+
+Admission is split into two **priority lanes**
+(:data:`~repro.service.protocol.PRIORITY_INTERACTIVE` /
+:data:`~repro.service.protocol.PRIORITY_BULK`):
+
+* the bulk lane has its own (smaller) capacity, so a sweep campaign
+  saturating the service sheds *bulk* submissions while interactive jobs
+  still find room;
+* dequeue is weighted — with both lanes non-empty, workers serve
+  :data:`~AdmissionQueue.INTERACTIVE_BURST` interactive jobs per bulk
+  job, keeping interactive latency flat under 2x bulk overload;
+* anti-starvation aging guarantees bulk progress: once the bulk lane's
+  head has waited longer than ``bulk_max_wait`` it is served next
+  regardless of the weights, so a continuous interactive stream cannot
+  park bulk work forever.
 """
 
 from __future__ import annotations
@@ -24,9 +39,20 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Deque, Dict, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.service.protocol import JobRequest
+from repro.service.protocol import (
+    PRIORITIES,
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
+    JobRequest,
+)
+
+
+def lane_of(request: JobRequest) -> str:
+    """The admission lane of a request (unknown priorities → interactive)."""
+    return (PRIORITY_BULK if request.priority == PRIORITY_BULK
+            else PRIORITY_INTERACTIVE)
 
 
 def job_kind(request: JobRequest) -> str:
@@ -44,12 +70,14 @@ def job_kind(request: JobRequest) -> str:
 class QueueFullError(RuntimeError):
     """The admission queue is at capacity; retry after ``retry_after`` s."""
 
-    def __init__(self, capacity: int, retry_after: float) -> None:
+    def __init__(self, capacity: int, retry_after: float,
+                 lane: str = PRIORITY_INTERACTIVE) -> None:
         super().__init__(
-            f"admission queue full ({capacity} jobs queued); "
-            f"retry in ~{retry_after:.0f}s")
+            f"admission queue full ({capacity} jobs queued on the "
+            f"{lane} lane); retry in ~{retry_after:.0f}s")
         self.capacity = capacity
         self.retry_after = retry_after
+        self.lane = lane
 
 
 class QueueClosedError(RuntimeError):
@@ -69,13 +97,37 @@ class AdmissionQueue:
     DEFAULT_JOB_SECONDS = 2.0
     #: EWMA smoothing factor (weight of the newest observation).
     ALPHA = 0.3
+    #: Interactive dequeues per bulk dequeue while both lanes wait.
+    INTERACTIVE_BURST = 4
 
-    def __init__(self, capacity: int, workers: int = 1) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        workers: int = 1,
+        *,
+        bulk_capacity: Optional[int] = None,
+        bulk_max_wait: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
+        #: The bulk lane's own shed threshold; it defaults to half the
+        #: total so saturating sweeps leave headroom for interactive work.
+        self._bulk_capacity = (
+            max(1, capacity // 2) if bulk_capacity is None
+            else max(1, min(bulk_capacity, capacity)))
+        self._bulk_max_wait = bulk_max_wait
+        self._clock = clock
         self._workers = max(1, workers)
-        self._items: Deque[JobRequest] = deque()
+        #: Per-lane FIFOs of (enqueued_at, request).
+        self._lanes: Dict[str, Deque[Tuple[float, JobRequest]]] = {
+            lane: deque() for lane in PRIORITIES
+        }
+        #: Interactive jobs served since the last bulk dequeue, counted
+        #: only while bulk work is actually waiting (the weighted-round
+        #: state).
+        self._interactive_streak = 0
         self._cond = threading.Condition()
         self._closed = False
         self._avg_job_seconds = self.DEFAULT_JOB_SECONDS
@@ -89,9 +141,16 @@ class AdmissionQueue:
     def capacity(self) -> int:
         return self._capacity
 
+    @property
+    def bulk_capacity(self) -> int:
+        return self._bulk_capacity
+
+    def _depth_locked(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
     def depth(self) -> int:
         with self._cond:
-            return len(self._items)
+            return self._depth_locked()
 
     @property
     def closed(self) -> bool:
@@ -111,9 +170,10 @@ class AdmissionQueue:
         """Expected seconds of queued work, priced per item by its kind's
         EWMA (fleet-wide average for kinds never observed here)."""
         total = 0.0
-        for item in self._items:
-            total += self._avg_by_kind.get(
-                job_kind(item), self._avg_job_seconds)
+        for lane in self._lanes.values():
+            for _enqueued_at, item in lane:
+                total += self._avg_by_kind.get(
+                    job_kind(item), self._avg_job_seconds)
         return total
 
     def snapshot(self) -> dict:
@@ -121,11 +181,12 @@ class AdmissionQueue:
         weigh this replica against its siblings (depth, capacity, worker
         count, and the duration EWMAs that price the backlog)."""
         with self._cond:
-            backlog = len(self._items)
+            backlog = self._depth_locked()
             depth_by_kind: Dict[str, int] = {}
-            for item in self._items:
-                kind = job_kind(item)
-                depth_by_kind[kind] = depth_by_kind.get(kind, 0) + 1
+            for lane in self._lanes.values():
+                for _enqueued_at, item in lane:
+                    kind = job_kind(item)
+                    depth_by_kind[kind] = depth_by_kind.get(kind, 0) + 1
             return {
                 "queue_depth": backlog,
                 "queue_capacity": self._capacity,
@@ -133,6 +194,11 @@ class AdmissionQueue:
                 "avg_job_seconds": self._avg_job_seconds,
                 "avg_job_seconds_by_kind": dict(self._avg_by_kind),
                 "queue_depth_by_kind": depth_by_kind,
+                "queue_depth_by_lane": {
+                    lane: len(items)
+                    for lane, items in self._lanes.items()
+                },
+                "bulk_capacity": self._bulk_capacity,
                 "est_wait_seconds": (
                     self._price_backlog_locked() / self._workers),
             }
@@ -164,22 +230,52 @@ class AdmissionQueue:
             return max(1.0, self._price_backlog_locked() / self._workers)
 
     def submit(self, request: JobRequest) -> None:
-        """Admit a job, or shed it with a typed error. Never blocks."""
+        """Admit a job, or shed it with a typed error. Never blocks.
+
+        Shedding is per lane: bulk submissions are refused once the bulk
+        lane hits its own (smaller) capacity, long before the shared
+        total bound, so saturating sweeps never squeeze interactive
+        traffic out of the queue.
+        """
+        lane = lane_of(request)
         with self._cond:
             if self._closed:
                 raise QueueClosedError("server is draining; not accepting jobs")
-            if len(self._items) >= self._capacity:
-                hint = max(
-                    1.0, self._price_backlog_locked() / self._workers)
-                raise QueueFullError(self._capacity, hint)
-            self._items.append(request)
+            hint = max(1.0, self._price_backlog_locked() / self._workers)
+            if self._depth_locked() >= self._capacity:
+                raise QueueFullError(self._capacity, hint, lane)
+            if (lane == PRIORITY_BULK
+                    and len(self._lanes[lane]) >= self._bulk_capacity):
+                raise QueueFullError(self._bulk_capacity, hint, lane)
+            self._lanes[lane].append((self._clock(), request))
             self._cond.notify()
+
+    def _pop_locked(self) -> JobRequest:
+        """Weighted two-lane dequeue with anti-starvation aging."""
+        interactive = self._lanes[PRIORITY_INTERACTIVE]
+        bulk = self._lanes[PRIORITY_BULK]
+        take_bulk: bool
+        if not bulk:
+            take_bulk = False
+            self._interactive_streak = 0
+        elif not interactive:
+            take_bulk = True
+        elif self._clock() - bulk[0][0] >= self._bulk_max_wait:
+            take_bulk = True  # aged past the starvation bound: bulk next
+        else:
+            take_bulk = self._interactive_streak >= self.INTERACTIVE_BURST
+        if take_bulk:
+            self._interactive_streak = 0
+            return bulk.popleft()[1]
+        if bulk:
+            self._interactive_streak += 1
+        return interactive.popleft()[1]
 
     def get(self, timeout: Optional[float] = None) -> Optional[JobRequest]:
         """Next admitted job, or None on timeout / after close+empty."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
-            while not self._items:
+            while not self._depth_locked():
                 if self._closed:
                     return None
                 if deadline is None:
@@ -189,7 +285,7 @@ class AdmissionQueue:
                     if remaining <= 0:
                         return None
                     self._cond.wait(remaining)
-            return self._items.popleft()
+            return self._pop_locked()
 
     def close(self) -> None:
         """Stop admission; waiting getters drain the remainder then None."""
@@ -197,9 +293,16 @@ class AdmissionQueue:
             self._closed = True
             self._cond.notify_all()
 
-    def drain_remaining(self) -> list:
-        """Remove and return every still-queued job (for checkpointing)."""
+    def drain_remaining(self) -> List[JobRequest]:
+        """Remove and return every still-queued job (for checkpointing).
+
+        Interactive first, then bulk — checkpoint replay on the next boot
+        re-admits them in that order.
+        """
         with self._cond:
-            items = list(self._items)
-            self._items.clear()
+            items = [request
+                     for lane in PRIORITIES
+                     for _enqueued_at, request in self._lanes[lane]]
+            for lane in self._lanes.values():
+                lane.clear()
             return items

@@ -20,9 +20,25 @@ the single-replica server cannot:
   job is a cache hit, and a mid-build death released the build lock with
   the process, so exactly one live builder proceeds.
 
-The router deliberately holds *no* job results of its own beyond a cache
-of terminal outcomes — replicas stay the source of truth for running jobs,
-which keeps the front door restartable without a journal.
+The router holds *no* job results of its own beyond a bounded in-memory
+cache of terminal outcomes — replicas stay the source of truth for running
+jobs.  With a ``--state-dir`` the cache is additionally backed by the
+durable :class:`~repro.service.outcome_store.OutcomeStore`: every
+placement and terminal outcome is appended to a checksummed log, so a
+SIGKILLed router restarts (or a second router starts against the same
+state dir) with zero lost terminal outcomes and reassigns the in-flight
+jobs it recovers.  Terminal records are evicted from memory after a TTL
+(or past a count bound) and served from the store afterwards, so a
+long-running router no longer leaks one record per job forever.
+
+Replica membership has two sources: the fleet supervisor wiring in its
+child processes (PR 7), and — new here — the ``POST /register`` handshake
+used by ``gmap serve --join <router-url>``, where cross-host replicas
+announce their base URL with a monotonically increasing *epoch*.  A
+re-registration with a higher epoch means the replica restarted: the
+router updates the URL and requeues everything it had assigned there.
+Registered replicas are health-checked over ``/readyz`` by the
+:class:`RouterMonitor` when no supervisor owns that duty.
 """
 
 from __future__ import annotations
@@ -32,15 +48,19 @@ import http.client
 import itertools
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.shared_cache import job_key
+from repro.service.outcome_store import OutcomeStore
 from repro.service.protocol import (
     FAILURE_INVALID_REQUEST,
     FAILURE_REJECTED,
+    PRIORITY_BULK,
+    PRIORITY_INTERACTIVE,
     TERMINAL_STATUSES,
 )
 
@@ -96,6 +116,7 @@ class ReplicaEndpoint:
         self._consecutive_failures = 0
         self._telemetry: Dict[str, Any] = {}
         self._restarts = 0
+        self._epoch = 0
 
     # -- monitor-side updates ------------------------------------------------
 
@@ -105,6 +126,31 @@ class ReplicaEndpoint:
             if base_url is None:
                 self._healthy = False
                 self._telemetry = {}
+
+    def register(self, base_url: str, epoch: int) -> bool:
+        """Record a ``--join`` (re-)registration.
+
+        Returns True when the epoch advanced past a previously seen one —
+        i.e. the replica process restarted and its old assignments are
+        orphaned.  Registration marks the endpoint routable immediately
+        (the replica only announces itself once it is listening); the
+        health monitor demotes it again if ``/readyz`` disagrees.
+        """
+        with self._lock:
+            rejoined = self._epoch != 0 and epoch > self._epoch
+            self._epoch = epoch
+            self._base_url = base_url
+            self._healthy = True
+            self._parked = False
+            self._consecutive_failures = 0
+            if rejoined:
+                self._restarts += 1
+        return rejoined
+
+    @property
+    def epoch(self) -> int:
+        with self._lock:
+            return self._epoch
 
     def mark_healthy(self, telemetry: Dict[str, Any]) -> None:
         with self._lock:
@@ -193,36 +239,105 @@ class ReplicaEndpoint:
                 "parked": self._parked,
                 "consecutive_probe_failures": self._consecutive_failures,
                 "restarts": self._restarts,
+                "epoch": self._epoch,
                 "telemetry": dict(self._telemetry),
             }
 
 
 class _JobRecord:
-    __slots__ = ("payload", "slot", "terminal", "reassignments")
+    __slots__ = ("payload", "slot", "replica_id", "terminal",
+                 "reassignments", "settled_at")
 
-    def __init__(self, payload: Dict[str, Any], slot: int) -> None:
+    def __init__(self, payload: Dict[str, Any], slot: int,
+                 replica_id: Optional[str] = None) -> None:
         self.payload = payload
         self.slot = slot
+        self.replica_id = replica_id
         self.terminal: Optional[Dict[str, Any]] = None
         self.reassignments = 0
+        self.settled_at: Optional[float] = None
 
 
 class RouterCore:
-    """Placement, failover, and reassignment logic (HTTP-free, testable)."""
+    """Placement, failover, and reassignment logic (HTTP-free, testable).
 
-    def __init__(self, endpoints: List[ReplicaEndpoint]) -> None:
+    ``store`` (optional) makes job state durable; ``terminal_ttl`` /
+    ``max_terminal`` bound the in-memory table — terminal records past
+    either bound are evicted and, when a store exists, served from it.
+    Non-terminal records are never evicted: they are the reassignment
+    work-list.  ``clock`` is injectable (monotonic seconds) for tests.
+    """
+
+    def __init__(
+        self,
+        endpoints: List[ReplicaEndpoint],
+        *,
+        store: Optional[OutcomeStore] = None,
+        terminal_ttl: float = 3600.0,
+        max_terminal: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self._endpoints = endpoints
+        self._endpoints_lock = threading.Lock()
+        self._by_id: Dict[str, ReplicaEndpoint] = {
+            ep.replica_id: ep for ep in endpoints
+        }
+        self._store = store
+        self.terminal_ttl = terminal_ttl
+        self.max_terminal = max_terminal
+        self._clock = clock
         self._jobs: Dict[str, _JobRecord] = {}
         self._jobs_lock = threading.Lock()
         self._seq = itertools.count()
         self._counters = {
             "routed": 0, "shed": 0, "spilled": 0, "reassigned": 0,
+            "routed_interactive": 0, "routed_bulk": 0,
+            "recovered_terminal": 0, "recovered_pending": 0,
+            "evicted_terminal": 0, "registered": 0,
         }
+        if store is not None:
+            self._recover_from_store(store)
+
+    def _recover_from_store(self, store: OutcomeStore) -> None:
+        """Rebuild the job table from the durable log on startup.
+
+        Terminal outcomes become servable records immediately; pending
+        jobs become reassignment candidates (their recorded replica may be
+        long dead — :meth:`reassign_orphans` and ``lookup`` both requeue
+        them once something routable exists).
+        """
+        now = self._clock()
+        with self._jobs_lock:
+            for job_id, stored in store.jobs().items():
+                if job_id in self._jobs:
+                    continue
+                record = _JobRecord(stored.payload, -1, stored.replica_id)
+                if stored.terminal is not None:
+                    record.terminal = dict(stored.terminal)
+                    record.settled_at = now
+                    self._counters["recovered_terminal"] += 1
+                else:
+                    self._counters["recovered_pending"] += 1
+                self._jobs[job_id] = record
 
     # -- candidate ranking ---------------------------------------------------
 
     def _routable(self) -> List[ReplicaEndpoint]:
-        return [ep for ep in self._endpoints if ep.routable]
+        with self._endpoints_lock:
+            endpoints = list(self._endpoints)
+        return [ep for ep in endpoints if ep.routable]
+
+    def _endpoint_for(self, replica_id: Optional[str]) -> Optional[
+            ReplicaEndpoint]:
+        if replica_id is None:
+            return None
+        with self._endpoints_lock:
+            return self._by_id.get(replica_id)
+
+    def endpoints(self) -> List[ReplicaEndpoint]:
+        """A point-in-time copy of the membership list."""
+        with self._endpoints_lock:
+            return list(self._endpoints)
 
     @staticmethod
     def _rendezvous_order(
@@ -290,14 +405,22 @@ class RouterCore:
                     self._counters["spilled"] += 1
                 continue
             if status == 202:
+                lane = (PRIORITY_BULK
+                        if payload.get("priority") == PRIORITY_BULK
+                        else PRIORITY_INTERACTIVE)
                 with self._jobs_lock:
                     record = self._jobs.get(job_id)
                     if record is None:
                         self._jobs[job_id] = _JobRecord(
-                            payload, endpoint.slot)
+                            payload, endpoint.slot, endpoint.replica_id)
                     else:  # reassignment path keeps the original payload
                         record.slot = endpoint.slot
+                        record.replica_id = endpoint.replica_id
                     self._counters["routed"] += 1
+                    self._counters[f"routed_{lane}"] += 1
+                if self._store is not None:
+                    self._store.record_assignment(
+                        job_id, payload, endpoint.replica_id)
                 body.setdefault("job_id", job_id)
                 body["replica"] = endpoint.replica_id
                 return 202, body
@@ -329,21 +452,22 @@ class RouterCore:
         with self._jobs_lock:
             record = self._jobs.get(job_id)
         if record is None:
+            record = self._recall(job_id)
+        if record is None:
             return 404, {"error": f"unknown job {job_id!r}",
                          "error_kind": FAILURE_INVALID_REQUEST}
         if record.terminal is not None:
             return 200, dict(record.terminal)
-        endpoint = self._endpoints[record.slot]
-        base = endpoint.base_url
-        if base is not None:
+        endpoint = self._endpoint_for(record.replica_id)
+        base = endpoint.base_url if endpoint is not None else None
+        if endpoint is not None and base is not None:
             try:
                 status, body = http_json("GET", f"{base}/jobs/{job_id}")
             except OSError:
                 status, body = 0, {}
             if status == 200:
                 if body.get("status") in TERMINAL_STATUSES:
-                    with self._jobs_lock:
-                        record.terminal = dict(body)
+                    self._settle(job_id, record, body)
                 body["replica"] = endpoint.replica_id
                 return 200, body
         # Replica gone, unreachable, or lost the job (restart): resubmit
@@ -355,6 +479,66 @@ class RouterCore:
         return 200, {"job_id": job_id, "status": "queued",
                      "reassigned": False,
                      "note": "awaiting a routable replica"}
+
+    def _recall(self, job_id: str) -> Optional[_JobRecord]:
+        """Rehydrate an unknown id from the durable store, if any.
+
+        Covers two cases: a terminal record this router already evicted
+        from memory, and a job recorded by a peer/predecessor router
+        sharing the state dir.  Rehydrated non-terminal jobs re-enter the
+        table so the normal poll/reassign machinery picks them up.
+        """
+        if self._store is None:
+            return None
+        stored = self._store.lookup(job_id, refresh=True)
+        if stored is None:
+            return None
+        record = _JobRecord(stored.payload, -1, stored.replica_id)
+        if stored.terminal is not None:
+            record.terminal = dict(stored.terminal)
+            return record  # served straight from the store; stays evicted
+        with self._jobs_lock:
+            record = self._jobs.setdefault(job_id, record)
+        return record
+
+    def _settle(
+        self, job_id: str, record: _JobRecord, body: Dict[str, Any]
+    ) -> None:
+        """Cache a terminal outcome, persist it, and run eviction."""
+        outcome = dict(body)
+        if self._store is not None:
+            self._store.record_terminal(job_id, outcome)
+        now = self._clock()
+        with self._jobs_lock:
+            if record.terminal is None:
+                record.terminal = outcome
+                record.settled_at = now
+            self._evict_terminal_locked(now)
+
+    def _evict_terminal_locked(self, now: float) -> None:
+        """Drop terminal records past the TTL or the count bound.
+
+        Non-terminal records are never touched — they are the in-flight
+        work-list.  With a durable store the evicted outcomes remain
+        servable through :meth:`_recall`; without one, eviction trades
+        very-late lookups of old jobs for a bounded footprint.
+        """
+        settled = [(record.settled_at, job_id)
+                   for job_id, record in self._jobs.items()
+                   if record.terminal is not None
+                   and record.settled_at is not None]
+        expired = [job_id for settled_at, job_id in settled
+                   if now - settled_at >= self.terminal_ttl]
+        overflow = len(settled) - len(expired) - self.max_terminal
+        if overflow > 0:
+            survivors = sorted(
+                (entry for entry in settled if entry[1] not in set(expired)),
+            )
+            expired.extend(job_id for _, job_id in survivors[:overflow])
+        for job_id in expired:
+            del self._jobs[job_id]
+        if expired:
+            self._counters["evicted_terminal"] += len(expired)
 
     # -- reassignment --------------------------------------------------------
 
@@ -388,6 +572,80 @@ class RouterCore:
                 moved += 1
         return moved
 
+    def reassign_replica(self, replica_id: str) -> int:
+        """Resubmit every non-terminal job assigned to ``replica_id``."""
+        with self._jobs_lock:
+            orphans = [(job_id, record)
+                       for job_id, record in self._jobs.items()
+                       if record.replica_id == replica_id
+                       and record.terminal is None]
+        moved = 0
+        for job_id, record in orphans:
+            if self._reassign_record(job_id, record):
+                moved += 1
+        return moved
+
+    def reassign_orphans(self) -> int:
+        """Requeue every non-terminal job whose replica is not routable.
+
+        The sweep behind recovery: jobs rehydrated from the store point at
+        replicas that may never come back (or at no replica at all, when
+        the store predates their placement).  Run by the
+        :class:`RouterMonitor` each tick once something is routable.
+        """
+        if not self._routable():
+            return 0
+        with self._jobs_lock:
+            orphans = [
+                (job_id, record)
+                for job_id, record in self._jobs.items()
+                if record.terminal is None
+            ]
+        moved = 0
+        for job_id, record in orphans:
+            endpoint = self._endpoint_for(record.replica_id)
+            if endpoint is not None and endpoint.routable:
+                continue
+            if self._reassign_record(job_id, record):
+                moved += 1
+        return moved
+
+    # -- membership ----------------------------------------------------------
+
+    def register_replica(
+        self, replica_id: str, base_url: str, epoch: int
+    ) -> Tuple[int, Dict[str, Any]]:
+        """The ``--join`` handshake: admit or refresh a remote replica.
+
+        Idempotent for heartbeat re-registrations (same epoch).  A higher
+        epoch means the replica restarted — its previous assignments are
+        requeued (the restarted process kept no queue).  A *lower* epoch
+        is a stale straggler (an old process's delayed heartbeat after a
+        newer one registered) and is refused so it cannot roll the URL
+        back.
+        """
+        if not replica_id or not base_url:
+            return 400, {"error": "replica_id and base_url required",
+                         "error_kind": FAILURE_INVALID_REQUEST}
+        with self._endpoints_lock:
+            endpoint = self._by_id.get(replica_id)
+            if endpoint is None:
+                endpoint = ReplicaEndpoint(len(self._endpoints), replica_id)
+                self._endpoints.append(endpoint)
+                self._by_id[replica_id] = endpoint
+            elif epoch < endpoint.epoch:
+                return 409, {"error": f"stale epoch {epoch} for "
+                                      f"{replica_id!r} (current "
+                                      f"{endpoint.epoch})",
+                             "error_kind": FAILURE_REJECTED}
+        rejoined = endpoint.register(base_url, epoch)
+        with self._jobs_lock:
+            self._counters["registered"] += 1
+        if rejoined:
+            self.reassign_replica(replica_id)
+        return 200, {"registered": True, "replica_id": replica_id,
+                     "epoch": epoch, "rejoined": rejoined}
+
     # -- introspection -------------------------------------------------------
 
     def fleet_snapshot(self) -> Dict[str, Any]:
@@ -396,16 +654,25 @@ class RouterCore:
             settled = sum(
                 1 for r in self._jobs.values() if r.terminal is not None)
             counters = dict(self._counters)
-        return {
-            "replicas": [ep.snapshot() for ep in self._endpoints],
-            "routable": sum(1 for ep in self._endpoints if ep.routable),
+        with self._endpoints_lock:
+            endpoints = list(self._endpoints)
+        snap: Dict[str, Any] = {
+            "replicas": [ep.snapshot() for ep in endpoints],
+            "routable": sum(1 for ep in endpoints if ep.routable),
             "jobs_tracked": tracked,
             "jobs_settled": settled,
             "counters": counters,
         }
+        if self._store is not None:
+            snap["store"] = {
+                "jobs": len(self._store.jobs()),
+                "compactions": self._store.compactions,
+                "corrupt_lines": self._store.corrupt_lines,
+            }
+        return snap
 
     def ready(self) -> bool:
-        return any(ep.routable for ep in self._endpoints)
+        return bool(self._routable())
 
 
 class _RouterHandler(BaseHTTPRequestHandler):
@@ -426,7 +693,7 @@ class _RouterHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
-        if self.path != "/jobs":
+        if self.path not in ("/jobs", "/register"):
             self._send_json(404, {"error": f"no route {self.path!r}"})
             return
         try:
@@ -435,6 +702,23 @@ class _RouterHandler(BaseHTTPRequestHandler):
         except (ValueError, json.JSONDecodeError):
             self._send_json(400, {"error": "invalid JSON body",
                                   "error_kind": FAILURE_INVALID_REQUEST})
+            return
+        if self.path == "/register":
+            if not isinstance(payload, dict):
+                self._send_json(400, {
+                    "error": "registration body must be a JSON object",
+                    "error_kind": FAILURE_INVALID_REQUEST})
+                return
+            try:
+                epoch = int(payload.get("epoch") or 0)
+            except (TypeError, ValueError):
+                epoch = 0
+            status, body = self.server.core.register_replica(
+                str(payload.get("replica_id") or ""),
+                str(payload.get("base_url") or ""),
+                epoch,
+            )
+            self._send_json(status, body)
             return
         status, body = self.server.core.submit(payload)
         self._send_json(status, body)
@@ -490,3 +774,115 @@ def start_router(
         thread.join(5.0)
 
     return server, thread, stop
+
+
+class RouterMonitor:
+    """Health checks + orphan recovery for supervisor-less topologies.
+
+    The fleet supervisor (PR 7) probes the children it spawned; a
+    standalone router has no children — replicas appear through the
+    ``--join`` handshake and may live on other hosts.  This monitor probes
+    every registered endpoint's ``/readyz`` each tick (marking endpoints
+    healthy/down exactly like the supervisor does) and then requeues
+    non-terminal jobs stranded on unroutable replicas, which is also what
+    drives recovery of store-rehydrated jobs after a router restart.
+    """
+
+    def __init__(
+        self,
+        core: RouterCore,
+        *,
+        interval: float = 0.5,
+        down_after: int = 3,
+    ) -> None:
+        self._core = core
+        self._interval = interval
+        self._down_after = down_after
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="gmap-router-monitor", daemon=True)
+
+    def start(self) -> "RouterMonitor":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=max(self._interval * 4.0, 2.0))
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            self.tick()
+
+    def tick(self) -> None:
+        """One monitor pass (public so tests can drive it synchronously)."""
+        newly_down: List[str] = []
+        for endpoint in self._core.endpoints():
+            base = endpoint.base_url
+            if base is None:
+                continue
+            try:
+                status, body = http_json(
+                    "GET", f"{base}/readyz", timeout=2.0)
+            except OSError:
+                if endpoint.mark_probe_failed(self._down_after):
+                    newly_down.append(endpoint.replica_id)
+                continue
+            if status == 200:
+                telemetry = body.get("queue") if isinstance(body, dict) \
+                    else None
+                endpoint.mark_healthy(
+                    telemetry if isinstance(telemetry, dict) else {})
+            elif endpoint.mark_probe_failed(self._down_after):
+                newly_down.append(endpoint.replica_id)
+        for replica_id in newly_down:
+            self._core.reassign_replica(replica_id)
+        self._core.reassign_orphans()
+
+
+def serve_router(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    state_dir: Optional[str] = None,
+    health_interval: float = 0.5,
+    ready_line: bool = True,
+) -> int:
+    """Blocking standalone-router entry point (``gmap serve --router-only``).
+
+    Boots with zero replicas: membership arrives entirely through
+    ``--join`` registrations.  With ``state_dir`` the job table is durable
+    and a restart on the same directory recovers terminal outcomes and
+    requeues in-flight jobs.
+    """
+    import signal
+
+    store = OutcomeStore(state_dir) if state_dir else None
+    core = RouterCore([], store=store)
+    server = RouterHTTPServer(core, host, port)
+    monitor = RouterMonitor(core, interval=health_interval).start()
+    stop = threading.Event()
+
+    def _on_signal(_signum: int, _frame: Any) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    serve_thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.2},
+        name="gmap-router", daemon=True)
+    serve_thread.start()
+    if ready_line:
+        print(f"router listening on {server.base_url} (0 replicas)",
+              flush=True)
+    try:
+        stop.wait()
+    finally:
+        monitor.stop()
+        server.shutdown()
+        server.server_close()
+        serve_thread.join(5.0)
+        if store is not None:
+            store.compact(force=True)
+            store.close()
+    return 0

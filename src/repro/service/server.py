@@ -27,9 +27,12 @@ import json
 import os
 import signal
 import threading
+import time
 import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.backoff import backoff_delay
 
 from repro.service.config import ServiceConfig
 from repro.service.degradation import DegradationPolicy
@@ -64,7 +67,10 @@ class GmapService:
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
-        self.queue = AdmissionQueue(config.queue_capacity, config.workers)
+        self.queue = AdmissionQueue(
+            config.queue_capacity, config.workers,
+            bulk_capacity=config.bulk_capacity or None,
+            bulk_max_wait=config.bulk_max_wait)
         self.policy = DegradationPolicy(
             backend=config.backend,
             failure_threshold=config.breaker_threshold,
@@ -152,7 +158,7 @@ class GmapService:
             raise RequestValidationError(
                 "server is draining; not accepting jobs",
                 kind=FAILURE_REJECTED, http_status=503)
-        kind, params, backend, fault = validate_submission(
+        kind, params, backend, fault, priority = validate_submission(
             payload,
             max_input_bytes=self.config.max_input_bytes,
             allow_fault_injection=self.config.allow_fault_injection,
@@ -162,7 +168,8 @@ class GmapService:
             self._seq += 1
         job_id = str(payload.get("job_id") or uuid.uuid4())
         request = JobRequest(job_id=job_id, kind=kind, params=params,
-                             seq=seq, backend=backend, fault=fault)
+                             seq=seq, backend=backend, fault=fault,
+                             priority=priority)
         with self._jobs_lock:
             self._requests[job_id] = request
             self._jobs[job_id] = JobOutcome(status=STATUS_QUEUED)
@@ -389,6 +396,82 @@ class _ServeHandler(BaseHTTPRequestHandler):
                               "error_kind": "invalid_request"})
 
 
+class JoinHeartbeat:
+    """Cross-host membership: periodic ``POST /register`` to a router.
+
+    Started by ``gmap serve --join <router-url>``.  Each beat announces
+    ``{replica_id, base_url, epoch}``; the epoch is minted once per
+    process (wall-clock milliseconds at boot), so a *restarted* replica
+    registers with a higher epoch and the router knows to requeue
+    whatever it had assigned to the previous incarnation.  Re-sending on
+    an interval doubles as the recovery path for a *router* restart: a
+    fresh router (same URL, empty membership) re-learns every live
+    replica within one heartbeat.
+
+    Transport errors back off exponentially (capped at 4x the interval)
+    instead of hammering a router that is mid-restart.
+    """
+
+    def __init__(
+        self,
+        router_url: str,
+        replica_id: str,
+        base_url: str,
+        *,
+        interval: float = 2.0,
+        epoch: Optional[int] = None,
+    ) -> None:
+        self.router_url = router_url.rstrip("/")
+        self.replica_id = replica_id
+        self.base_url = base_url
+        self.interval = interval
+        self.epoch = epoch if epoch is not None else int(time.time() * 1000)
+        self.registrations = 0
+        self._count_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"gmap-join-{replica_id}", daemon=True)
+
+    def start(self) -> "JoinHeartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+    def register_once(self) -> bool:
+        """One registration attempt; True when the router accepted it."""
+        from repro.service.router import http_json
+
+        try:
+            status, _body = http_json(
+                "POST", f"{self.router_url}/register",
+                {"replica_id": self.replica_id, "base_url": self.base_url,
+                 "epoch": self.epoch},
+                timeout=5.0)
+        except OSError:
+            return False
+        if status == 200:
+            with self._count_lock:
+                self.registrations += 1
+            return True
+        return False
+
+    def _run(self) -> None:
+        failures = 0
+        while not self._stop.is_set():
+            if self.register_once():
+                failures = 0
+                delay = self.interval
+            else:
+                failures += 1
+                delay = backoff_delay(
+                    failures, base=min(self.interval, 0.5),
+                    cap=self.interval * 4.0)
+            self._stop.wait(delay)
+
+
 class ServeHTTPServer(ThreadingHTTPServer):
     """Threaded listener: one handler thread per connection, all daemonic
     so a drain never waits on an idle keep-alive socket."""
@@ -426,6 +509,11 @@ def serve_forever(config: ServiceConfig,
 
     signal.signal(signal.SIGTERM, _drain_signal)
     signal.signal(signal.SIGINT, _drain_signal)
+    heartbeat: Optional[JoinHeartbeat] = None
+    if config.join:
+        heartbeat = JoinHeartbeat(
+            config.join, config.replica_id, f"http://{host}:{port}",
+            interval=config.join_interval).start()
     if ready_line:
         if resumed:
             print(f"resumed {resumed} checkpointed job(s)", flush=True)
@@ -433,6 +521,8 @@ def serve_forever(config: ServiceConfig,
     try:
         httpd.serve_forever(poll_interval=0.2)
     finally:
+        if heartbeat is not None:
+            heartbeat.stop()
         httpd.server_close()
         service.stop()
     return 0

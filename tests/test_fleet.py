@@ -388,6 +388,12 @@ def _bench_doc():
         "fleet": dict(block),
         "overload": {"offered_rate_rps": 4.0, "report": dict(block)},
         "recovery": {"kill_to_routable_seconds": 0.5, "recovered": True},
+        "priority": {
+            "offered_bulk_rate_rps": 8.0,
+            "bulk": dict(block),
+            "interactive": dict(block),
+            "bulk_saturation_interactive_p99": 5.0,
+        },
         "gates": {"zero_failed": True},
     }
 
@@ -402,6 +408,8 @@ class TestBenchSchema:
         (lambda d: d["single"].pop("throughput_rps"), "throughput_rps"),
         (lambda d: d["overload"].pop("offered_rate_rps"), "overload"),
         (lambda d: d.pop("recovery"), "recovery"),
+        (lambda d: d["priority"].pop("bulk_saturation_interactive_p99"),
+         "priority"),
         (lambda d: d.pop("gates"), "gates"),
     ])
     def test_broken_docs_name_the_problem(self, mutate, fragment):

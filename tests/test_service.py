@@ -128,9 +128,10 @@ class TestProtocol:
         payload = _sim_payload(fault={"spec": "crash:*:*"})
         with pytest.raises(RequestValidationError):
             validate_submission(payload, max_input_bytes=1 << 20)
-        kind, params, backend, fault = validate_submission(
+        kind, params, backend, fault, priority = validate_submission(
             payload, max_input_bytes=1 << 20, allow_fault_injection=True)
         assert fault == {"spec": "crash:*:*"}
+        assert priority == "interactive"
 
     def test_oversized_input_file_rejected_413(self, tmp_path):
         big = tmp_path / "big.trace"
@@ -230,6 +231,111 @@ class TestAdmissionQueue:
         thread.join(2.0)
         assert not thread.is_alive()
         assert results == [None]
+
+
+# -- priority lanes ----------------------------------------------------------
+
+class FakeClock:
+    """Settable clock for aging-based dequeue decisions."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestPriorityLanes:
+    def _request(self, seq, lane="interactive"):
+        return JobRequest(job_id=f"p{seq}", kind="simulate", params={},
+                          seq=seq, priority=lane)
+
+    def _fill(self, queue, interactive, bulk):
+        seq = 0
+        for _ in range(interactive):
+            queue.submit(self._request(seq, "interactive"))
+            seq += 1
+        for _ in range(bulk):
+            queue.submit(self._request(seq, "bulk"))
+            seq += 1
+
+    def test_weighted_dequeue_serves_burst_then_bulk(self):
+        queue = AdmissionQueue(capacity=16, bulk_capacity=8)
+        self._fill(queue, interactive=6, bulk=2)
+        lanes = [queue.get(0.1).priority for _ in range(8)]
+        # INTERACTIVE_BURST interactive jobs per bulk job while both wait.
+        assert lanes == ["interactive"] * 4 + ["bulk"] + \
+            ["interactive"] * 2 + ["bulk"]
+
+    def test_single_lane_passthrough_is_fifo(self):
+        queue = AdmissionQueue(capacity=8, bulk_capacity=8)
+        for seq in range(3):
+            queue.submit(self._request(seq, "bulk"))
+        assert [queue.get(0.1).seq for _ in range(3)] == [0, 1, 2]
+
+    def test_aged_bulk_head_jumps_the_weights(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(capacity=16, bulk_capacity=8,
+                               bulk_max_wait=30.0, clock=clock)
+        queue.submit(self._request(0, "bulk"))
+        clock.advance(31.0)  # the bulk head is now past the aging bound
+        queue.submit(self._request(1, "interactive"))
+        assert queue.get(0.1).priority == "bulk"
+        assert queue.get(0.1).priority == "interactive"
+
+    def test_bulk_sheds_at_its_own_capacity(self):
+        queue = AdmissionQueue(capacity=10, bulk_capacity=2)
+        self._fill(queue, interactive=0, bulk=2)
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(self._request(9, "bulk"))
+        assert excinfo.value.lane == "bulk"
+        assert excinfo.value.capacity == 2
+        # Interactive still finds room: the total bound is not reached.
+        queue.submit(self._request(10, "interactive"))
+
+    def test_bulk_capacity_defaults_to_half_total(self):
+        assert AdmissionQueue(capacity=10).bulk_capacity == 5
+        assert AdmissionQueue(capacity=1).bulk_capacity == 1
+
+    def test_total_capacity_sheds_interactive_too(self):
+        queue = AdmissionQueue(capacity=2, bulk_capacity=1)
+        self._fill(queue, interactive=2, bulk=0)
+        with pytest.raises(QueueFullError) as excinfo:
+            queue.submit(self._request(9, "interactive"))
+        assert excinfo.value.lane == "interactive"
+
+    def test_snapshot_reports_lane_depths(self):
+        queue = AdmissionQueue(capacity=16, bulk_capacity=3)
+        self._fill(queue, interactive=2, bulk=1)
+        snapshot = queue.snapshot()
+        assert snapshot["queue_depth_by_lane"] == {
+            "interactive": 2, "bulk": 1}
+        assert snapshot["bulk_capacity"] == 3
+
+    def test_drain_returns_interactive_first(self):
+        queue = AdmissionQueue(capacity=16, bulk_capacity=8)
+        queue.submit(self._request(0, "bulk"))
+        queue.submit(self._request(1, "interactive"))
+        queue.close()
+        assert [r.priority for r in queue.drain_remaining()] == \
+            ["interactive", "bulk"]
+
+    def test_validate_submission_rejects_unknown_priority(self):
+        with pytest.raises(RequestValidationError, match="priority"):
+            validate_submission(_sim_payload(priority="urgent"),
+                                max_input_bytes=1 << 20)
+
+    def test_request_priority_roundtrip(self):
+        bulk = JobRequest.from_dict(_sim_payload(job_id="b",
+                                                 priority="bulk"))
+        assert bulk.priority == "bulk"
+        assert JobRequest.from_dict(bulk.to_dict()).priority == "bulk"
+        plain = JobRequest.from_dict(_sim_payload(job_id="p"))
+        assert plain.priority == "interactive"
+        assert "priority" not in plain.to_dict()
 
 
 # -- circuit breaker --------------------------------------------------------

@@ -136,8 +136,9 @@ class TestSingleFlight:
 
 # -- single flight, across processes ----------------------------------------
 
-def _coalesce_child(root, key, marker_dir, queue):
-    cache = SharedResultCache(root, poll_interval=0.01)
+def _coalesce_child(root, key, marker_dir, queue, backend):
+    cache = SharedResultCache(root, poll_interval=0.01,
+                              lock_backend=backend, lease_ttl=5.0)
 
     def build():
         # A unique file per executed build: the cross-process execution
@@ -152,15 +153,22 @@ def _coalesce_child(root, key, marker_dir, queue):
     queue.put((os.getpid(), status, body))
 
 
-def _crash_holding_lock(root, key):
-    cache = SharedResultCache(root)
+def _crash_holding_lock(root, key, backend, lease_ttl):
+    cache = SharedResultCache(root, lock_backend=backend,
+                              lease_ttl=lease_ttl)
     handle = cache._acquire(key)
     assert handle is not None
-    os._exit(1)  # die without releasing: the kernel must do it
+    os._exit(1)  # die without releasing: recovery is the backend's job
 
 
+@pytest.mark.parametrize("backend", ["fcntl", "lease"])
 class TestCrossProcess:
-    def test_two_processes_one_build(self, tmp_path):
+    """Both single-flight lock backends must satisfy the same contract:
+    one build per key across processes, and no wedged keys after a
+    builder dies (the kernel drops an flock; a lease expires and is
+    taken over)."""
+
+    def test_two_processes_one_build(self, tmp_path, backend):
         """Same key from two processes: one build, both get the artifact."""
         root = tmp_path / "cache"
         marker_dir = tmp_path / "markers"
@@ -169,7 +177,8 @@ class TestCrossProcess:
         queue = _CTX.Queue()
         children = [
             _CTX.Process(target=_coalesce_child,
-                         args=(str(root), key, str(marker_dir), queue))
+                         args=(str(root), key, str(marker_dir), queue,
+                               backend))
             for _ in range(2)
         ]
         for child in children:
@@ -185,23 +194,60 @@ class TestCrossProcess:
         bodies = [body for _pid, _status, body in results]
         assert bodies[0] == bodies[1] == {"result": {"value": 99}}
 
-    def test_killed_builder_releases_lock(self, tmp_path):
-        """A builder dying mid-build must not wedge the key: flock dies
-        with the process, so the next caller just builds."""
+    def test_killed_builder_releases_lock(self, tmp_path, backend):
+        """A builder dying mid-build must not wedge the key: an flock
+        dies with the process; a lease expires (its heartbeat died too)
+        and the next caller takes it over."""
         root = tmp_path / "cache"
         key = job_key("simulate", {"crash": 1}, None)
+        lease_ttl = 0.5
         child = _CTX.Process(target=_crash_holding_lock,
-                             args=(str(root), key))
+                             args=(str(root), key, backend, lease_ttl))
         child.start()
         child.join(10)
         assert child.exitcode == 1
-        cache = SharedResultCache(root, lock_timeout=30.0)
+        before = integrity_events.snapshot()
+        cache = SharedResultCache(root, lock_timeout=30.0,
+                                  lock_backend=backend, lease_ttl=lease_ttl)
         started = time.monotonic()
         body, status = cache.single_flight(key, lambda: {"result": 5})
         assert status == STATUS_BUILT
-        # Well under lock_timeout: the lock was released by the kernel,
-        # not waited out.
+        # Well under lock_timeout: the lock was recovered (kernel release
+        # or lease takeover), not waited out.
         assert time.monotonic() - started < 5.0
+        if backend == "lease":
+            delta = integrity_events.delta(before)
+            assert delta.get("shared_cache_lease_takeover") == 1
+
+
+# -- degraded locking telemetry ---------------------------------------------
+
+class TestUnlockedTelemetry:
+    def test_unlocked_event_fires_once_per_process(self, tmp_path,
+                                                   monkeypatch):
+        """Builds that degrade to uncoalesced (no engageable lock) flag
+        the condition on the integrity ledger exactly once per process,
+        however many keys degrade."""
+        from repro.core import shared_cache as sc
+
+        was_set = sc._unlocked_reported.is_set()
+        sc._unlocked_reported.clear()
+        monkeypatch.setattr(sc, "_HAVE_FCNTL", False)
+        try:
+            cache = SharedResultCache(tmp_path, lock_backend="fcntl")
+            before = integrity_events.snapshot()
+            for n in range(3):
+                key = job_key("simulate", {"unlocked": n}, None)
+                body, status = cache.single_flight(key,
+                                                   lambda: {"result": n})
+                assert status == STATUS_BUILT
+            delta = integrity_events.delta(before)
+            assert delta.get("shared_cache_unlocked") == 1
+        finally:
+            if was_set:
+                sc._unlocked_reported.set()
+            else:
+                sc._unlocked_reported.clear()
 
 
 # -- chaos poison hook ------------------------------------------------------
